@@ -1,0 +1,31 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one of the paper's tables/figures on the
+simulator, prints the same rows the paper reports, and asserts the
+headline *shape* (who wins, roughly by how much).  Simulated time is
+deterministic; pytest-benchmark's wall-clock numbers measure the
+simulator itself, while the printed tables carry the paper-facing
+results.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALES`` (default 5: the paper's full sweep) — scale
+  points per GPU (each GPU still only runs the sizes that fit it);
+* ``REPRO_BENCH_ITERS``  (default 4) — iterations per execution.
+"""
+
+import os
+
+import pytest
+
+SCALES_PER_GPU = int(os.environ.get("REPRO_BENCH_SCALES", "5"))
+ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERS", "4"))
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return {"scales_per_gpu": SCALES_PER_GPU, "iterations": ITERATIONS}

@@ -1,0 +1,49 @@
+"""Fig. 10 — an ML-ensemble execution timeline with overlap regions.
+
+Paper: the ML timeline shows the two classifier branches on two streams,
+their input transfers staircased on the copy engine, each transfer
+overlapping the other branch's computation (CT/TC), and the branches
+overlapping each other (CC).
+"""
+
+from repro.harness import figure10
+from repro.workloads import Mode, create_benchmark
+
+
+def test_fig10_ml_timeline(benchmark, bench_config):
+    data = benchmark.pedantic(
+        figure10,
+        kwargs={"iterations": max(2, bench_config["iterations"])},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(data.render())
+
+    pct = {row["metric"]: row["percent"] for row in data.rows}
+    # All three overlap species are present in the ML timeline.
+    assert pct["CT"] > 5.0
+    assert pct["TC"] > 5.0
+    assert pct["CC"] > 5.0
+    assert pct["TOT"] > max(pct["CT"], pct["CC"]) - 1e-9
+    # The rendered timeline contains both streams and both transfer
+    # kinds, like the paper's plot.
+    art = data.summary["timeline"]
+    assert "S1" in art and "S2" in art
+    assert ">" in art  # HtoD
+
+
+def test_fig10_structure_two_streams(benchmark, bench_config):
+    bench = create_benchmark(
+        "ml", 800_000, iterations=2, execute=False
+    )
+    result = benchmark.pedantic(
+        bench.run,
+        args=("GTX 1660 Super", Mode.PARALLEL),
+        rounds=1,
+        iterations=1,
+    )
+    # Two classifier branches -> two streams (Fig. 2 / Fig. 10).
+    assert result.stream_count == 2
+    kernels = {r.label for r in result.timeline.kernels()}
+    assert {"nb_mmul", "rr_mmul", "softmax", "argmax"} <= kernels

@@ -1,0 +1,58 @@
+"""Fig. 11 — transfer/computation overlap fractions per benchmark.
+
+Paper (per-benchmark signatures):
+
+* VEC's speedup comes only from transfer/compute overlap — CC ~ 0;
+* B&S has substantial CC (ten chains) on every GPU;
+* the P100 masks B&S computation behind transfers better than the 1660
+  (higher CT on the faster-FP64 device -> better speedup);
+* TOT >= each individual overlap kind.
+"""
+
+from repro.harness import figure11
+
+
+def test_fig11_overlap_fractions(benchmark, bench_config):
+    data = benchmark.pedantic(
+        figure11,
+        kwargs={"iterations": bench_config["iterations"]},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(data.render())
+
+    def cell(gpu, bench):
+        return next(
+            r
+            for r in data.rows
+            if r["gpu"] == gpu and r["benchmark"] == bench
+        )
+
+    for row in data.rows:
+        for key in ("CT%", "TC%", "CC%", "TOT%"):
+            assert -1e-6 <= row[key] <= 100 + 1e-6
+        # TOT counts union overlap: it can exceed neither 100 % nor be
+        # smaller than... nothing in general, but a benchmark with any
+        # CC or CT must have TOT > 0.
+        if row["CC%"] > 1 or row["CT%"] > 1:
+            assert row["TOT%"] > 0
+
+    # VEC: pure transfer/compute overlap, no kernel-kernel overlap.
+    for gpu in ("GTX 960", "GTX 1660 Super", "Tesla P100"):
+        assert cell(gpu, "vec")["CC%"] < 10.0
+
+    # B&S on the slow-FP64 consumer card: the ten chains pile up on the
+    # FP64 units and overlap heavily (CC).
+    assert cell("GTX 1660 Super", "b&s")["CC%"] > 30.0
+
+    # Section V-F: on the P100 the (20x faster) FP64 computation hides
+    # behind the transfers — "the Tesla P100 completely masks the
+    # computation with transfer (high CT)" — so CT dominates CC there.
+    p100_bs = cell("Tesla P100", "b&s")
+    assert p100_bs["CT%"] > 60.0
+    assert p100_bs["CT%"] > p100_bs["CC%"]
+    assert (
+        cell("Tesla P100", "b&s")["speedup"]
+        > cell("GTX 960", "b&s")["speedup"]
+    )

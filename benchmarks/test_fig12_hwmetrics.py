@@ -1,0 +1,55 @@
+"""Fig. 12 — hardware metrics, serial vs parallel, on the GTX 1660 Super.
+
+Paper: "all benchmarks in which different kernels overlap their
+execution show an increase in hardware utilization"; VEC shows *no*
+memory-throughput increase (its speedup is pure transfer overlap); ML's
+low serial IPC (the tall-matrix kernel) rises the most under parallel
+scheduling; dense-matrix benchmarks lean on L2.
+"""
+
+from repro.harness import figure12
+
+
+def test_fig12_hardware_metrics(benchmark, bench_config):
+    data = benchmark.pedantic(
+        figure12,
+        kwargs={"iterations": bench_config["iterations"]},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(data.render())
+
+    rows = {r["benchmark"]: r for r in data.rows}
+
+    for name, r in rows.items():
+        # Parallel scheduling never lowers utilization: same counters,
+        # shorter or equal makespan.
+        assert (
+            r["dram_parallel_GB/s"] >= r["dram_serial_GB/s"] * 0.99
+        ), name
+        assert r["ipc_parallel"] >= r["ipc_serial"] * 0.99, name
+
+    # VEC: no meaningful memory-throughput increase (speedup is pure
+    # transfer overlap; kernels never co-run).
+    vec_gain = (
+        rows["vec"]["dram_parallel_GB/s"]
+        / max(rows["vec"]["dram_serial_GB/s"], 1e-12)
+    )
+    # CC-overlapping benchmarks gain clearly more than VEC.
+    ml_gain = (
+        rows["ml"]["ipc_parallel"] / max(rows["ml"]["ipc_serial"], 1e-12)
+    )
+    img_gain = (
+        rows["img"]["dram_parallel_GB/s"]
+        / max(rows["img"]["dram_serial_GB/s"], 1e-12)
+    )
+    assert ml_gain > vec_gain
+    assert img_gain > vec_gain
+
+    # ML's serial IPC is the lowest (the tall-matrix NB kernel).
+    serial_ipcs = {n: r["ipc_serial"] for n, r in rows.items()}
+    assert serial_ipcs["ml"] == min(serial_ipcs.values())
+
+    # B&S: very high FLOPS, negligible cache use (section V-F).
+    assert rows["b&s"]["gflops_serial"] > rows["vec"]["gflops_serial"]

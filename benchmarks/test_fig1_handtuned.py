@@ -1,0 +1,32 @@
+"""Fig. 1 — achievable hand-tuned CUDA speedup over serial execution.
+
+Paper: hand-crafted transfer/execution overlap and space-sharing
+accelerates the six benchmarks by >50 % on average (geomean 1.51x on the
+GTX 1660 Super, 1.62x on the Tesla P100); VEC and B&S gain the most.
+"""
+
+from repro.harness import figure1
+from repro.metrics import geomean
+
+
+def test_fig1_handtuned_speedup(benchmark, bench_config):
+    data = benchmark.pedantic(
+        figure1,
+        kwargs={"iterations": bench_config["iterations"]},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(data.render())
+
+    for gpu in ("GTX 1660 Super", "Tesla P100"):
+        speedups = [row[gpu] for row in data.rows]
+        gm = geomean(speedups)
+        # Paper: 1.51x / 1.62x.  Accept the band that preserves the
+        # claim "more than 50 % achievable by hand".
+        assert 1.2 <= gm <= 2.3, f"{gpu} geomean {gm:.2f} out of band"
+        # Hand tuning never loses to serial execution.
+        assert all(s > 0.95 for s in speedups)
+    by_name = {r["benchmark"]: r for r in data.rows}
+    # The streaming benchmarks gain the most from hand-tuned overlap.
+    assert by_name["vec"]["Tesla P100"] > by_name["hits"]["Tesla P100"]

@@ -1,0 +1,67 @@
+"""Fig. 7 — parallel scheduler speedup over the serial GrCUDA scheduler.
+
+Paper headline: geomean 44 % speedup across the three GPUs, with the
+GTX 960 at ~25 % and the P100 best at ~61 %; the parallel scheduler is
+*always* at least as fast; speedups are mostly independent of input
+size.
+"""
+
+from repro.harness import figure7
+from repro.metrics import geomean
+
+
+def test_fig7_parallel_vs_serial(benchmark, bench_config):
+    data = benchmark.pedantic(
+        figure7,
+        kwargs={
+            "scales_per_gpu": bench_config["scales_per_gpu"],
+            "iterations": bench_config["iterations"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(data.render())
+
+    speedups = [r["speedup"] for r in data.rows]
+    # Never slower than serial (small numeric slack).
+    assert all(s > 0.97 for s in speedups)
+    overall = geomean(speedups)
+    # Paper: 1.44x. Accept a band preserving the headline.
+    assert 1.25 <= overall <= 1.9, f"overall geomean {overall:.2f}"
+
+    by_gpu = {}
+    for r in data.rows:
+        by_gpu.setdefault(r["gpu"], []).append(r["speedup"])
+    gm = {g: geomean(v) for g, v in by_gpu.items()}
+    # Per-GPU ordering: the 960 gains least; the big GPUs gain more.
+    assert gm["GTX 960"] < gm["GTX 1660 Super"]
+    assert gm["GTX 960"] < gm["Tesla P100"]
+    assert 1.0 <= gm["GTX 960"] <= 1.45
+
+
+def test_fig7_block_size_robustness(benchmark, bench_config):
+    """DAG scheduling is more robust to the block-size choice: with
+    tiny 32-thread blocks the serial scheduler under-utilizes the GPU,
+    while the parallel scheduler recovers most of the loss by running
+    kernels concurrently (section V-C)."""
+    data32 = benchmark.pedantic(
+        figure7,
+        kwargs={
+            "scales_per_gpu": 1,
+            "block_sizes": (32,),
+            "iterations": bench_config["iterations"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    data256 = figure7(
+        scales_per_gpu=1,
+        block_sizes=(256,),
+        iterations=bench_config["iterations"],
+    )
+    s32 = geomean([r["speedup"] for r in data32.rows])
+    s256 = geomean([r["speedup"] for r in data256.rows])
+    print(f"\ngeomean speedup: block=32 {s32:.2f}x, block=256 {s256:.2f}x")
+    # Smaller blocks -> bigger parallel-over-serial speedup.
+    assert s32 >= s256 * 0.98

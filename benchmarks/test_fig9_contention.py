@@ -1,0 +1,43 @@
+"""Fig. 9 — execution time relative to the contention-free bound.
+
+Paper: most benchmarks reach ~60-80 % of their theoretical
+contention-free peak (space-sharing costs 30-40 %), while B&S — ten
+identical chains fighting over the FP64 units and the PCIe link —
+reaches only ~15-20 % of its bound.
+"""
+
+from repro.harness import figure9
+
+
+def test_fig9_contention_free_bound(benchmark, bench_config):
+    data = benchmark.pedantic(
+        figure9,
+        kwargs={
+            "scales_per_gpu": bench_config["scales_per_gpu"],
+            "iterations": bench_config["iterations"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(data.render())
+
+    for row in data.rows:
+        # A bound is a bound (tiny numeric slack).
+        assert row["ratio"] <= 1.02, (
+            f"{row['benchmark']}@{row['gpu']} ratio {row['ratio']:.2f}"
+        )
+        assert row["ratio"] > 0.05
+
+    by_bench = {}
+    for row in data.rows:
+        by_bench.setdefault(row["benchmark"], []).append(row["ratio"])
+    means = {b: sum(v) / len(v) for b, v in by_bench.items()}
+
+    # B&S is the outlier, far below everyone else.
+    assert means["b&s"] < 0.45
+    assert means["b&s"] == min(means.values())
+    # The others keep contention losses moderate.
+    others = [m for b, m in means.items() if b != "b&s"]
+    assert all(m > 0.3 for m in others)
+    assert sum(others) / len(others) > 0.5

@@ -1,0 +1,72 @@
+"""Simulator micro-benchmarks (the one place wall-clock time matters).
+
+These measure the discrete-event engine and the scheduler themselves,
+so regressions in the substrate's algorithmic complexity (rate
+repricing, dependency-set updates, frontier pruning) show up here.
+"""
+
+import numpy as np
+
+from repro import GrCUDARuntime, SchedulerConfig
+from repro.kernels import LinearCostModel
+
+COST = LinearCostModel(
+    flops_per_item=100.0, dram_bytes_per_item=8.0
+)
+
+
+def many_kernel_run(num_kernels: int = 200) -> float:
+    rt = GrCUDARuntime(gpu="GTX 1660 Super")
+    n = 1 << 16
+    k = rt.build_kernel(lambda x, m: None, "k", "ptr, sint32", COST)
+    arrays = [rt.array(n, materialize=False) for _ in range(8)]
+    for i in range(num_kernels):
+        k(64, 256)(arrays[i % len(arrays)], n)
+    rt.sync()
+    return rt.elapsed()
+
+
+def wide_fanout_run(width: int = 64) -> float:
+    rt = GrCUDARuntime(gpu="Tesla P100")
+    n = 1 << 16
+    k = rt.build_kernel(lambda x, m: None, "k", "const ptr, sint32", COST)
+    w = rt.build_kernel(lambda x, m: None, "w", "ptr, sint32", COST)
+    shared = rt.array(n, materialize=False, name="shared")
+    w(64, 256)(shared, n)
+    for _ in range(width):  # all read-only: full fan-out
+        k(64, 256)(shared, n)
+    rt.sync()
+    return rt.elapsed()
+
+
+def test_engine_throughput_sequential(benchmark):
+    elapsed = benchmark(many_kernel_run)
+    assert elapsed > 0
+
+
+def test_engine_throughput_fanout(benchmark):
+    elapsed = benchmark(wide_fanout_run)
+    assert elapsed > 0
+
+
+def test_dependency_inference_cost(benchmark):
+    """Scheduling overhead of dependency-set updates on a long chain."""
+
+    def chained(num_kernels: int = 300) -> int:
+        rt = GrCUDARuntime(gpu="GTX 1660 Super")
+        n = 1 << 12
+        k = rt.build_kernel(
+            lambda x, y, m: None, "k", "const ptr, ptr, sint32", COST
+        )
+        a = rt.array(n, materialize=False)
+        b = rt.array(n, materialize=False)
+        for i in range(num_kernels):
+            if i % 2 == 0:
+                k(16, 128)(a, b, n)
+            else:
+                k(16, 128)(b, a, n)
+        rt.sync()
+        return rt.dag.num_edges
+
+    edges = benchmark(chained)
+    assert edges >= 299

@@ -1,0 +1,36 @@
+"""Table I — device-memory footprints of the benchmark inputs.
+
+Paper: inputs span ~10-90 % of each GPU's memory; the largest size per
+GPU approaches (but fits) device memory: 2 GB / 6 GB / 12.2 GB.
+"""
+
+from repro.gpusim.specs import ALL_GPUS
+from repro.harness import table1
+from repro.workloads.suite import BENCHMARKS, default_scales
+
+
+def test_table1_footprints(benchmark):
+    data = benchmark.pedantic(table1, rounds=1, iterations=1)
+    print()
+    print(data.render())
+
+    for spec in ALL_GPUS:
+        for name in BENCHMARKS:
+            scales = default_scales(name, spec)
+            assert scales, f"{name} has no fitting scale on {spec.name}"
+            small = BENCHMARKS[name](scales[0], execute=False)
+            large = BENCHMARKS[name](scales[-1], execute=False)
+            fp_small = small.memory_footprint_bytes()
+            fp_large = large.memory_footprint_bytes()
+            # Smallest input well under memory; largest approaches it.
+            assert fp_small <= 0.35 * spec.device_memory_bytes
+            assert fp_large <= 0.92 * spec.device_memory_bytes
+    # The biggest configured inputs use most of the P100's memory.
+    p100 = ALL_GPUS[2]
+    largest = max(
+        BENCHMARKS[name](
+            default_scales(name, p100)[-1], execute=False
+        ).memory_footprint_bytes()
+        for name in BENCHMARKS
+    )
+    assert largest >= 0.75 * p100.device_memory_bytes

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Multi-GPU scheduling — the paper's section-VI future work, realized.
+
+"We plan to extend our technique to multiple GPUs: the problem is
+significantly harder, as it requires to compute data location and
+migration costs at run time to identify the optimal scheduling."
+
+This example runs two workload shapes on 1, 2 and 4 simulated GPUs and
+compares the naive round-robin placement against the locality-aware
+(min-transfer) policy the paper calls for.
+
+Run:  python examples/multi_gpu.py
+"""
+
+from repro.gpusim.timeline import IntervalKind
+from repro.kernels import LinearCostModel
+from repro.multigpu import DevicePlacementPolicy, MultiGpuScheduler
+
+N = 1 << 22
+COST = LinearCostModel(
+    flops_per_item=800.0,
+    dram_bytes_per_item=8.0,
+    instructions_per_item=150.0,
+)
+
+
+def independent_batches(n_gpus: int, policy) -> float:
+    """Eight independent pipelines — embarrassingly device-parallel."""
+    sched = MultiGpuScheduler(["1660"] * n_gpus, policy=policy)
+    k = sched.build_kernel(lambda x, n: None, "work", "ptr, sint32", COST)
+    arrays = [
+        sched.array(N, name=f"batch{i}", materialize=False)
+        for i in range(8)
+    ]
+    for a in arrays:
+        sched.write_input(a)
+    for _ in range(2):
+        for a in arrays:
+            k(512, 256)(a, N)
+    sched.sync()
+    return sched.elapsed
+
+
+def dependent_chain(policy) -> tuple[float, int]:
+    """One 8-kernel chain on one array — placement is all about data
+    location; returns (time, peer-to-peer transfer count)."""
+    sched = MultiGpuScheduler(["1660", "1660"], policy=policy)
+    k = sched.build_kernel(lambda x, n: None, "step", "ptr, sint32", COST)
+    a = sched.array(N, name="chain", materialize=False)
+    sched.write_input(a)
+    for _ in range(8):
+        k(512, 256)(a, N)
+    sched.sync()
+    d2d = sum(
+        1
+        for r in sched.engine.timeline
+        if r.kind is IntervalKind.TRANSFER_D2D
+    )
+    return sched.elapsed, d2d
+
+
+def main() -> None:
+    print("Independent batches (8 pipelines), min-transfer placement:")
+    for n in (1, 2, 4):
+        t = independent_batches(n, DevicePlacementPolicy.MIN_TRANSFER)
+        print(f"  {n} x GTX 1660 Super: {t * 1e3:8.1f} ms")
+
+    print("\nDependent 8-kernel chain on 2 GPUs (placement matters!):")
+    for policy in (
+        DevicePlacementPolicy.ROUND_ROBIN,
+        DevicePlacementPolicy.MIN_TRANSFER,
+    ):
+        t, d2d = dependent_chain(policy)
+        print(
+            f"  {policy.value:13s}: {t * 1e3:8.1f} ms,"
+            f" {d2d} peer-to-peer copies"
+        )
+    print(
+        "\nRound-robin ping-pongs the chain's data between GPUs;"
+        "\nthe min-transfer policy computes migration costs at run time"
+        "\nand keeps the chain where its data lives."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Black & Scholes streaming — ten independent option chains (B&S).
+
+Prices batches of European call options for ten stocks as they "arrive",
+comparing how the three GPU generations handle ten fully independent
+FP64 kernels: the consumer GTX 1660 is limited by its 1/32-rate FP64
+units, while the Tesla P100 (1/2-rate FP64) finishes the math so fast it
+hides entirely behind the PCIe transfers — reproducing the paper's
+section V-F analysis of this benchmark.
+
+Run:  python examples/options_streaming.py
+"""
+
+from repro.metrics import compute_overlaps
+from repro.workloads import Mode, create_benchmark
+from repro.workloads.bs import black_scholes_call
+import numpy as np
+
+BATCH = 100_000  # options per stock per batch
+BATCHES = 4
+
+
+def main() -> None:
+    # Functional sanity first: one closed-form price.
+    spot = np.array([30.0])
+    print(
+        f"BS(call, S=30, K=30, r=2%, sigma=30%, T=1) ="
+        f" {black_scholes_call(spot)[0]:.4f}\n"
+    )
+
+    print(f"{BATCHES} batches x 10 stocks x {BATCH:,} options (float64)\n")
+    print(f"{'GPU':16s} {'serial':>10s} {'parallel':>10s} {'speedup':>8s}"
+          f" {'CT%':>6s} {'CC%':>6s}")
+    for gpu in ("GTX 960", "GTX 1660 Super", "Tesla P100"):
+        serial = create_benchmark(
+            "b&s", BATCH, iterations=BATCHES, execute=False
+        ).run(gpu, Mode.SERIAL)
+        parallel = create_benchmark(
+            "b&s", BATCH, iterations=BATCHES, execute=False
+        ).run(gpu, Mode.PARALLEL)
+        m = compute_overlaps(parallel.timeline).as_percentages()
+        print(
+            f"{gpu:16s} {serial.elapsed * 1e3:8.1f}ms"
+            f" {parallel.elapsed * 1e3:8.1f}ms"
+            f" {serial.elapsed / parallel.elapsed:7.2f}x"
+            f" {m['CT']:6.1f} {m['CC']:6.1f}"
+        )
+
+    print(
+        "\nReading the table: every GPU overlaps the ten chains (CC),"
+        "\nbut only the P100's fast FP64 units let the computation hide"
+        "\nbehind the transfers (high CT) — hence its bigger speedup."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Offline environments lack the 'wheel' package that PEP 517 editable
+# installs require; this shim lets `pip install -e . --no-use-pep517`
+# (and plain `python setup.py develop`) work without network access.
+setup()

@@ -1,0 +1,57 @@
+"""repro — reproduction of "DAG-based Scheduling with Resource Sharing
+for Multi-task Applications in a Polyglot GPU Runtime" (IPDPS 2021).
+
+The package implements the paper's runtime GPU scheduler (automatic
+dependency inference, transparent streams/events, transfer-computation
+overlap, space-sharing) on top of a discrete-event GPU simulator, plus
+the full benchmark suite and every experiment of the evaluation section.
+
+Quickstart::
+
+    from repro import GrCUDARuntime
+
+    rt = GrCUDARuntime(gpu="Tesla P100")
+    x = rt.array(1_000_000)
+    square = rt.build_kernel(lambda a, n: np.square(a, out=a),
+                             "square", "ptr, sint32")
+    square(256, 256)(x, 1_000_000)
+    value = x[0]      # host access; the scheduler syncs just enough
+"""
+
+from repro.core.runtime import GrCUDARuntime
+from repro.core.policies import (
+    ExecutionPolicy,
+    NewStreamPolicy,
+    ParentStreamPolicy,
+    PrefetchPolicy,
+    SchedulerConfig,
+)
+from repro.gpusim.specs import (
+    ALL_GPUS,
+    GTX960,
+    GTX1660_SUPER,
+    TESLA_P100,
+    GPUSpec,
+    gpu_by_name,
+)
+from repro.memory.array import AccessKind, DeviceArray
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GrCUDARuntime",
+    "ExecutionPolicy",
+    "NewStreamPolicy",
+    "ParentStreamPolicy",
+    "PrefetchPolicy",
+    "SchedulerConfig",
+    "ALL_GPUS",
+    "GTX960",
+    "GTX1660_SUPER",
+    "TESLA_P100",
+    "GPUSpec",
+    "gpu_by_name",
+    "AccessKind",
+    "DeviceArray",
+    "__version__",
+]

@@ -1,0 +1,106 @@
+"""Command-line entry point: regenerate paper experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure7 --scales 2 --iterations 3
+    python -m repro table1
+    python -m repro all --scales 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import (
+    figure1,
+    figure2,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    table1,
+)
+
+_SCALED = {"figure7", "figure8", "figure9"}
+_ITERATED = {
+    "figure1", "figure7", "figure8", "figure9", "figure10",
+    "figure11", "figure12",
+}
+
+EXPERIMENTS = {
+    "figure1": (figure1, "hand-tuned CUDA speedup vs serial (motivation)"),
+    "figure2": (figure2, "inferred DAG + stream assignment (ML pipeline)"),
+    "table1": (table1, "memory footprints per benchmark per GPU"),
+    "figure7": (figure7, "parallel vs serial GrCUDA speedup (headline)"),
+    "figure8": (figure8, "GrCUDA vs CUDA Graphs baselines"),
+    "figure9": (figure9, "fraction of contention-free peak"),
+    "figure10": (figure10, "ML execution timeline with overlaps"),
+    "figure11": (figure11, "CT/TC/CC/TOT overlap fractions"),
+    "figure12": (figure12, "hardware metrics, serial vs parallel"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Regenerate the tables and figures of 'DAG-based Scheduling"
+            " with Resource Sharing for Multi-task Applications in a"
+            " Polyglot GPU Runtime' (IPDPS 2021) on the simulator."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all", "list"],
+        help="which experiment to run ('list' to enumerate)",
+    )
+    parser.add_argument(
+        "--scales",
+        type=int,
+        default=2,
+        metavar="N",
+        help="paper scale points per GPU for the sweep figures"
+        " (default 2; the paper uses up to 5)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=3,
+        metavar="N",
+        help="iterations per benchmark execution (default 3)",
+    )
+    return parser
+
+
+def run_experiment(name: str, scales: int, iterations: int) -> None:
+    fn, _ = EXPERIMENTS[name]
+    kwargs: dict = {"render": True}
+    if name in _SCALED:
+        kwargs["scales_per_gpu"] = scales
+    if name in _ITERATED:
+        kwargs["iterations"] = iterations
+    fn(**kwargs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        width = max(len(n) for n in EXPERIMENTS)
+        for name, (_, desc) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {desc}")
+        return 0
+    names = (
+        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for name in names:
+        run_experiment(name, args.scales, args.iterations)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

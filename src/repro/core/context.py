@@ -1,0 +1,390 @@
+"""Execution contexts: serial-synchronous baseline and the paper's
+parallel-asynchronous scheduler.
+
+The GPU execution context (section IV-B) is the component every kernel
+invocation and CPU array access flows through:
+
+1. the invocation is converted to a computational element;
+2. the element is registered with the context, which updates the DAG
+   with the element's data dependencies;
+3. the stream manager assigns an execution stream;
+4. cross-stream dependencies are synchronized with events — never by
+   blocking the host;
+5. the operations are scheduled for execution on the device.
+
+The serial context (original GrCUDA) skips all of that: one stream,
+host-blocking sync after every computation, no dependency computation.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.dag import ComputationDAG
+from repro.core.history import KernelExecutionRecord, KernelHistory
+from repro.core.element import (
+    ArrayAccessElement,
+    ComputationalElement,
+    KernelElement,
+    LibraryCallElement,
+)
+from repro.core.policies import PrefetchPolicy, SchedulerConfig
+from repro.core.streams import StreamManager
+from repro.gpusim.engine import SimEngine
+from repro.gpusim.ops import (
+    KernelOp,
+    KernelResourceRequest,
+    TransferKind,
+)
+from repro.gpusim.stream import SimStream
+from repro.kernels.kernel import KernelLaunch
+from repro.kernels.profile import combine_resources
+from repro.memory.array import AccessKind, DeviceArray
+from repro.memory.transfer import MigrationTracker, TransferPlanner
+
+
+class ExecutionContext(abc.ABC):
+    """Common machinery for both scheduling policies."""
+
+    def __init__(self, engine: SimEngine, config: SchedulerConfig) -> None:
+        self.engine = engine
+        self.device = engine.device
+        self.config = config
+        self.prefetch = config.resolve_prefetch(engine.device.spec)
+        self.dag = ComputationDAG()
+        self._migrations = MigrationTracker()
+        #: per-kernel execution history (section IV-A), feeding the
+        #: block-size heuristic of section VI
+        self.history = KernelHistory()
+        self.kernel_count = 0
+        self.cpu_access_fast_path_count = 0
+        self.cpu_access_element_count = 0
+
+    # -- public API used by the runtime facade -------------------------------
+
+    def attach(self, array: DeviceArray) -> None:
+        """Route the array's CPU accesses through this context."""
+        array.set_access_hook(self._on_cpu_access)
+
+    @abc.abstractmethod
+    def launch(self, launch: KernelLaunch) -> None:
+        """Schedule one kernel launch (GrCUDA launch handler)."""
+
+    @abc.abstractmethod
+    def _on_cpu_access(
+        self, array: DeviceArray, kind: AccessKind, touched: int
+    ) -> None:
+        """Hook called before every CPU access to a managed array."""
+
+    def sync(self) -> None:
+        """Host-side device synchronization."""
+        self.engine.sync_all()
+        self.dag.deactivate_completed()
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _kernel_op(
+        self, launch: KernelLaunch, fault_bytes: float = 0.0
+    ) -> KernelOp:
+        resources: KernelResourceRequest = launch.resources()
+        if fault_bytes > 0:
+            resources = combine_resources(resources, fault_bytes)
+        op = KernelOp(
+            label=launch.label,
+            resources=resources,
+            compute_fn=launch.execute,
+        )
+        # Annotate the access sets for the race detector / introspection.
+        op.info["reads"] = frozenset(
+            id(a) for a, k in launch.array_args if k.reads
+        )
+        op.info["writes"] = frozenset(
+            id(a) for a, k in launch.array_args if k.writes
+        )
+        op.info["array_names"] = {
+            id(a): a.name for a, _ in launch.array_args
+        }
+        data_bytes = float(sum(a.nbytes for a, _ in launch.array_args))
+
+        def record_history(completed_op) -> None:
+            self.history.record(
+                KernelExecutionRecord(
+                    kernel_name=launch.label,
+                    threads_per_block=launch.threads_per_block,
+                    blocks=launch.blocks,
+                    data_bytes=data_bytes,
+                    duration=completed_op.end_time
+                    - completed_op.start_time,
+                    stream_id=(
+                        completed_op.stream.stream_id
+                        if completed_op.stream is not None
+                        else -1
+                    ),
+                    end_time=completed_op.end_time,
+                )
+            )
+
+        op.on_complete.append(record_history)
+        return op
+
+    def _submit_read_migrations(
+        self,
+        stream: SimStream,
+        launch: KernelLaunch,
+        kind: TransferKind,
+    ) -> None:
+        """Queue host-to-device copies for stale read arrays on ``stream``.
+
+        Coherence transitions are applied eagerly (at submission): stream
+        FIFO order guarantees the copy lands before the kernel runs, and
+        eager bookkeeping stops the next launch from re-planning the same
+        copy.  A per-array migration event lets kernels on *other*
+        streams wait for an in-flight copy instead of duplicating it.
+        """
+        transfers = TransferPlanner.htod_for_kernel(
+            list(launch.array_args), kind
+        )
+        migrated: list = []
+        for op in transfers:
+            op.apply_fn = None  # applied eagerly below instead
+            self.engine.submit(stream, op)
+        for array, access in launch.array_args:
+            if access.reads and array.stale_device_bytes() > 0:
+                array.mark_gpu_read()
+                migrated.append(array)
+        self._migrations.note_migrations(
+            self.engine, stream, migrated, label=f"migrate:{launch.label}"
+        )
+
+    def _wait_pending_migrations(
+        self, stream: SimStream, launch: KernelLaunch
+    ) -> None:
+        """Wait for in-flight migrations of this launch's arrays that were
+        issued on other streams (same-stream ones are FIFO-ordered)."""
+        self._migrations.wait_for_arrays(
+            self.engine, stream, [a for a, _ in launch.array_args]
+        )
+
+    def _apply_write_marks(self, launch: KernelLaunch) -> None:
+        for array, access in launch.array_args:
+            if access.writes:
+                array.mark_gpu_write()
+
+
+class SerialExecutionContext(ExecutionContext):
+    """The original GrCUDA scheduler: serial and synchronous.
+
+    Every computation runs alone on the default stream; the host blocks
+    until it finishes.  No dependencies are computed ("when using serial
+    scheduling, GrCUDA does not compute dependencies, making overheads
+    even smaller").  The DAG still records vertices for introspection,
+    but no edges are inferred.
+
+    The original scheduler predates the automatic prefetcher, so unified
+    memory reaches the GPU through page faults on Pascal+ (plain UM
+    behaviour) and through eager copies on Maxwell, which has no fault
+    mechanism.  ``SchedulerConfig(prefetch=PrefetchPolicy.SYNC)`` forces
+    eager copies everywhere (used by the contention-free measurements).
+    """
+
+    def launch(self, launch: KernelLaunch) -> None:
+        self.kernel_count += 1
+        self.engine.charge_host_time(self.config.serial_overhead_us * 1e-6)
+        stream = self.engine.default_stream
+        fault_bytes = 0.0
+        use_faults = (
+            self.device.spec.supports_page_faults
+            and self.prefetch is not PrefetchPolicy.SYNC
+        )
+        if use_faults:
+            fault_bytes = TransferPlanner.fault_bytes_for_kernel(
+                list(launch.array_args)
+            )
+            for array, access in launch.array_args:
+                if access.reads and array.stale_device_bytes() > 0:
+                    array.mark_gpu_read()
+        else:
+            self._submit_read_migrations(stream, launch, TransferKind.EAGER)
+        self._apply_write_marks(launch)
+        self.engine.submit(stream, self._kernel_op(launch, fault_bytes))
+        self.engine.sync_stream(stream)
+
+    def _on_cpu_access(
+        self, array: DeviceArray, kind: AccessKind, touched: int
+    ) -> None:
+        # The device is always idle here (every launch synchronized), so
+        # only the data migration cost remains.
+        op = TransferPlanner.cpu_access_migration(array, kind, touched)
+        if op is not None:
+            op.apply_fn = None
+            self.engine.submit(self.engine.default_stream, op)
+            self.engine.sync_stream(self.engine.default_stream)
+        if kind.reads:
+            array.mark_cpu_read()
+        if kind.writes:
+            array.mark_cpu_write()
+
+
+class ParallelExecutionContext(ExecutionContext):
+    """The paper's scheduler: parallel and asynchronous.
+
+    Kernels are converted to DAG elements, dependencies are inferred from
+    dependency sets, streams come from the stream manager, and the host
+    never blocks except on CPU accesses that truly need GPU results.
+    """
+
+    def __init__(self, engine: SimEngine, config: SchedulerConfig) -> None:
+        super().__init__(engine, config)
+        self.streams = StreamManager(
+            engine,
+            new_stream=config.new_stream,
+            parent_stream=config.parent_stream,
+        )
+
+    # -- kernel scheduling ------------------------------------------------------
+
+    def launch(self, launch: KernelLaunch) -> None:
+        self.kernel_count += 1
+        self.engine.charge_host_time(
+            self.config.scheduling_overhead_us * 1e-6
+        )
+        element = KernelElement(launch)
+        parents = self.dag.add(element)
+        stream = self.streams.assign(element, parents)
+
+        # Cross-stream dependencies -> event waits (same-stream ones are
+        # already ordered by CUDA's FIFO guarantee).
+        for parent in parents:
+            if (
+                parent.finish_event is not None
+                and parent.stream is not stream
+                and not parent.finish_event.complete
+            ):
+                self.engine.wait_event(stream, parent.finish_event)
+
+        self._wait_pending_migrations(stream, launch)
+
+        fault_bytes = 0.0
+        if self.prefetch is PrefetchPolicy.NONE:
+            # Leave stale pages to the fault engine: the kernel migrates
+            # them on demand, sharing the fault controller with every
+            # other faulting kernel (the ablation of section V-C).
+            fault_bytes = TransferPlanner.fault_bytes_for_kernel(
+                list(launch.array_args)
+            )
+            for array, access in launch.array_args:
+                if access.reads and array.stale_device_bytes() > 0:
+                    array.mark_gpu_read()
+        else:
+            migration_kind = (
+                TransferKind.PREFETCH
+                if self.device.spec.supports_page_faults
+                else TransferKind.EAGER
+            )
+            self._submit_read_migrations(stream, launch, migration_kind)
+
+        self._apply_write_marks(launch)
+        self.engine.submit(stream, self._kernel_op(launch, fault_bytes))
+        element.finish_event = self.engine.record_event(
+            stream, label=f"done:{launch.label}"
+        )
+
+    # -- CPU array accesses -------------------------------------------------------
+
+    def _on_cpu_access(
+        self, array: DeviceArray, kind: AccessKind, touched: int
+    ) -> None:
+        conflicts = self._conflicting_elements(array, kind)
+        migration = TransferPlanner.cpu_access_migration(array, kind, touched)
+        if not conflicts and migration is None:
+            # Fast path (section IV-A): consecutive accesses, or accesses
+            # while no GPU computation is active, bypass the DAG.
+            self.cpu_access_fast_path_count += 1
+            if kind.writes:
+                array.mark_cpu_write()
+            return
+
+        self.cpu_access_element_count += 1
+        element = ArrayAccessElement(array, kind, touched)
+        parents = self.dag.add(element)
+        # Synchronize only the computations operating on this data,
+        # through their precise per-computation events.
+        for parent in parents:
+            if parent.finish_event is not None:
+                self.engine.sync_event(parent.finish_event)
+
+        if migration is not None:
+            migration.apply_fn = None
+            stream = self.engine.default_stream
+            self.engine.submit(stream, migration)
+            self.engine.sync_stream(stream)
+
+        if kind.reads:
+            array.mark_cpu_read()
+        if kind.writes:
+            array.mark_cpu_write()
+        # The access happens synchronously right after this hook returns:
+        # it cannot affect later GPU work through anything but coherence,
+        # so it leaves the frontier immediately.
+        self.dag.deactivate(element)
+        self.dag.deactivate_completed()
+
+    def _conflicting_elements(
+        self, array: DeviceArray, kind: AccessKind
+    ) -> list[ComputationalElement]:
+        """Active elements this CPU access would depend on."""
+        if kind.writes:
+            return [
+                e
+                for e in self.dag.frontier
+                if e.active and e.uses(array) is not None
+            ]
+        return [
+            e
+            for e in self.dag.frontier
+            if e.active and e.writes_in_set(array)
+        ]
+
+    # -- library functions -----------------------------------------------------
+
+    def library_call(self, element: LibraryCallElement) -> None:
+        """Schedule a pre-registered library function (section IV-A).
+
+        Stream-aware libraries are scheduled asynchronously like kernels,
+        modelled as a full-device computation of the declared cost;
+        stream-unaware ones force a device sync and run on the host.
+        """
+        if not element.stream_aware:
+            self.sync()
+            self.engine.charge_host_time(element.cost_seconds)
+            element.fn()
+            return
+        parents = self.dag.add(element)
+        stream = self.streams.assign(element, parents)
+        for parent in parents:
+            if (
+                parent.finish_event is not None
+                and parent.stream is not stream
+                and not parent.finish_event.complete
+            ):
+                self.engine.wait_event(stream, parent.finish_event)
+        spec = self.device.spec
+        resources = KernelResourceRequest(
+            flops=element.cost_seconds * spec.flops_rate(False),
+            fp64=False,
+            dram_bytes=0.0,
+            l2_bytes=0.0,
+            instructions=0.0,
+            threads_total=spec.max_resident_threads,
+        )
+        self.engine.submit(
+            stream,
+            KernelOp(
+                label=element.label,
+                resources=resources,
+                compute_fn=element.fn,
+            ),
+        )
+        element.finish_event = self.engine.record_event(
+            stream, label=f"done:{element.label}"
+        )

@@ -1,0 +1,79 @@
+"""Scheduling policies and runtime configuration.
+
+Section IV-C defines the policy space:
+
+* **Execution policy** — the original GrCUDA scheduler is *serial and
+  synchronous*; the paper's contribution is *parallel and asynchronous*.
+* **New-stream policy** — streams are managed in FIFO order and created
+  only when no free stream exists (``FIFO``); ``ALWAYS_NEW`` is the
+  simpler ablation.
+* **Parent-stream policy** — the first child of a computation reuses the
+  parent's stream to avoid a synchronization event; later children get
+  fresh streams (``DISJOINT``).  ``SAME_AS_PARENT`` schedules every child
+  on the parent's stream ("simpler policies further reduce the scheduling
+  costs"), trading concurrency for bookkeeping.
+* **Prefetch policy** — on Pascal+ the scheduler prefetches UM arrays
+  ahead of kernels (``AUTO`` enables exactly that); ``NONE`` falls back
+  to page faults (the ablation the paper advises against); ``SYNC``
+  moves data eagerly before each launch (the only choice on Maxwell).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.gpusim.specs import GPUSpec
+
+
+class ExecutionPolicy(enum.Enum):
+    SERIAL = "sync"       # original GrCUDA: serial & synchronous
+    PARALLEL = "async"    # this paper: parallel & asynchronous
+
+
+class NewStreamPolicy(enum.Enum):
+    FIFO = "fifo-free"    # reuse the oldest free stream; create if none
+    ALWAYS_NEW = "always-new"
+
+
+class ParentStreamPolicy(enum.Enum):
+    DISJOINT = "disjoint"            # first child inherits parent stream
+    SAME_AS_PARENT = "same-as-parent"  # all children on the parent stream
+
+
+class PrefetchPolicy(enum.Enum):
+    AUTO = "auto"    # async prefetch on page-fault GPUs, eager otherwise
+    NONE = "none"    # rely on page faults (Pascal+ only)
+    SYNC = "sync"    # eager copy before every launch
+
+
+@dataclass
+class SchedulerConfig:
+    """Complete configuration of one runtime instance.
+
+    ``scheduling_overhead_us`` is the host-side cost charged per kernel
+    launch by the parallel scheduler (dependency computation + stream
+    assignment + launch); ``serial_overhead_us`` is the lighter cost of
+    the serial scheduler, which "does not compute dependencies, making
+    overheads even smaller" (section V-C).
+    """
+
+    execution: ExecutionPolicy = ExecutionPolicy.PARALLEL
+    new_stream: NewStreamPolicy = NewStreamPolicy.FIFO
+    parent_stream: ParentStreamPolicy = ParentStreamPolicy.DISJOINT
+    prefetch: PrefetchPolicy = PrefetchPolicy.AUTO
+    scheduling_overhead_us: float = 10.0
+    serial_overhead_us: float = 4.0
+    track_history: bool = True
+
+    def resolve_prefetch(self, spec: GPUSpec) -> PrefetchPolicy:
+        """Pin AUTO down for a concrete device.
+
+        Maxwell has no page-fault mechanism: every policy degrades to
+        eager synchronous-style copies ahead of the kernel (the paper:
+        "on the GTX 960, data is necessarily transferred ahead of the
+        computation").
+        """
+        if not spec.supports_page_faults:
+            return PrefetchPolicy.SYNC
+        return self.prefetch

@@ -1,0 +1,181 @@
+"""The GrCUDA runtime facade — the library's main entry point.
+
+Typical use, mirroring the paper's Fig. 4::
+
+    from repro import GrCUDARuntime
+
+    rt = GrCUDARuntime(gpu="GTX 1660 Super")          # parallel scheduler
+    X = rt.array(N)
+    K1 = rt.build_kernel(square_fn, "square", "ptr, sint32")
+    K1(num_blocks, num_threads)(X, N)                 # async launch
+    result = X[0]                                     # syncs just enough
+
+The runtime wires together one simulated device, one engine, one
+execution context (serial or parallel) and the kernel/array factories.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.context import (
+    ExecutionContext,
+    ParallelExecutionContext,
+    SerialExecutionContext,
+)
+from repro.core.element import LibraryCallElement
+from repro.core.policies import ExecutionPolicy, SchedulerConfig
+from repro.gpusim.device import Device
+from repro.gpusim.engine import SimEngine
+from repro.gpusim.specs import GPUSpec, gpu_by_name
+from repro.gpusim.timeline import Timeline
+from repro.kernels.kernel import Kernel
+from repro.kernels.profile import CostModel
+from repro.kernels.registry import KernelRegistry, build_kernel
+from repro.memory.array import AccessKind, DeviceArray
+
+
+class GrCUDARuntime:
+    """One GPU runtime instance: device + engine + scheduler."""
+
+    def __init__(
+        self,
+        gpu: str | GPUSpec = "GTX 1660 Super",
+        config: SchedulerConfig | None = None,
+        registry: KernelRegistry | None = None,
+    ) -> None:
+        spec = gpu_by_name(gpu) if isinstance(gpu, str) else gpu
+        self.spec = spec
+        self.config = config or SchedulerConfig()
+        self.device = Device(spec)
+        self.engine = SimEngine(self.device)
+        self.registry = registry
+        if self.config.execution is ExecutionPolicy.SERIAL:
+            self.context: ExecutionContext = SerialExecutionContext(
+                self.engine, self.config
+            )
+        else:
+            self.context = ParallelExecutionContext(self.engine, self.config)
+        self._arrays: list[DeviceArray] = []
+
+    # -- arrays ---------------------------------------------------------------
+
+    def array(
+        self,
+        shape: tuple[int, ...] | int,
+        dtype: Any = np.float32,
+        name: str = "",
+        materialize: bool = True,
+    ) -> DeviceArray:
+        """Allocate a UM-backed device array managed by this runtime.
+
+        ``materialize=False`` declares the geometry without backing host
+        memory — for timing-only sweeps at scales that would not fit in
+        host RAM.  All scheduling and transfer costs stay exact.
+        """
+        arr = DeviceArray(
+            shape,
+            dtype=dtype,
+            device=self.device,
+            name=name,
+            materialize=materialize,
+        )
+        self.context.attach(arr)
+        self._arrays.append(arr)
+        return arr
+
+    def free_arrays(self) -> None:
+        """Release every array allocated through this runtime."""
+        for arr in self._arrays:
+            arr.free()
+        self._arrays.clear()
+
+    # -- kernels --------------------------------------------------------------
+
+    def build_kernel(
+        self,
+        code: Callable[..., None] | str,
+        name: str,
+        signature: str,
+        cost_model: CostModel | None = None,
+    ) -> Kernel:
+        """GrCUDA's ``buildkernel``: bind code + NIDL signature to this
+        runtime's scheduler."""
+        return build_kernel(
+            code,
+            name,
+            signature,
+            cost_model=cost_model,
+            launch_handler=self.context.launch,
+            registry=self.registry,
+        )
+
+    # -- library functions -------------------------------------------------------
+
+    def library_call(
+        self,
+        fn: Callable[[], None],
+        accesses: list[tuple[DeviceArray, AccessKind]],
+        label: str = "library",
+        stream_aware: bool = True,
+        cost_seconds: float = 0.0,
+    ) -> None:
+        """Invoke a pre-registered library function (section IV-A)."""
+        element = LibraryCallElement(
+            fn=fn,
+            accesses=accesses,
+            label=label,
+            stream_aware=stream_aware,
+            cost_seconds=cost_seconds,
+        )
+        ctx = self.context
+        if isinstance(ctx, ParallelExecutionContext):
+            ctx.library_call(element)
+        else:
+            ctx.sync()
+            self.engine.charge_host_time(cost_seconds)
+            fn()
+
+    # -- execution control ---------------------------------------------------------
+
+    def sync(self) -> None:
+        """Wait for all in-flight GPU work (``cudaDeviceSynchronize``)."""
+        self.context.sync()
+
+    @property
+    def clock(self) -> float:
+        """Current virtual time in seconds."""
+        return self.engine.clock
+
+    @property
+    def timeline(self) -> Timeline:
+        return self.engine.timeline
+
+    @property
+    def dag(self):
+        return self.context.dag
+
+    @property
+    def history(self):
+        """Per-kernel execution history (section IV-A); use
+        ``history.recommend_block_size(...)`` for the section-VI
+        block-size heuristic."""
+        return self.context.history
+
+    def elapsed(self) -> float:
+        """Device execution time so far: first scheduling to last
+        completion (the paper's execution-time definition)."""
+        return self.engine.timeline.makespan
+
+    def reset_measurement(self) -> None:
+        """Clear the timeline (e.g. after a warm-up iteration)."""
+        self.sync()
+        self.engine.timeline.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GrCUDARuntime {self.spec.name}"
+            f" {self.config.execution.value}>"
+        )

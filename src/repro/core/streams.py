@@ -1,0 +1,106 @@
+"""Transparent CUDA-stream management (section IV-C).
+
+The stream manager owns every stream the scheduler uses and implements
+the paper's assignment rules:
+
+* an element without dependencies gets a *free* stream — existing streams
+  are scanned in FIFO (creation) order, and a new stream is created only
+  when none is free;
+* the **first** child of a computation inherits its parent's stream,
+  avoiding a synchronization event (consecutive work on one stream is
+  ordered by CUDA already); further children get free/new streams to
+  preserve concurrency;
+* cross-stream dependencies synchronize through the parent's finish
+  event, never by blocking the host.
+"""
+
+from __future__ import annotations
+
+from repro.core.element import ComputationalElement
+from repro.core.policies import NewStreamPolicy, ParentStreamPolicy
+from repro.gpusim.engine import SimEngine
+from repro.gpusim.stream import SimStream
+
+
+class StreamManager:
+    """Allocates and reuses simulator streams per the configured policies."""
+
+    def __init__(
+        self,
+        engine: SimEngine,
+        new_stream: NewStreamPolicy = NewStreamPolicy.FIFO,
+        parent_stream: ParentStreamPolicy = ParentStreamPolicy.DISJOINT,
+    ) -> None:
+        self.engine = engine
+        self.new_stream_policy = new_stream
+        self.parent_stream_policy = parent_stream
+        self._streams: list[SimStream] = []
+        self.created_count = 0
+        self.reused_count = 0
+
+    # -- free-stream retrieval ------------------------------------------------
+
+    def _create_stream(self) -> SimStream:
+        stream = self.engine.create_stream(
+            label=f"grcuda-{len(self._streams)}"
+        )
+        self._streams.append(stream)
+        self.created_count += 1
+        return stream
+
+    def retrieve_free_stream(self) -> SimStream:
+        """A stream with no in-flight work, per the new-stream policy."""
+        if self.new_stream_policy is NewStreamPolicy.FIFO:
+            for stream in self._streams:  # FIFO: oldest first
+                if stream.free:
+                    self.reused_count += 1
+                    return stream
+        return self._create_stream()
+
+    # -- element assignment ------------------------------------------------------
+
+    def assign(
+        self,
+        element: ComputationalElement,
+        parents: list[ComputationalElement],
+    ) -> SimStream:
+        """Choose the execution stream for ``element``.
+
+        ``parents`` are the dependencies just inferred by the DAG (their
+        ``children_count`` already includes ``element``).  The chosen
+        stream is recorded on the element; the caller submits the ops and
+        the cross-stream event waits.
+        """
+        stream = self._choose(parents)
+        element.stream = stream
+        return stream
+
+    def _choose(self, parents: list[ComputationalElement]) -> SimStream:
+        if not parents:
+            return self.retrieve_free_stream()
+        if self.parent_stream_policy is ParentStreamPolicy.SAME_AS_PARENT:
+            parent = parents[0]
+            assert parent.stream is not None
+            return parent.stream
+        # DISJOINT: reuse the stream of a parent for which we are the
+        # first child; otherwise take a free stream.
+        for parent in parents:
+            if parent.children_count == 1 and parent.stream is not None:
+                return parent.stream
+        return self.retrieve_free_stream()
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def streams(self) -> tuple[SimStream, ...]:
+        return tuple(self._streams)
+
+    @property
+    def active_stream_count(self) -> int:
+        return sum(1 for s in self._streams if s.busy)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<StreamManager streams={len(self._streams)}"
+            f" busy={self.active_stream_count}>"
+        )

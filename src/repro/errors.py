@@ -1,0 +1,59 @@
+"""Exception hierarchy for the repro runtime.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event engine reaches an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the engine cannot make progress but work remains queued.
+
+    This typically indicates a cyclic wait between streams (an event that is
+    waited upon but never recorded) and is always a scheduling bug.
+    """
+
+
+class OutOfMemoryError(SimulationError):
+    """Raised when a device allocation exceeds the GPU's device memory."""
+
+
+class InvalidStateError(SimulationError):
+    """Raised on API misuse, e.g. submitting to a destroyed stream."""
+
+
+class SignatureError(ReproError):
+    """Raised when a NIDL kernel signature cannot be parsed or does not
+    match the arguments supplied at launch time."""
+
+
+class LaunchError(ReproError):
+    """Raised when a kernel launch is malformed (bad grid/block geometry,
+    wrong argument count or type)."""
+
+
+class SchedulerError(ReproError):
+    """Raised when the DAG scheduler reaches an inconsistent state."""
+
+
+class DataRaceError(SchedulerError):
+    """Raised by the race detector when two unordered operations conflict
+    on the same array.  A correct scheduler never triggers this."""
+
+
+class GraphError(ReproError):
+    """Raised on CUDA-Graphs-API misuse (cycles, launching a non-instantiated
+    graph, capturing on a busy stream, ...)."""
+
+
+class PolyglotError(ReproError):
+    """Raised when a polyglot DSL expression cannot be evaluated."""

@@ -1,0 +1,72 @@
+"""Discrete-event GPU simulator substrate.
+
+This package stands in for the physical NVIDIA GPUs used in the paper
+(GTX 960, GTX 1660 Super, Tesla P100).  It models the parts of the CUDA
+execution model that the paper's scheduler exercises:
+
+* streams with FIFO issue order and cross-stream events,
+* PCIe transfers with direction-split bandwidth sharing,
+* kernels with roofline cost profiles occupying a pool of streaming
+  multiprocessors (space-sharing),
+* unified-memory page-fault migration vs. explicit prefetch,
+* an execution timeline recorder used by the overlap metrics.
+
+The engine advances a virtual clock with *rate-based progress*: each
+running operation owns a scalar amount of remaining work, and whenever the
+running set changes the contention model recomputes everyone's progress
+rate.  This is exact for piecewise-constant rates and is the standard way
+to simulate processor sharing.
+"""
+
+from repro.gpusim.specs import (
+    GPUSpec,
+    GPUArchitecture,
+    GTX960,
+    GTX1660_SUPER,
+    TESLA_P100,
+    gpu_by_name,
+    ALL_GPUS,
+)
+from repro.gpusim.ops import (
+    Operation,
+    KernelOp,
+    TransferOp,
+    EventRecordOp,
+    EventWaitOp,
+    TransferDirection,
+    TransferKind,
+    OpState,
+)
+from repro.gpusim.stream import SimStream, SimEvent, DEFAULT_STREAM_ID
+from repro.gpusim.timeline import Timeline, TimelineRecord, IntervalKind
+from repro.gpusim.contention import ContentionModel, RateAllocation
+from repro.gpusim.engine import SimEngine
+from repro.gpusim.device import Device
+
+__all__ = [
+    "GPUSpec",
+    "GPUArchitecture",
+    "GTX960",
+    "GTX1660_SUPER",
+    "TESLA_P100",
+    "gpu_by_name",
+    "ALL_GPUS",
+    "Operation",
+    "KernelOp",
+    "TransferOp",
+    "EventRecordOp",
+    "EventWaitOp",
+    "TransferDirection",
+    "TransferKind",
+    "OpState",
+    "SimStream",
+    "SimEvent",
+    "DEFAULT_STREAM_ID",
+    "Timeline",
+    "TimelineRecord",
+    "IntervalKind",
+    "ContentionModel",
+    "RateAllocation",
+    "SimEngine",
+    "Device",
+]

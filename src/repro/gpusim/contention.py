@@ -1,0 +1,272 @@
+"""Resource-sharing (contention) model.
+
+Given the set of operations currently running on the device, the model
+assigns each one a progress rate in work-units/second.  Rates stay
+constant until the running set changes, so the engine can jump the clock
+straight to the next completion.
+
+Modelled resources
+------------------
+* **SMs** — each kernel can occupy at most the SM fraction its grid
+  geometry allows (``threads_total / max_resident_threads``).  When the
+  summed demand exceeds the device, allocations shrink proportionally
+  (water-filling).  Small grids or tiny blocks leave SMs free: that is the
+  space-sharing headroom the paper exploits.
+* **Device-memory and L2 bandwidth** — each kernel's bandwidth demand is
+  proportional to its compute speed; when aggregate demand exceeds device
+  bandwidth, everyone slows by the same factor.  This yields the ~30-40 %
+  contention loss of Fig. 9.
+* **FP64 units** — double-precision FLOPs draw from a separate (much
+  smaller on consumer parts) throughput pool, which is why B&S saturates
+  a GTX 1660 but not a P100.
+* **PCIe** — one link per direction; concurrent transfers in the same
+  direction split the bandwidth evenly.
+* **Page-fault controller** — kernels whose data was not prefetched
+  migrate it on demand; all faulting kernels share the controller's
+  sustained bandwidth, making it the bottleneck under concurrency
+  (section V-C's argument for automatic prefetching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.ops import (
+    KernelOp,
+    Operation,
+    TransferDirection,
+    TransferOp,
+)
+from repro.gpusim.specs import GPUSpec
+
+#: Progress below this is treated as a stall (guards divide-by-zero).
+_EPSILON = 1e-18
+
+
+@dataclass(frozen=True)
+class RateAllocation:
+    """Rates assigned to the running set at one instant.
+
+    ``rates`` maps op_id -> work-units/second.  ``kernel_sm_share`` maps
+    op_id -> granted SM fraction (for timeline/occupancy reporting).
+    """
+
+    rates: dict[int, float]
+    kernel_sm_share: dict[int, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class KernelTimings:
+    """Uncontended roofline terms for one kernel launch, in seconds.
+
+    ``duration`` is the max of the steady-state terms — the classical
+    roofline: a kernel is as slow as its most saturated resource — plus
+    the page-fault term.  Fault migration is *additive*: on-demand UM
+    pages stall the kernel at first touch rather than overlapping with
+    its steady-state execution (which is precisely why the paper's
+    automatic prefetching wins).
+    """
+
+    compute_time: float
+    dram_time: float
+    l2_time: float
+    instruction_time: float
+    fault_time: float
+    sm_fraction: float
+
+    @property
+    def duration(self) -> float:
+        steady = max(
+            self.compute_time,
+            self.dram_time,
+            self.l2_time,
+            self.instruction_time,
+            _EPSILON,
+        )
+        return steady + self.fault_time
+
+
+class ContentionModel:
+    """Computes per-operation progress rates for a running set."""
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self.spec = spec
+
+    # -- single-kernel roofline -----------------------------------------
+
+    def kernel_sm_fraction(
+        self, threads_total: int, cap: float = 1.0
+    ) -> float:
+        """Fraction of the device's SMs a launch can occupy on its own.
+
+        ``cap`` models occupancy limited by shared memory or registers:
+        even an arbitrarily large grid cannot exceed it.
+        """
+        frac = threads_total / self.spec.max_resident_threads
+        frac = max(frac, 1.0 / self.spec.sm_count)
+        return min(1.0, frac, cap)
+
+    def kernel_timings(self, op: KernelOp) -> KernelTimings:
+        """Uncontended execution-time components of one kernel."""
+        res = op.resources
+        assert res is not None
+        sm_frac = self.kernel_sm_fraction(
+            res.threads_total, res.sm_fraction_cap
+        )
+        # Compute-like resources scale with the SM fraction actually
+        # occupied; bandwidth-like resources are device-wide.
+        flops_rate = self.spec.flops_rate(res.fp64) * sm_frac
+        instr_rate = self.spec.instruction_rate() * sm_frac
+        dram_bw = self.spec.dram_bandwidth_gbs * 1e9
+        l2_bw = self.spec.l2_bandwidth_gbs * 1e9
+        fault_bw = self.spec.pagefault_bandwidth_gbs * 1e9
+
+        compute_time = res.flops / max(flops_rate, _EPSILON)
+        instruction_time = res.instructions / max(instr_rate, _EPSILON)
+        dram_time = res.dram_bytes / dram_bw
+        l2_time = res.l2_bytes / l2_bw
+        if res.fault_bytes > 0:
+            if fault_bw <= 0:
+                raise ValueError(
+                    f"{self.spec.name} has no page-fault engine but kernel"
+                    f" {op.label!r} has fault_bytes set"
+                )
+            fault_time = res.fault_bytes / fault_bw
+        else:
+            fault_time = 0.0
+        return KernelTimings(
+            compute_time=compute_time,
+            dram_time=dram_time,
+            l2_time=l2_time,
+            instruction_time=instruction_time,
+            fault_time=fault_time,
+            sm_fraction=sm_frac,
+        )
+
+    def kernel_duration(self, op: KernelOp) -> float:
+        """Uncontended wall-time of one kernel launch."""
+        return self.kernel_timings(op).duration
+
+    # -- running-set rate allocation -------------------------------------
+
+    def allocate(self, running: list[Operation]) -> RateAllocation:
+        """Assign progress rates to every running operation.
+
+        Kernels interact through SM allocation, the shared DRAM/L2/FP64
+        pools and the page-fault controller; transfers interact through
+        per-direction PCIe sharing.  Kernels and transfers do not slow
+        each other down (DMA engines are independent of the SMs), which is
+        exactly the transfer/compute overlap the scheduler exploits.
+        """
+        rates: dict[int, float] = {}
+        sm_share: dict[int, float] = {}
+
+        kernels = [op for op in running if isinstance(op, KernelOp)]
+        transfers = [op for op in running if isinstance(op, TransferOp)]
+
+        self._allocate_kernels(kernels, rates, sm_share)
+        self._allocate_transfers(transfers, rates)
+
+        for op in running:
+            if op.op_id not in rates:
+                # Zero-duration ops complete immediately; the engine
+                # handles them before asking for rates, but be safe.
+                rates[op.op_id] = float("inf")
+        return RateAllocation(rates=rates, kernel_sm_share=sm_share)
+
+    def _allocate_kernels(
+        self,
+        kernels: list[KernelOp],
+        rates: dict[int, float],
+        sm_share: dict[int, float],
+    ) -> None:
+        if not kernels:
+            return
+        timings = {k.op_id: self.kernel_timings(k) for k in kernels}
+
+        # 1. SM water-filling: grant each kernel its demanded fraction,
+        #    scaled down if the device is over-committed.
+        total_demand = sum(t.sm_fraction for t in timings.values())
+        sm_scale = 1.0 if total_demand <= 1.0 else 1.0 / total_demand
+
+        # 2. Tentative speed given granted SMs only.
+        #    ``speed`` is the fraction of the kernel's uncontended rate.
+        speed: dict[int, float] = {}
+        for k in kernels:
+            t = timings[k.op_id]
+            granted = t.sm_fraction * sm_scale
+            sm_share[k.op_id] = granted
+            speed[k.op_id] = granted / t.sm_fraction  # <= 1.0
+
+        # 3. Shared device-wide pools: DRAM bandwidth, L2 bandwidth and
+        #    the page-fault controller.  Demand on each pool is
+        #    proportional to current speed; if aggregate demand exceeds
+        #    capacity, consumers of that pool scale down.  (FP64 units
+        #    need no extra pool: they live per-SM, so their sharing is
+        #    exactly the SM water-filling above — the scarcity of FP64
+        #    on consumer parts is captured in the solo roofline.)
+        for pool_time in (
+            lambda t: t.dram_time,
+            lambda t: t.l2_time,
+            lambda t: t.fault_time,
+        ):
+            self._scale_shared_pool(kernels, timings, speed, pool_time)
+
+        for k in kernels:
+            t = timings[k.op_id]
+            rates[k.op_id] = speed[k.op_id] / t.duration
+
+    @staticmethod
+    def _scale_shared_pool(kernels, timings, speed, pool_time) -> None:
+        """Scale ``speed`` so the pool's aggregate utilisation <= 1.
+
+        A kernel whose uncontended duration is T and whose pool term is
+        ``p = pool_time`` uses fraction ``p/T`` of the pool at full speed;
+        at ``speed`` s it uses ``s * p / T``.  Kernels barely bound by
+        the pool are slowed less than fully-bound ones; since that
+        weighting is heuristic, iterate to a fixed point so aggregate
+        demand genuinely stays within the pool's capacity.
+        """
+        for _ in range(8):
+            demand = 0.0
+            for k in kernels:
+                t = timings[k.op_id]
+                demand += speed[k.op_id] * (pool_time(t) / t.duration)
+            if demand <= 1.0 + 1e-12:
+                return
+            scale = 1.0 / demand
+            for k in kernels:
+                t = timings[k.op_id]
+                if pool_time(t) > 0:
+                    speed[k.op_id] *= scale + (1 - scale) * (
+                        1 - pool_time(t) / t.duration
+                    )
+
+    #: Rate assigned to transfers queued behind the DMA engine head.
+    #: Must be positive (the engine rejects stalled ops) but small enough
+    #: to be negligible over any simulated horizon.
+    _DMA_QUEUE_RATE = 1e-6
+
+    def _allocate_transfers(
+        self, transfers: list[TransferOp], rates: dict[int, float]
+    ) -> None:
+        """PCIe transfer rates.
+
+        GPUs have one DMA copy engine per direction: same-direction
+        transfers do not split the link, they serialize in submission
+        order (the staircase visible in the paper's Fig. 10 timeline).
+        Opposite directions run full duplex.  The head of each
+        direction's queue gets the full link; the rest idle until the
+        engine reprices on its completion.
+        """
+        if not transfers:
+            return
+        pcie_bw = self.spec.pcie_bandwidth_gbs * 1e9
+        by_dir: dict[TransferDirection, list[TransferOp]] = {}
+        for t in transfers:
+            by_dir.setdefault(t.direction, []).append(t)
+        for ops in by_dir.values():
+            ops.sort(key=lambda t: t.op_id)  # submission order
+            rates[ops[0].op_id] = pcie_bw
+            for t in ops[1:]:
+                rates[t.op_id] = self._DMA_QUEUE_RATE

@@ -1,0 +1,281 @@
+"""Discrete-event simulation engine.
+
+The engine owns the virtual clock, the set of streams and the running
+operations.  Host code (the scheduler) submits operations and then asks
+the engine to advance — to a stream sync, to an event, or until all queued
+work drains.  Between host sync points the clock does not move: host
+actions are modelled as instantaneous unless an explicit host overhead is
+charged via :meth:`SimEngine.charge_host_time`.
+
+Rate-based progress: whenever the running set changes, the contention
+model re-prices everyone's progress rate; the clock then jumps straight to
+the earliest completion.  This is exact for piecewise-constant rates.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Callable
+
+from repro.errors import DeadlockError, InvalidStateError, SimulationError
+from repro.gpusim.device import Device
+from repro.gpusim.ops import (
+    EventRecordOp,
+    EventWaitOp,
+    KernelOp,
+    Operation,
+    OpState,
+    TransferDirection,
+    TransferOp,
+)
+from repro.gpusim.stream import DEFAULT_STREAM_ID, SimEvent, SimStream
+from repro.gpusim.timeline import IntervalKind, Timeline, TimelineRecord
+
+#: Completion tolerance for floating-point work accounting.
+_WORK_EPS = 1e-9
+
+
+class SimEngine:
+    """Virtual-time executor for one or more :class:`Device` s.
+
+    Multi-GPU engines (the paper's section-VI future work) share one
+    virtual clock and one event space; each stream belongs to a device,
+    and the contention model of *that* device prices its running
+    operations (each GPU has its own SMs, bandwidth pools and PCIe
+    link).
+    """
+
+    def __init__(self, device: Device | list[Device]) -> None:
+        devices = [device] if isinstance(device, Device) else list(device)
+        if not devices:
+            raise InvalidStateError("engine needs at least one device")
+        self.devices: tuple[Device, ...] = tuple(devices)
+        self.device = self.devices[0]  # primary, single-GPU API
+        self.clock: float = 0.0
+        self.timeline = Timeline()
+        self._streams: dict[int, SimStream] = {}
+        self._stream_ids = itertools.count(DEFAULT_STREAM_ID)
+        self._running: list[Operation] = []
+        self.default_stream = self.create_stream(label="default")
+        #: count of rate recomputations (engine-efficiency introspection)
+        self.repricings: int = 0
+
+    # -- stream management --------------------------------------------------
+
+    def create_stream(
+        self, label: str = "", device_index: int = 0
+    ) -> SimStream:
+        if not 0 <= device_index < len(self.devices):
+            raise InvalidStateError(
+                f"device index {device_index} out of range"
+                f" (engine has {len(self.devices)} device(s))"
+            )
+        sid = next(self._stream_ids)
+        stream = SimStream(sid, label=label, device_index=device_index)
+        self._streams[sid] = stream
+        return stream
+
+    @property
+    def streams(self) -> tuple[SimStream, ...]:
+        return tuple(self._streams.values())
+
+    def stream(self, stream_id: int) -> SimStream:
+        return self._streams[stream_id]
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, stream: SimStream, op: Operation) -> Operation:
+        """Queue ``op`` on ``stream`` at the current virtual time."""
+        if stream.stream_id not in self._streams:
+            raise InvalidStateError(f"stream {stream.label} is foreign")
+        op.submit_time = self.clock
+        stream.submit(op)
+        return op
+
+    def record_event(
+        self, stream: SimStream, event: SimEvent | None = None, label: str = ""
+    ) -> SimEvent:
+        """Submit an event-record on ``stream``; returns the event."""
+        ev = event or SimEvent(label=label or f"ev@{stream.label}")
+        self.submit(stream, EventRecordOp(label=ev.label, event=ev))
+        return ev
+
+    def wait_event(self, stream: SimStream, event: SimEvent) -> None:
+        """Make later work on ``stream`` wait for ``event``."""
+        self.submit(
+            stream, EventWaitOp(label=f"wait:{event.label}", event=event)
+        )
+
+    def charge_host_time(self, seconds: float) -> None:
+        """Advance the clock by host-side overhead, simulating the device
+        in the background meanwhile (launch overheads, scheduling costs)."""
+        if seconds < 0:
+            raise ValueError("host time must be >= 0")
+        self._advance_to_time(self.clock + seconds)
+
+    # -- synchronization ----------------------------------------------------
+
+    def sync_event(self, event: SimEvent) -> None:
+        """Block the host until ``event`` completes."""
+        self._run_until(lambda: event.complete, what=f"event {event.label}")
+
+    def sync_stream(self, stream: SimStream) -> None:
+        """Block the host until everything queued on ``stream`` completes."""
+        self._run_until(lambda: not stream.busy, what=f"stream {stream.label}")
+
+    def sync_all(self) -> None:
+        """Drain every stream (``cudaDeviceSynchronize``)."""
+        self._run_until(
+            lambda: all(not s.busy for s in self._streams.values()),
+            what="device",
+        )
+
+    @property
+    def idle(self) -> bool:
+        return all(not s.busy for s in self._streams.values())
+
+    # -- core loop -------------------------------------------------------------
+
+    def _run_until(self, pred: Callable[[], bool], what: str) -> None:
+        while not pred():
+            if not self._step():
+                raise DeadlockError(
+                    f"waiting on {what}, but no operation can make progress"
+                    " (cyclic event wait or event never recorded)"
+                )
+
+    def _advance_to_time(self, target: float) -> None:
+        """Simulate until ``clock == target`` (GPU may go idle earlier)."""
+        while self.clock < target:
+            if not self._step(time_cap=target):
+                self.clock = target
+                return
+
+    def _step(self, time_cap: float | None = None) -> bool:
+        """One engine step.  Returns False if no progress is possible.
+
+        Instantaneous progress (op starts, event records) returns
+        immediately without advancing the clock, so host-side sync
+        predicates are re-checked at the tightest possible points.
+        """
+        if self._drain_instantaneous():
+            return True
+        if not self._running:
+            return False
+        self.repricings += 1
+        rates: dict[int, float] = {}
+        if len(self.devices) == 1:
+            rates = self.device.contention.allocate(self._running).rates
+        else:
+            by_device: dict[int, list[Operation]] = {}
+            for op in self._running:
+                assert op.stream is not None
+                by_device.setdefault(op.stream.device_index, []).append(op)
+            for idx, ops in by_device.items():
+                rates.update(
+                    self.devices[idx].contention.allocate(ops).rates
+                )
+        dt = math.inf
+        for op in self._running:
+            rate = rates.get(op.op_id, 0.0)
+            if rate <= 0:
+                raise SimulationError(
+                    f"{op.describe()} allocated non-positive rate {rate}"
+                )
+            dt = min(dt, op.work_remaining / rate)
+        if time_cap is not None:
+            dt = min(dt, time_cap - self.clock)
+        if dt < 0 or not math.isfinite(dt):
+            raise SimulationError(f"invalid time step {dt}")
+        self.clock += dt
+        finished: list[Operation] = []
+        for op in self._running:
+            rate = rates[op.op_id]
+            op.work_remaining -= rate * dt
+            if op.work_remaining <= _WORK_EPS * max(1.0, op.work_total):
+                op.work_remaining = 0.0
+                finished.append(op)
+        for op in finished:
+            self._complete(op)
+        return True
+
+    def _drain_instantaneous(self) -> bool:
+        """Start all ready ops; complete the zero-duration ones, looping
+        until no cascade remains (an event record can unblock waits)."""
+        progressed = False
+        changed = True
+        while changed:
+            changed = False
+            for stream in self._streams.values():
+                op = stream.head_if_ready()
+                if op is None:
+                    continue
+                self._start(op)
+                progressed = changed = True
+                if op.instantaneous:
+                    self._complete(op)
+        return progressed
+
+    # -- op lifecycle -----------------------------------------------------------
+
+    def _start(self, op: Operation) -> None:
+        assert op.stream is not None
+        op.stream.begin(op)
+        op.state = OpState.RUNNING
+        op.start_time = self.clock
+        if not op.instantaneous:
+            self._running.append(op)
+
+    def _complete(self, op: Operation) -> None:
+        assert op.stream is not None
+        op.state = OpState.COMPLETE
+        op.end_time = self.clock
+        if op in self._running:
+            self._running.remove(op)
+        op.stream.finish(op)
+        self._record(op)
+        self._apply_effects(op)
+        for callback in op.on_complete:
+            callback(op)
+
+    def _apply_effects(self, op: Operation) -> None:
+        if isinstance(op, EventRecordOp):
+            assert op.event is not None
+            op.event._record(self.clock)
+        elif isinstance(op, TransferOp) and op.apply_fn is not None:
+            op.apply_fn()
+        elif isinstance(op, KernelOp) and op.compute_fn is not None:
+            op.compute_fn()
+
+    def _record(self, op: Operation) -> None:
+        assert op.stream is not None
+        if isinstance(op, KernelOp):
+            kind = IntervalKind.KERNEL
+            nbytes = 0.0
+            meta = {"resources": op.resources}
+        elif isinstance(op, TransferOp):
+            kind = {
+                TransferDirection.HOST_TO_DEVICE: IntervalKind.TRANSFER_HTOD,
+                TransferDirection.DEVICE_TO_HOST: IntervalKind.TRANSFER_DTOH,
+                TransferDirection.DEVICE_TO_DEVICE: IntervalKind.TRANSFER_D2D,
+            }[op.direction]
+            nbytes = op.nbytes
+            meta = {"kind": op.kind}
+        else:
+            kind = IntervalKind.EVENT
+            nbytes = 0.0
+            meta = {}
+        meta.update(op.info)
+        self.timeline.add(
+            TimelineRecord(
+                op_id=op.op_id,
+                label=op.label,
+                kind=kind,
+                stream_id=op.stream.stream_id,
+                start=op.start_time,
+                end=op.end_time,
+                nbytes=nbytes,
+                meta=meta,
+            )
+        )

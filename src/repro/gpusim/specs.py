@@ -1,0 +1,204 @@
+"""GPU hardware specifications for the simulator.
+
+The three presets mirror the GPUs used in the paper's evaluation
+(section V-A).  Peak numbers come from the vendor datasheets; *effective*
+rates used by the roofline model apply a fixed efficiency factor, since
+real kernels never reach theoretical peaks.
+
+The parameters the experiments are actually sensitive to are the *ratios*
+between devices (FP64:FP32 throughput, PCIe vs. device-memory bandwidth,
+SM count), not the absolute values; the reproduction bands tolerate
+absolute-time differences as long as the speedup shapes hold.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class GPUArchitecture(enum.Enum):
+    """NVIDIA GPU micro-architectures relevant to the paper.
+
+    The scheduler is *architecture-aware* (section IV-C): architectures
+    older than Pascal have no page-fault mechanism for unified memory, so
+    data must be moved eagerly before a kernel launches and the CPU must
+    not touch UM arrays while any kernel is running.
+    """
+
+    MAXWELL = "maxwell"
+    PASCAL = "pascal"
+    TURING = "turing"
+
+    @property
+    def supports_page_faults(self) -> bool:
+        """Pascal and newer migrate UM pages on demand."""
+        return self is not GPUArchitecture.MAXWELL
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a simulated GPU.
+
+    Attributes
+    ----------
+    name:
+        Human-readable device name, e.g. ``"Tesla P100"``.
+    architecture:
+        Micro-architecture; controls the unified-memory behaviour.
+    sm_count:
+        Number of streaming multiprocessors.
+    max_threads_per_sm:
+        Resident-thread capacity of one SM (2048 on all three presets).
+    clock_ghz:
+        Boost clock, used to convert instruction counts to seconds.
+    fp32_gflops:
+        Effective single-precision throughput (GFLOP/s).
+    fp64_gflops:
+        Effective double-precision throughput; consumer parts run FP64 at
+        1/32 of FP32, the P100 at 1/2, which is what makes the B&S
+        benchmark behave so differently across devices (section V-F).
+    dram_bandwidth_gbs:
+        Effective device-memory bandwidth (GB/s).
+    l2_bandwidth_gbs:
+        Effective L2-cache bandwidth (GB/s).
+    l2_size_mb:
+        L2 capacity, only used for reporting.
+    device_memory_gb:
+        Device memory capacity; Table I sizes inputs against this.
+    pcie_bandwidth_gbs:
+        Effective host-device bandwidth per direction (PCIe 3.0 x16 in the
+        paper's testbeds; ~12 GB/s effective of the 15.75 GB/s peak).
+    pagefault_bandwidth_gbs:
+        Sustained migration bandwidth of the UM page-fault controller.
+        Far below PCIe peak: on-demand migration pays per-fault latency.
+        Shared across all faulting kernels, which is why un-prefetched
+        concurrent kernels bottleneck on it (section V-C).
+    kernel_launch_overhead_us:
+        Host-side cost of issuing one kernel.
+    event_overhead_us:
+        Host-side cost of recording/waiting one CUDA event.
+    ipc_peak:
+        Per-SM instructions-per-cycle ceiling used by the instruction
+        roofline term.
+    """
+
+    name: str
+    architecture: GPUArchitecture
+    sm_count: int
+    max_threads_per_sm: int
+    clock_ghz: float
+    fp32_gflops: float
+    fp64_gflops: float
+    dram_bandwidth_gbs: float
+    l2_bandwidth_gbs: float
+    l2_size_mb: float
+    device_memory_gb: float
+    pcie_bandwidth_gbs: float
+    pagefault_bandwidth_gbs: float
+    kernel_launch_overhead_us: float = 5.0
+    event_overhead_us: float = 2.0
+    ipc_peak: float = 4.0
+
+    @property
+    def device_memory_bytes(self) -> int:
+        return int(self.device_memory_gb * 1e9)
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Total threads the device can keep resident at once."""
+        return self.sm_count * self.max_threads_per_sm
+
+    @property
+    def supports_page_faults(self) -> bool:
+        return self.architecture.supports_page_faults
+
+    def flops_rate(self, double_precision: bool) -> float:
+        """Effective FLOP/s for the requested precision."""
+        gflops = self.fp64_gflops if double_precision else self.fp32_gflops
+        return gflops * 1e9
+
+    def instruction_rate(self) -> float:
+        """Effective instructions/s across the whole device."""
+        return self.ipc_peak * self.clock_ghz * 1e9 * self.sm_count
+
+
+# Effective-rate presets.  Peaks derated by ~70-75% to typical achieved
+# rates; what matters downstream is the ratio structure across devices.
+
+GTX960 = GPUSpec(
+    name="GTX 960",
+    architecture=GPUArchitecture.MAXWELL,
+    sm_count=8,
+    max_threads_per_sm=2048,
+    clock_ghz=1.18,
+    fp32_gflops=1_800.0,
+    fp64_gflops=56.0,  # 1/32 ratio
+    dram_bandwidth_gbs=84.0,
+    l2_bandwidth_gbs=250.0,
+    l2_size_mb=1.0,
+    device_memory_gb=2.0,
+    pcie_bandwidth_gbs=10.0,
+    pagefault_bandwidth_gbs=0.0,  # Maxwell: no page-fault mechanism
+)
+
+GTX1660_SUPER = GPUSpec(
+    name="GTX 1660 Super",
+    architecture=GPUArchitecture.TURING,
+    sm_count=22,
+    max_threads_per_sm=1024,
+    clock_ghz=1.78,
+    fp32_gflops=3_800.0,
+    fp64_gflops=118.0,  # 1/32 ratio
+    dram_bandwidth_gbs=250.0,
+    l2_bandwidth_gbs=750.0,
+    l2_size_mb=1.5,
+    device_memory_gb=6.0,
+    pcie_bandwidth_gbs=11.0,
+    pagefault_bandwidth_gbs=4.5,
+)
+
+TESLA_P100 = GPUSpec(
+    name="Tesla P100",
+    architecture=GPUArchitecture.PASCAL,
+    sm_count=56,
+    max_threads_per_sm=2048,
+    clock_ghz=1.33,
+    fp32_gflops=7_000.0,
+    fp64_gflops=3_500.0,  # 1/2 ratio: 20x the 1660's FP64
+    dram_bandwidth_gbs=550.0,
+    l2_bandwidth_gbs=1_600.0,
+    l2_size_mb=4.0,
+    device_memory_gb=12.2,
+    pcie_bandwidth_gbs=11.5,
+    pagefault_bandwidth_gbs=5.0,
+)
+
+ALL_GPUS: tuple[GPUSpec, ...] = (GTX960, GTX1660_SUPER, TESLA_P100)
+
+_GPU_INDEX = {
+    "gtx960": GTX960,
+    "960": GTX960,
+    "gtx1660": GTX1660_SUPER,
+    "gtx1660super": GTX1660_SUPER,
+    "1660": GTX1660_SUPER,
+    "p100": TESLA_P100,
+    "teslap100": TESLA_P100,
+}
+
+
+def gpu_by_name(name: str) -> GPUSpec:
+    """Look up a preset by a forgiving name (``"P100"``, ``"gtx 960"``...).
+
+    Raises
+    ------
+    KeyError
+        If the name does not match any preset.
+    """
+    key = name.lower().replace(" ", "").replace("-", "").replace("_", "")
+    if key in _GPU_INDEX:
+        return _GPU_INDEX[key]
+    raise KeyError(
+        f"unknown GPU {name!r}; known presets: "
+        + ", ".join(sorted({s.name for s in ALL_GPUS}))
+    )

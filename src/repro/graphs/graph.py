@@ -1,0 +1,247 @@
+"""The CUDA Graphs API on the simulator.
+
+Mirrors the C++ API shape: build a graph of kernel/memcpy nodes with
+explicit dependencies (``cudaGraphAddKernelNode``), ``instantiate()``
+once — computing the stream plan and amortizing setup — then ``launch()``
+it many times with near-zero host overhead.
+
+Unified-memory behaviour matches the paper's observation: a launched
+graph does *not* prefetch; stale arrays reach the GPU through page
+faults (Pascal+) or are moved eagerly ahead of each kernel (Maxwell,
+which has no fault mechanism).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import GraphError
+from repro.gpusim.engine import SimEngine
+from repro.gpusim.ops import KernelOp, TransferKind
+from repro.gpusim.stream import SimEvent, SimStream
+from repro.kernels.kernel import Kernel, KernelLaunch, normalize_dim
+from repro.kernels.profile import combine_resources
+from repro.memory.transfer import TransferPlanner
+
+_node_counter = itertools.count()
+
+#: One-time host cost of launching an instantiated graph.  Tiny: the
+#: whole point of CUDA Graphs is that per-kernel launch overhead is paid
+#: at instantiation, not per launch.
+GRAPH_LAUNCH_OVERHEAD_US = 3.0
+
+#: One-time cost of building + instantiating a graph (section II notes
+#: "initialization overheads due to graph creation"); amortized over many
+#: launches in the paper's setup.
+GRAPH_INSTANTIATE_OVERHEAD_US = 300.0
+
+
+class NodeKind(enum.Enum):
+    KERNEL = "kernel"
+    EMPTY = "empty"
+
+
+@dataclass
+class GraphNode:
+    """One node of a CUDA graph."""
+
+    kind: NodeKind
+    label: str
+    launch: KernelLaunch | None = None
+    deps: tuple["GraphNode", ...] = ()
+    node_id: int = field(default_factory=lambda: next(_node_counter))
+    # Filled by instantiate():
+    stream_index: int = -1
+    needs_event: bool = False
+
+    def __hash__(self) -> int:
+        return self.node_id
+
+
+class CudaGraph:
+    """A graph under construction (``cudaGraphCreate``)."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self.nodes: list[GraphNode] = []
+        self._node_set: set[int] = set()
+
+    def add_kernel_node(
+        self,
+        kernel: Kernel,
+        grid: int | tuple[int, ...],
+        block: int | tuple[int, ...],
+        args: tuple[Any, ...],
+        deps: list[GraphNode] | tuple[GraphNode, ...] = (),
+    ) -> GraphNode:
+        """``cudaGraphAddKernelNode``: explicit dependencies, no capture."""
+        launch = kernel.bind_args(tuple(args))
+        launch = KernelLaunch(
+            kernel=launch.kernel,
+            grid=normalize_dim(grid),
+            block=normalize_dim(block),
+            args=launch.args,
+            array_args=launch.array_args,
+            scalar_args=launch.scalar_args,
+        )
+        return self._add(
+            GraphNode(
+                kind=NodeKind.KERNEL,
+                label=kernel.name,
+                launch=launch,
+                deps=tuple(deps),
+            )
+        )
+
+    def add_empty_node(
+        self, deps: list[GraphNode] | tuple[GraphNode, ...] = ()
+    ) -> GraphNode:
+        """``cudaGraphAddEmptyNode``: a pure synchronization point."""
+        return self._add(
+            GraphNode(kind=NodeKind.EMPTY, label="empty", deps=tuple(deps))
+        )
+
+    def _add(self, node: GraphNode) -> GraphNode:
+        for dep in node.deps:
+            if dep.node_id not in self._node_set:
+                raise GraphError(
+                    f"dependency {dep.label!r} is not part of graph"
+                    f" {self.name!r}"
+                )
+        self.nodes.append(node)
+        self._node_set.add(node.node_id)
+        return node
+
+    def instantiate(self) -> "ExecutableGraph":
+        """``cudaGraphInstantiate``: freeze the stream plan.
+
+        Stream assignment uses the shared static planner (the same
+        first-child-inherits / ancestor-reuse rules a skilled programmer
+        applies — and that the paper's runtime scheduler converges to).
+        Nodes with cross-stream children are flagged to record an event.
+        """
+        if not self.nodes:
+            raise GraphError(f"graph {self.name!r} is empty")
+        from repro.graphs.planner import plan_streams
+
+        index_of = {n.node_id: i for i, n in enumerate(self.nodes)}
+        parents_of = [
+            [index_of[d.node_id] for d in n.deps] for n in self.nodes
+        ]
+        plan = plan_streams(parents_of)
+        for node, step in zip(self.nodes, plan):
+            node.stream_index = step.stream
+            node.needs_event = step.record_event
+        return ExecutableGraph(self)
+
+
+class ExecutableGraph:
+    """An instantiated graph, launchable many times (``cudaGraphLaunch``).
+
+    The first launch on an engine charges the instantiation overhead;
+    subsequent launches only pay the (tiny) replay cost — exactly the
+    amortization the paper grants the CUDA Graphs baselines.
+    """
+
+    def __init__(self, graph: CudaGraph) -> None:
+        self.graph = graph
+        self.stream_count = 1 + max(n.stream_index for n in graph.nodes)
+        self._engine_streams: dict[int, list[SimStream]] = {}
+        self.launch_count = 0
+
+    def _streams_for(self, engine: SimEngine) -> list[SimStream]:
+        key = id(engine)
+        if key not in self._engine_streams:
+            self._engine_streams[key] = [
+                engine.create_stream(label=f"{self.graph.name}-{i}")
+                for i in range(self.stream_count)
+            ]
+            engine.charge_host_time(GRAPH_INSTANTIATE_OVERHEAD_US * 1e-6)
+        return self._engine_streams[key]
+
+    def launch(self, engine: SimEngine) -> None:
+        """Replay the graph once on ``engine`` (asynchronous)."""
+        from repro.memory.transfer import MigrationTracker
+
+        streams = self._streams_for(engine)
+        engine.charge_host_time(GRAPH_LAUNCH_OVERHEAD_US * 1e-6)
+        self.launch_count += 1
+        events: dict[int, SimEvent] = {}
+        migrations = MigrationTracker()
+        supports_faults = engine.device.spec.supports_page_faults
+        for node in self.graph.nodes:
+            stream = streams[node.stream_index]
+            for dep in node.deps:
+                if dep.stream_index != node.stream_index:
+                    engine.wait_event(stream, events[dep.node_id])
+            if node.kind is NodeKind.KERNEL:
+                assert node.launch is not None
+                self._submit_kernel(engine, stream, node.launch,
+                                    supports_faults, migrations)
+            if node.needs_event:
+                events[node.node_id] = engine.record_event(
+                    stream, label=f"g:{node.label}"
+                )
+
+    @staticmethod
+    def _submit_kernel(
+        engine: SimEngine,
+        stream: SimStream,
+        launch: KernelLaunch,
+        supports_faults: bool,
+        migrations,
+    ) -> None:
+        """Submit one kernel, with graph-style (prefetch-less) UM.
+
+        On Maxwell the eager copies for shared inputs are issued on the
+        first reader's stream; later readers on other streams wait on
+        the migration event (same hazard as every other mode).
+        """
+        migrations.wait_for_arrays(
+            engine, stream, [a for a, _ in launch.array_args]
+        )
+        fault_bytes = 0.0
+        migrated = []
+        eager = not supports_faults
+        if supports_faults:
+            fault_bytes = TransferPlanner.fault_bytes_for_kernel(
+                list(launch.array_args)
+            )
+        else:
+            for op in TransferPlanner.htod_for_kernel(
+                list(launch.array_args), TransferKind.EAGER
+            ):
+                op.apply_fn = None
+                engine.submit(stream, op)
+        for array, access in launch.array_args:
+            if access.reads and array.stale_device_bytes() > 0:
+                array.mark_gpu_read()
+                if eager:
+                    migrated.append(array)
+        migrations.note_migrations(
+            engine, stream, migrated, label=f"g-migrate:{launch.label}"
+        )
+        for array, access in launch.array_args:
+            if access.writes:
+                array.mark_gpu_write()
+        resources = launch.resources()
+        if fault_bytes > 0:
+            resources = combine_resources(resources, fault_bytes)
+        op = KernelOp(
+            label=launch.label,
+            resources=resources,
+            compute_fn=launch.execute,
+        )
+        op.info["reads"] = frozenset(
+            id(a) for a, k in launch.array_args if k.reads
+        )
+        op.info["writes"] = frozenset(
+            id(a) for a, k in launch.array_args if k.writes
+        )
+        op.info["array_names"] = {
+            id(a): a.name for a, _ in launch.array_args
+        }
+        engine.submit(stream, op)

@@ -1,0 +1,46 @@
+"""Kernel substrate: signatures, cost profiles and launchable kernels.
+
+GrCUDA builds kernels from CUDA source via NVRTC and a NIDL signature
+string (section IV-D).  Here the "device code" is a Python function
+operating on numpy views (functional behaviour), paired with a roofline
+cost model (timing behaviour).  The NIDL signature — including the
+``const``/``in``/``out`` access annotations the scheduler exploits — is
+parsed exactly as in the paper.
+"""
+
+from repro.kernels.signature import (
+    Signature,
+    Parameter,
+    ParamKind,
+    parse_signature,
+)
+from repro.kernels.profile import (
+    CostModel,
+    LinearCostModel,
+    FixedCostModel,
+    combine_resources,
+)
+from repro.kernels.kernel import (
+    Kernel,
+    ConfiguredKernel,
+    KernelLaunch,
+    normalize_dim,
+)
+from repro.kernels.registry import KernelRegistry, build_kernel
+
+__all__ = [
+    "Signature",
+    "Parameter",
+    "ParamKind",
+    "parse_signature",
+    "CostModel",
+    "LinearCostModel",
+    "FixedCostModel",
+    "combine_resources",
+    "Kernel",
+    "ConfiguredKernel",
+    "KernelLaunch",
+    "normalize_dim",
+    "KernelRegistry",
+    "build_kernel",
+]

@@ -1,0 +1,13 @@
+"""Polyglot front-end.
+
+GrCUDA exposes the GPU to every GraalVM language through
+``polyglot.eval("grcuda", expression)`` (the paper's Fig. 4).  This
+package reproduces that entry point: array-type expressions allocate
+UM-backed arrays, and built-in identifiers expose runtime functions such
+as ``buildkernel`` — so host code can be written exactly like the
+paper's Python listing.
+"""
+
+from repro.lang.polyglot import Polyglot
+
+__all__ = ["Polyglot"]

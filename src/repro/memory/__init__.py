@@ -1,0 +1,26 @@
+"""Unified-memory substrate.
+
+GrCUDA backs its arrays with CUDA Unified Memory (UM): a single address
+space visible from host and device, kept coherent by page migration.  This
+package models that with an MSI-style two-copy coherence protocol plus
+page-granular CPU access costs:
+
+* a :class:`DeviceArray` wraps a real numpy buffer (so kernels compute
+  real results) and tracks which copies (host / device) are valid;
+* GPU reads require a valid device copy — obtained by prefetch, eager
+  copy, or on-demand page faults depending on architecture and policy;
+* CPU accesses touch single pages, not whole arrays, mirroring UM's
+  page-migration granularity.
+"""
+
+from repro.memory.pages import CoherenceState, PAGE_SIZE_BYTES
+from repro.memory.array import DeviceArray, AccessKind
+from repro.memory.transfer import TransferPlanner
+
+__all__ = [
+    "CoherenceState",
+    "PAGE_SIZE_BYTES",
+    "DeviceArray",
+    "AccessKind",
+    "TransferPlanner",
+]

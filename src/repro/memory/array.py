@@ -1,0 +1,268 @@
+"""Unified-memory device arrays.
+
+A :class:`DeviceArray` is the GrCUDA managed array: a numpy buffer that
+the host program indexes like a normal array while the runtime intercepts
+every access to (a) keep the coherence state machine honest and (b) turn
+accesses that conflict with in-flight GPU work into computational
+elements (section IV-A: "memory accesses by the CPU host program to
+GrCUDA UM-backed arrays" are DAG vertices).
+
+Values live in one numpy buffer — the host/device "copies" exist only in
+the coherence state used for timing.  This keeps functional results exact
+while the simulator charges realistic migration costs.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.gpusim.device import Device
+from repro.memory.pages import (
+    PAGE_SIZE_BYTES,
+    CoherenceState,
+    after_cpu_read,
+    after_cpu_write,
+    after_gpu_read,
+    after_gpu_write,
+)
+
+
+class AccessKind(enum.Enum):
+    """How a computation touches an array."""
+
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read_write"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessKind.READ, AccessKind.READ_WRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessKind.WRITE, AccessKind.READ_WRITE)
+
+
+#: Signature of the CPU-access hook installed by the execution context.
+#: Called *before* the numpy access happens.
+AccessHook = Callable[["DeviceArray", AccessKind, int], None]
+
+
+class DeviceArray:
+    """A unified-memory array visible to both host code and GPU kernels."""
+
+    def __init__(
+        self,
+        shape: tuple[int, ...] | int,
+        dtype: Any = np.float32,
+        device: Device | None = None,
+        name: str = "",
+        materialize: bool = True,
+    ) -> None:
+        self._shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        self._dtype = np.dtype(dtype)
+        self.materialized = materialize
+        if materialize:
+            self._data = np.zeros(self._shape, dtype=self._dtype)
+        else:
+            # Timing-only sweeps at paper scales would need tens of GB of
+            # host RAM; a virtual array keeps the declared geometry (all
+            # transfer/coherence costs stay exact) without the buffer.
+            self._data = np.zeros(1, dtype=self._dtype)
+        self.name = name or f"arr{id(self) & 0xFFFF:x}"
+        self.device = device
+        self.state = CoherenceState.SHARED  # fresh UM memory is zeroed
+        self._alloc_handle: int | None = None
+        self._on_cpu_access: AccessHook | None = None
+        self.freed = False
+        if device is not None:
+            self._alloc_handle = device.allocate(self.nbytes)
+
+    # -- basic properties ---------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self._dtype.itemsize
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self._shape:
+            n *= s
+        return n
+
+    @property
+    def itemsize(self) -> int:
+        return self._dtype.itemsize
+
+    def __len__(self) -> int:
+        return self._shape[0] if self._shape else 0
+
+    # -- coherence ------------------------------------------------------------
+
+    def stale_device_bytes(self) -> int:
+        """Bytes that must move host->device before a GPU read."""
+        return 0 if self.state.device_valid else self.nbytes
+
+    def stale_host_bytes(self, touched: int | None = None) -> int:
+        """Bytes that must move device->host before a CPU access of
+        ``touched`` bytes (page-rounded, capped at the array size)."""
+        if self.state.host_valid:
+            return 0
+        touched = self.nbytes if touched is None else touched
+        pages = max(1, math.ceil(touched / PAGE_SIZE_BYTES))
+        return min(self.nbytes, pages * PAGE_SIZE_BYTES)
+
+    def mark_gpu_read(self) -> None:
+        self.state = after_gpu_read(self.state)
+
+    def mark_gpu_write(self) -> None:
+        self.state = after_gpu_write(self.state)
+
+    def mark_cpu_read(self) -> None:
+        self.state = after_cpu_read(self.state)
+
+    def mark_cpu_write(self) -> None:
+        self.state = after_cpu_write(self.state)
+
+    # -- host access (hooked) ------------------------------------------------
+
+    def set_access_hook(self, hook: AccessHook | None) -> None:
+        self._on_cpu_access = hook
+
+    def _touched_bytes(self, key: Any) -> int:
+        """Rough byte count an indexing expression touches."""
+        if isinstance(key, (int, np.integer)):
+            rest = 1
+            for s in self._shape[1:]:
+                rest *= s
+            return rest * self.itemsize
+        if isinstance(key, slice) and self._shape:
+            count = len(range(*key.indices(self._shape[0])))
+            rest = 1
+            for s in self._shape[1:]:
+                rest *= s
+            return count * rest * self.itemsize
+        if not self.materialized:
+            return self.nbytes  # conservative for exotic keys
+        try:
+            probe = np.empty(self.shape, dtype=np.bool_)[key]
+        except Exception:
+            return self.nbytes
+        if isinstance(probe, np.ndarray):
+            return int(probe.size) * self.itemsize
+        return self.itemsize
+
+    def _check_alive(self) -> None:
+        if self.freed:
+            raise ValueError(f"array {self.name} was freed")
+
+    def __getitem__(self, key: Any) -> Any:
+        self._check_alive()
+        if self._on_cpu_access is not None:
+            self._on_cpu_access(self, AccessKind.READ, self._touched_bytes(key))
+        if not self.materialized:
+            if isinstance(key, (int, np.integer)):
+                return np.zeros(1, dtype=self.dtype)[0]
+            return np.zeros(self._selected_shape(key), dtype=self.dtype)
+        return self._data[key]
+
+    def _selected_shape(self, key: Any) -> tuple[int, ...]:
+        """Shape of a slice selection on a virtual array (cheap cases)."""
+        if isinstance(key, slice) and self._shape:
+            count = len(range(*key.indices(self._shape[0])))
+            return (count, *self._shape[1:])
+        return (0,)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._check_alive()
+        if self._on_cpu_access is not None:
+            self._on_cpu_access(
+                self, AccessKind.WRITE, self._touched_bytes(key)
+            )
+        if self.materialized:
+            self._data[key] = value
+
+    def fill(self, value: Any) -> None:
+        """Host-side bulk initialization."""
+        self._check_alive()
+        if self._on_cpu_access is not None:
+            self._on_cpu_access(self, AccessKind.WRITE, self.nbytes)
+        if self.materialized:
+            self._data.fill(value)
+
+    def copy_from_host(self, source: np.ndarray) -> None:
+        """Host-side bulk write from a numpy array (shape-checked)."""
+        self._check_alive()
+        src = np.asarray(source, dtype=self.dtype)
+        if src.shape != self.shape:
+            raise ValueError(
+                f"shape mismatch: array {self.shape}, source {src.shape}"
+            )
+        if self._on_cpu_access is not None:
+            self._on_cpu_access(self, AccessKind.WRITE, self.nbytes)
+        if self.materialized:
+            np.copyto(self._data, src)
+
+    def touch_write_full(self) -> None:
+        """Announce a full-array host overwrite without supplying data.
+
+        Timing-equivalent to :meth:`copy_from_host`; used by timing-only
+        sweeps on virtual arrays where generating gigabytes of input
+        values would be wasted work.
+        """
+        self._check_alive()
+        if self._on_cpu_access is not None:
+            self._on_cpu_access(self, AccessKind.WRITE, self.nbytes)
+        else:
+            self.mark_cpu_write()
+
+    def to_numpy(self) -> np.ndarray:
+        """Host-side bulk read; returns a copy."""
+        self._check_alive()
+        if self._on_cpu_access is not None:
+            self._on_cpu_access(self, AccessKind.READ, self.nbytes)
+        if not self.materialized:
+            return np.zeros(self.shape, dtype=self.dtype)
+        return self._data.copy()
+
+    # -- unchecked access for kernels -----------------------------------------
+
+    @property
+    def kernel_view(self) -> np.ndarray:
+        """The raw buffer, for use *inside* kernel compute functions only.
+
+        Kernel compute functions run at simulated-completion time, after
+        the scheduler has already ordered them; routing them through the
+        CPU-access hook would deadlock (the GPU would wait for itself).
+        """
+        return self._data
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def free(self) -> None:
+        """Release the device allocation.  Idempotent."""
+        if self.freed:
+            return
+        if self.device is not None and self._alloc_handle is not None:
+            self.device.free(self._alloc_handle)
+            self._alloc_handle = None
+        self.freed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DeviceArray {self.name} {self.dtype}{list(self.shape)}"
+            f" {self.state.value}>"
+        )

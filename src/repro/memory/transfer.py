@@ -1,0 +1,165 @@
+"""Transfer planning: turning coherence misses into simulator operations.
+
+The planner decides, for a kernel about to run or a CPU access about to
+happen, which bytes must move in which direction, and builds the
+corresponding :class:`~repro.gpusim.ops.TransferOp` objects (or page-fault
+byte counts when the data is left to be migrated on demand).
+
+:class:`MigrationTracker` solves the shared-input hazard every execution
+mode faces: when stream A issues the migration of an array that a kernel
+on stream B also reads, B must wait for A's copy to land.  The tracker
+hands out the per-array migration events; the runtime scheduler, the
+CUDA-graph executor and the hand-tuned baseline all use it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.gpusim.ops import TransferDirection, TransferKind, TransferOp
+from repro.memory.array import AccessKind, DeviceArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.engine import SimEngine
+    from repro.gpusim.stream import SimEvent, SimStream
+
+
+class TransferPlanner:
+    """Stateless helper building transfer operations for coherence misses."""
+
+    @staticmethod
+    def htod_for_kernel(
+        arrays: list[tuple[DeviceArray, AccessKind]],
+        kind: TransferKind,
+    ) -> list[TransferOp]:
+        """Host-to-device transfers required before a kernel launch.
+
+        Only arrays whose device copy is stale need to move, and only if
+        the kernel actually *reads* them: an array that is exclusively
+        written can be produced entirely on the device (its stale device
+        copy will simply be overwritten).
+
+        The coherence state transitions are applied when the transfer
+        op completes on the simulated device (``apply_fn``), not when
+        planned, so that concurrent planning cannot double-charge.
+        """
+        ops: list[TransferOp] = []
+        seen: set[int] = set()
+        for array, access in arrays:
+            if not access.reads or id(array) in seen:
+                continue
+            seen.add(id(array))
+            stale = array.stale_device_bytes()
+            if stale <= 0:
+                continue
+            op = TransferOp(
+                label=f"HtoD:{array.name}",
+                direction=TransferDirection.HOST_TO_DEVICE,
+                nbytes=stale,
+                kind=kind,
+                apply_fn=array.mark_gpu_read,
+            )
+            # Annotations for the race detector: a HtoD migration writes
+            # the device copy, so it conflicts with any concurrent kernel
+            # touching the array.
+            op.info["writes"] = frozenset({id(array)})
+            op.info["reads"] = frozenset()
+            op.info["array_names"] = {id(array): array.name}
+            ops.append(op)
+        return ops
+
+    @staticmethod
+    def fault_bytes_for_kernel(
+        arrays: list[tuple[DeviceArray, AccessKind]],
+    ) -> float:
+        """Bytes migrated on demand if nothing is prefetched (Pascal+ page
+        faults).  Coherence transitions still happen — via the kernel's
+        own read/write marks — so only the byte count is returned."""
+        total = 0.0
+        for array, access in arrays:
+            if access.reads:
+                total += array.stale_device_bytes()
+        return total
+
+    @staticmethod
+    def dtoh_for_cpu_access(
+        array: DeviceArray, touched_bytes: int
+    ) -> TransferOp | None:
+        """Device-to-host migration for a CPU access, or None if the host
+        copy is already valid.  Page-granular, like real UM."""
+        stale = array.stale_host_bytes(touched_bytes)
+        if stale <= 0:
+            return None
+        return TransferOp(
+            label=f"DtoH:{array.name}",
+            direction=TransferDirection.DEVICE_TO_HOST,
+            nbytes=stale,
+            kind=TransferKind.WRITEBACK,
+            apply_fn=array.mark_cpu_read,
+        )
+
+    @staticmethod
+    def cpu_access_migration(
+        array: DeviceArray, kind: AccessKind, touched_bytes: int
+    ) -> TransferOp | None:
+        """Migration (if any) required before a CPU access.
+
+        A *pure write covering the whole array* replaces every value, so
+        nothing needs to migrate back — the device copy is simply
+        invalidated (this is what explicit HtoD copies into UM buffers
+        achieve, and what streaming workloads that refresh their inputs
+        every iteration rely on).  Reads and partial writes migrate the
+        touched pages (UM performs a page-granular read-modify-write).
+        """
+        if (
+            kind is AccessKind.WRITE
+            and touched_bytes >= array.nbytes
+        ):
+            return None
+        return TransferPlanner.dtoh_for_cpu_access(array, touched_bytes)
+
+
+class MigrationTracker:
+    """Cross-stream ordering for in-flight host-to-device migrations.
+
+    When a kernel's stream issues the copy of a shared input, kernels on
+    *other* streams reading the same array must wait for that copy; the
+    issuing stream itself is already ordered by stream FIFO.  Every
+    execution mode (runtime scheduler, graph replay, hand-tuned host
+    code) needs this — forgetting it is a data race the race detector
+    now catches (transfers carry write-sets).
+    """
+
+    def __init__(self) -> None:
+        self._pending: dict[int, tuple["SimEvent", "SimStream"]] = {}
+
+    def note_migrations(
+        self,
+        engine: "SimEngine",
+        stream: "SimStream",
+        arrays: list[DeviceArray],
+        label: str = "migrate",
+    ) -> None:
+        """Record an event after migrations just submitted on ``stream``
+        and remember it for each migrated array."""
+        if not arrays:
+            return
+        event = engine.record_event(stream, label=f"{label}-done")
+        for array in arrays:
+            self._pending[id(array)] = (event, stream)
+
+    def wait_for_arrays(
+        self,
+        engine: "SimEngine",
+        stream: "SimStream",
+        arrays: list[DeviceArray],
+    ) -> None:
+        """Make ``stream`` wait for any in-flight migration of ``arrays``
+        issued on another stream."""
+        for array in arrays:
+            pending = self._pending.get(id(array))
+            if pending is None:
+                continue
+            event, origin = pending
+            if origin is not stream and not event.complete:
+                engine.wait_event(stream, event)

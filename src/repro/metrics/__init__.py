@@ -1,0 +1,26 @@
+"""Measurement machinery for the evaluation section.
+
+* :mod:`repro.metrics.overlap` — the CT/TC/CC/TOT overlap fractions of
+  section V-F (Figs. 10 and 11);
+* :mod:`repro.metrics.hardware` — device-memory/L2 throughput, IPC and
+  GFLOPS aggregated from kernel cost profiles (Fig. 12, the nvprof/ncu
+  substitute);
+* :mod:`repro.metrics.contention_free` — the contention-free execution
+  bound of section V-E (Fig. 9);
+* :mod:`repro.metrics.stats` — geomean/median helpers.
+"""
+
+from repro.metrics.overlap import OverlapMetrics, compute_overlaps
+from repro.metrics.hardware import HardwareMetrics, compute_hardware_metrics
+from repro.metrics.contention_free import contention_free_time
+from repro.metrics.stats import geomean, median
+
+__all__ = [
+    "OverlapMetrics",
+    "compute_overlaps",
+    "HardwareMetrics",
+    "compute_hardware_metrics",
+    "contention_free_time",
+    "geomean",
+    "median",
+]

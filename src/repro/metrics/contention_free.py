@@ -1,0 +1,142 @@
+"""Contention-free execution bound (section V-E, Fig. 9).
+
+The paper estimates the theoretical peak of each benchmark "by looking
+at dependencies between kernels and measuring their execution time with
+serial scheduling so that each kernel has full access to the GPU
+resources": the bound is the critical path through the dependency DAG
+where every kernel runs at its uncontended (serial) speed, every input
+transfer moves at full PCIe bandwidth, and unlimited concurrency is
+free.  Comparing the parallel scheduler's measured time against this
+bound quantifies how much performance space-sharing contention costs
+(~30-40 % for most benchmarks; B&S, whose ten chains hammer the same
+FP64 units and PCIe link, only reaches 15-20 % of its bound).
+"""
+
+from __future__ import annotations
+
+from repro.core.dag import ComputationDAG
+from repro.core.element import ComputationalElement
+from repro.gpusim.contention import ContentionModel
+from repro.gpusim.ops import KernelOp
+from repro.gpusim.specs import GPUSpec, gpu_by_name
+from repro.kernels.kernel import KernelLaunch, normalize_dim
+from repro.kernels.signature import parse_signature
+from repro.memory.array import AccessKind, DeviceArray
+from repro.workloads.base import Benchmark
+
+
+def _refreshed_arrays(
+    benchmark: Benchmark, placeholders: dict[str, DeviceArray]
+) -> tuple[set[str], set[str]]:
+    """Arrays the host writes at iteration 0 and at steady state."""
+    written: set[str] = set()
+
+    def hook(array: DeviceArray, kind: AccessKind, touched: int) -> None:
+        if kind.writes:
+            written.add(array.name)
+
+    for arr in placeholders.values():
+        arr.set_access_hook(hook)
+    benchmark.refresh(placeholders, 0)
+    first = set(written)
+    written.clear()
+    benchmark.refresh(placeholders, 1)
+    steady = set(written)
+    for arr in placeholders.values():
+        arr.set_access_hook(None)
+    return first, steady
+
+
+def _critical_path(
+    benchmark: Benchmark,
+    spec: GPUSpec,
+    placeholders: dict[str, DeviceArray],
+    stale_inputs: set[str],
+) -> float:
+    """Critical-path time of one iteration with the given inputs stale."""
+    model = ContentionModel(spec)
+    kernels = {k.name: k for k in benchmark.kernel_specs()}
+    sig_access = {
+        name: [p.access for p in parse_signature(k.signature) if p.is_pointer]
+        for name, k in kernels.items()
+    }
+    specs = benchmark.array_specs()
+    pcie = spec.pcie_bandwidth_gbs * 1e9
+
+    dag = ComputationDAG()
+    finish: dict[int, float] = {}
+    pending_transfer = set(stale_inputs)
+    makespan = 0.0
+    for inv in benchmark.invocations():
+        array_names = [a for a in inv.args if isinstance(a, str)]
+        accesses = list(
+            zip(
+                (placeholders[n] for n in array_names),
+                sig_access[inv.kernel],
+            )
+        )
+        element = ComputationalElement(accesses, label=inv.kernel)
+        parents = dag.add(element)
+
+        kspec = kernels[inv.kernel]
+        launch = KernelLaunch(
+            kernel=None,  # type: ignore[arg-type]  # cost models ignore it
+            grid=normalize_dim(inv.grid),
+            block=normalize_dim(inv.block),
+            args=tuple(inv.args),
+            array_args=tuple(accesses),
+            scalar_args=tuple(
+                a for a in inv.args if not isinstance(a, str)
+            ),
+        )
+        resources = kspec.cost.resources(launch)
+        duration = model.kernel_duration(
+            KernelOp(label=inv.kernel, resources=resources)
+        )
+
+        transfer = 0.0
+        for name, access in zip(array_names, sig_access[inv.kernel]):
+            if access.reads and name in pending_transfer:
+                pending_transfer.discard(name)
+                transfer += specs[name].nbytes / pcie
+
+        start = max(
+            (finish[p.element_id] for p in parents), default=0.0
+        )
+        end = start + transfer + duration
+        finish[element.element_id] = end
+        makespan = max(makespan, end)
+    return makespan
+
+
+def contention_free_time(
+    benchmark: Benchmark, gpu: str | GPUSpec
+) -> float:
+    """Lower bound on the benchmark's total execution time on ``gpu``.
+
+    First iteration pays every input upload; later iterations only the
+    host-refreshed inputs.  Iterations serialize (the host consumes each
+    result before refreshing the next batch).
+    """
+    spec = gpu_by_name(gpu) if isinstance(gpu, str) else gpu
+    placeholders = {
+        name: DeviceArray(
+            aspec.shape, dtype=aspec.dtype, name=name, materialize=False
+        )
+        for name, aspec in benchmark.array_specs().items()
+    }
+    first_writes, steady_writes = _refreshed_arrays(benchmark, placeholders)
+    first = _critical_path(benchmark, spec, placeholders, first_writes)
+    if benchmark.iterations <= 1:
+        return first
+    steady = _critical_path(benchmark, spec, placeholders, steady_writes)
+    return first + (benchmark.iterations - 1) * steady
+
+
+def contention_free_ratio(
+    benchmark: Benchmark, gpu: str | GPUSpec, measured: float
+) -> float:
+    """Fig. 9's y-value: bound / measured (1.0 = no contention loss)."""
+    if measured <= 0:
+        return 0.0
+    return contention_free_time(benchmark, gpu) / measured

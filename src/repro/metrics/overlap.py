@@ -1,0 +1,112 @@
+"""Transfer/computation overlap metrics (section V-F).
+
+The paper defines four overlap measures over the execution timeline:
+
+* **CT** — computation w.r.t. transfer: percentage of GPU kernel
+  computation time that overlaps with any data transfer;
+* **TC** — transfer w.r.t. computation: percentage of data-transfer time
+  that overlaps with any kernel computation;
+* **CC** — percentage of GPU computation overlapped with *other* GPU
+  computation;
+* **TOT** — any type of overlap, counting each overlapped second once
+  ("we consider the union of the overlap intervals").
+
+All are fractions in [0, 1]; Fig. 11 reports them as percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.timeline import (
+    Timeline,
+    TimelineRecord,
+    intersect_two,
+    intervals_measure,
+    merge_intervals,
+)
+
+
+@dataclass(frozen=True)
+class OverlapMetrics:
+    """The four overlap fractions of Fig. 11."""
+
+    ct: float
+    tc: float
+    cc: float
+    tot: float
+
+    def as_percentages(self) -> dict[str, float]:
+        return {
+            "CT": 100.0 * self.ct,
+            "TC": 100.0 * self.tc,
+            "CC": 100.0 * self.cc,
+            "TOT": 100.0 * self.tot,
+        }
+
+
+def _spans(records: list[TimelineRecord]) -> list[tuple[float, float]]:
+    return [(r.start, r.end) for r in records if r.duration > 0]
+
+
+def _overlapped_fraction(
+    subjects: list[TimelineRecord],
+    others_union: list[tuple[float, float]],
+) -> float:
+    """Fraction of the subjects' total time covered by ``others_union``."""
+    total = sum(r.duration for r in subjects)
+    if total <= 0:
+        return 0.0
+    covered = 0.0
+    for r in subjects:
+        covered += intervals_measure(
+            intersect_two([(r.start, r.end)], others_union)
+        )
+    return covered / total
+
+
+def compute_overlaps(timeline: Timeline) -> OverlapMetrics:
+    """Compute CT/TC/CC/TOT for one execution timeline."""
+    kernels = [r for r in timeline.kernels() if r.duration > 0]
+    transfers = [r for r in timeline.transfers() if r.duration > 0]
+
+    transfer_union = merge_intervals(_spans(transfers))
+    kernel_union = merge_intervals(_spans(kernels))
+
+    ct = _overlapped_fraction(kernels, transfer_union)
+    tc = _overlapped_fraction(transfers, kernel_union)
+
+    # CC: for each kernel, the part covered by the union of the OTHER
+    # kernels.
+    total_kernel = sum(r.duration for r in kernels)
+    cc_covered = 0.0
+    if total_kernel > 0:
+        for i, r in enumerate(kernels):
+            others = merge_intervals(
+                _spans(kernels[:i] + kernels[i + 1 :])
+            )
+            cc_covered += intervals_measure(
+                intersect_two([(r.start, r.end)], others)
+            )
+        cc = cc_covered / total_kernel
+    else:
+        cc = 0.0
+
+    # TOT: fraction of all busy time (kernels + transfers) overlapped
+    # with anything else, union-counted.
+    everything = kernels + transfers
+    total_busy = sum(r.duration for r in everything)
+    if total_busy > 0:
+        tot_covered = 0.0
+        for i, r in enumerate(everything):
+            others = merge_intervals(
+                _spans(everything[:i] + everything[i + 1 :])
+            )
+            tot_covered += intervals_measure(
+                intersect_two([(r.start, r.end)], others)
+            )
+        tot = tot_covered / total_busy
+    else:
+        tot = 0.0
+
+    return OverlapMetrics(ct=ct, tc=tc, cc=cc, tot=tot)

@@ -1,0 +1,41 @@
+"""Small statistics helpers used throughout the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's speedup aggregation).
+
+    Raises
+    ------
+    ValueError
+        On empty input or non-positive values (a speedup is > 0 by
+        construction; zero would indicate a measurement bug).
+    """
+    items = list(values)
+    if not items:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in items):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+def median(values: Iterable[float]) -> float:
+    """Median (the paper reports median execution times)."""
+    items = sorted(values)
+    if not items:
+        raise ValueError("median of empty sequence")
+    mid = len(items) // 2
+    if len(items) % 2:
+        return items[mid]
+    return 0.5 * (items[mid - 1] + items[mid])
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """baseline / improved, guarding division by zero."""
+    if improved <= 0:
+        raise ValueError("improved time must be positive")
+    return baseline / improved

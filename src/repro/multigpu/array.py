@@ -1,0 +1,137 @@
+"""Arrays with per-device data-location tracking.
+
+The single-GPU :class:`~repro.memory.array.DeviceArray` tracks two
+copies (host/device); with multiple GPUs the location state becomes a
+set: the host and any subset of devices may hold a valid copy, writes
+invalidate everyone else, and the scheduler prices migrations from
+whichever valid copy is cheapest to reach.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.gpusim.device import Device
+
+
+class MultiGpuArray:
+    """A unified-memory array visible to the host and several GPUs."""
+
+    def __init__(
+        self,
+        shape: tuple[int, ...] | int,
+        dtype: Any = np.float32,
+        devices: tuple[Device, ...] = (),
+        name: str = "",
+        materialize: bool = True,
+    ) -> None:
+        self._shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        self._dtype = np.dtype(dtype)
+        self.name = name or f"marr{id(self) & 0xFFFF:x}"
+        self.materialized = materialize
+        self._data = (
+            np.zeros(self._shape, dtype=self._dtype)
+            if materialize
+            else np.zeros(1, dtype=self._dtype)
+        )
+        self.devices = devices
+        #: validity: host + per-device.  Fresh UM memory is zeroed and
+        #: valid everywhere (no copy exists yet to be stale).
+        self.host_valid = True
+        self.valid_on: set[int] = set(range(len(devices)))
+        self._alloc_handles = [
+            dev.allocate(self.nbytes) for dev in devices
+        ]
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self._shape:
+            n *= s
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self._dtype.itemsize
+
+    # -- location queries -----------------------------------------------------
+
+    def valid_anywhere(self) -> bool:
+        return self.host_valid or bool(self.valid_on)
+
+    def resident_on(self, device_index: int) -> bool:
+        return device_index in self.valid_on
+
+    def migration_source(self, device_index: int) -> int | None:
+        """Cheapest source for making ``device_index`` valid.
+
+        Returns another device index (peer-to-peer copy), ``-1`` for the
+        host, or None if already resident.
+        """
+        if self.resident_on(device_index):
+            return None
+        peers = sorted(self.valid_on)
+        if peers:
+            return peers[0]
+        assert self.host_valid, f"{self.name} lost all copies"
+        return -1
+
+    def migration_bytes(self, device_index: int) -> int:
+        """Bytes to move before a kernel on ``device_index`` reads this."""
+        return 0 if self.resident_on(device_index) else self.nbytes
+
+    # -- transitions -------------------------------------------------------------
+
+    def mark_read(self, device_index: int) -> None:
+        """Device obtained a valid copy (after its migration landed)."""
+        self.valid_on.add(device_index)
+
+    def mark_write(self, device_index: int) -> None:
+        """Device wrote the array: every other copy is stale."""
+        self.valid_on = {device_index}
+        self.host_valid = False
+
+    def mark_cpu_read(self) -> None:
+        self.host_valid = True
+
+    def mark_cpu_write(self) -> None:
+        self.host_valid = True
+        self.valid_on.clear()
+
+    # -- data ----------------------------------------------------------------------
+
+    @property
+    def kernel_view(self) -> np.ndarray:
+        return self._data
+
+    def copy_from_host(self, source: np.ndarray) -> None:
+        src = np.asarray(source, dtype=self._dtype)
+        if src.shape != self._shape:
+            raise ValueError(
+                f"shape mismatch: array {self._shape}, source {src.shape}"
+            )
+        if self.materialized:
+            np.copyto(self._data, src)
+        self.mark_cpu_write()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = []
+        if self.host_valid:
+            where.append("host")
+        where += [f"gpu{i}" for i in sorted(self.valid_on)]
+        return (
+            f"<MultiGpuArray {self.name} {self._dtype}{list(self._shape)}"
+            f" valid on {'+'.join(where) or 'nowhere'}>"
+        )

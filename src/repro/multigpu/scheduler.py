@@ -1,0 +1,351 @@
+"""The multi-GPU runtime scheduler (section-VI future work).
+
+Extends the single-GPU scheduling loop with one extra decision per
+computation: *which GPU runs it*.  Everything else is reused — the
+dependency-set DAG, per-device stream managers, event synchronization.
+
+Placement policies:
+
+* ``ROUND_ROBIN`` — naive; ignores data location;
+* ``MIN_TRANSFER`` — the paper's stated requirement: "compute data
+  location and migration costs at run time".  Each candidate device is
+  priced as (bytes it would have to migrate) plus a load-balance tiebreak
+  on outstanding work.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+from repro.core.dag import ComputationDAG
+from repro.core.element import ComputationalElement
+from repro.core.policies import SchedulerConfig
+from repro.core.streams import StreamManager
+from repro.gpusim.device import Device
+from repro.gpusim.engine import SimEngine
+from repro.gpusim.ops import (
+    KernelOp,
+    TransferDirection,
+    TransferKind,
+    TransferOp,
+)
+from repro.gpusim.specs import GPUSpec, gpu_by_name
+from repro.gpusim.stream import SimEvent, SimStream
+from repro.kernels.kernel import Kernel, KernelLaunch
+from repro.kernels.registry import build_kernel
+from repro.kernels.profile import CostModel
+from repro.multigpu.array import MultiGpuArray
+
+
+class DevicePlacementPolicy(enum.Enum):
+    ROUND_ROBIN = "round-robin"
+    MIN_TRANSFER = "min-transfer"
+
+
+class _PerDevice:
+    """Per-GPU scheduling state."""
+
+    def __init__(self, index: int, engine: SimEngine,
+                 config: SchedulerConfig) -> None:
+        self.index = index
+        self.streams = StreamManager(
+            engine,
+            new_stream=config.new_stream,
+            parent_stream=config.parent_stream,
+        )
+        # StreamManager creates streams on device 0 by default; patch
+        # its factory to pin streams to this device.
+        self.streams._create_stream = self._create_stream  # type: ignore
+        self._engine = engine
+        self._label_counter = 0
+        self.outstanding_work: float = 0.0
+
+    def _create_stream(self) -> SimStream:
+        self._label_counter += 1
+        stream = self._engine.create_stream(
+            label=f"gpu{self.index}-{self._label_counter}",
+            device_index=self.index,
+        )
+        self.streams._streams.append(stream)
+        self.streams.created_count += 1
+        return stream
+
+
+class MultiGpuScheduler:
+    """A GrCUDA-style runtime scheduling across several GPUs."""
+
+    def __init__(
+        self,
+        gpus: list[str | GPUSpec],
+        policy: DevicePlacementPolicy = DevicePlacementPolicy.MIN_TRANSFER,
+        config: SchedulerConfig | None = None,
+    ) -> None:
+        if not gpus:
+            raise ValueError("need at least one GPU")
+        specs = [
+            gpu_by_name(g) if isinstance(g, str) else g for g in gpus
+        ]
+        self.devices = [Device(s) for s in specs]
+        self.engine = SimEngine(self.devices)
+        self.policy = policy
+        self.config = config or SchedulerConfig()
+        self.dag = ComputationDAG()
+        self._per_device = [
+            _PerDevice(i, self.engine, self.config)
+            for i in range(len(self.devices))
+        ]
+        self._rr_next = 0
+        self._arrays: list[MultiGpuArray] = []
+        #: element id -> device index (placement decisions, for tests)
+        self.placements: dict[int, int] = {}
+        #: in-flight migrations: (array id, device) -> event
+        self._migrations: dict[tuple[int, int], SimEvent] = {}
+
+    # -- allocation -------------------------------------------------------
+
+    def array(
+        self,
+        shape: tuple[int, ...] | int,
+        dtype: Any = "float32",
+        name: str = "",
+        materialize: bool = True,
+    ) -> MultiGpuArray:
+        """Allocate an array visible to every GPU (UM address space)."""
+        arr = MultiGpuArray(
+            shape,
+            dtype=dtype,
+            devices=tuple(self.devices),
+            name=name,
+            materialize=materialize,
+        )
+        self._arrays.append(arr)
+        return arr
+
+    def build_kernel(
+        self,
+        code: Callable[..., None] | str,
+        name: str,
+        signature: str,
+        cost_model: CostModel | None = None,
+    ) -> Kernel:
+        return build_kernel(
+            code, name, signature,
+            cost_model=cost_model, launch_handler=self.launch,
+        )
+
+    # -- placement ----------------------------------------------------------
+
+    def _placement_cost(
+        self, device_index: int, launch: KernelLaunch
+    ) -> tuple[float, float]:
+        """(migration bytes, outstanding work) — lexicographic cost."""
+        migration = 0.0
+        for array, access in launch.array_args:
+            assert isinstance(array, MultiGpuArray)
+            if access.reads:
+                migration += array.migration_bytes(device_index)
+        return migration, self._per_device[device_index].outstanding_work
+
+    def _choose_device(self, launch: KernelLaunch) -> int:
+        if self.policy is DevicePlacementPolicy.ROUND_ROBIN:
+            choice = self._rr_next
+            self._rr_next = (self._rr_next + 1) % len(self.devices)
+            return choice
+        return min(
+            range(len(self.devices)),
+            key=lambda i: self._placement_cost(i, launch),
+        )
+
+    # -- scheduling ------------------------------------------------------------
+
+    def launch(self, launch: KernelLaunch) -> None:
+        """Handler for kernel invocations (same flow as single-GPU,
+        plus the device decision and peer-to-peer migrations)."""
+        self.engine.charge_host_time(
+            self.config.scheduling_overhead_us * 1e-6
+        )
+        accesses = [
+            (a, k) for a, k in launch.array_args
+        ]
+        element = ComputationalElement(accesses, label=launch.label)
+        parents = self.dag.add(element)
+
+        device_index = self._choose_device(launch)
+        self.placements[element.element_id] = device_index
+        per_dev = self._per_device[device_index]
+        stream = per_dev.streams.assign(element, parents)
+
+        for parent in parents:
+            if (
+                parent.finish_event is not None
+                and parent.stream is not stream
+                and not parent.finish_event.complete
+            ):
+                self.engine.wait_event(stream, parent.finish_event)
+
+        self._migrate_inputs(stream, device_index, launch)
+
+        for array, access in launch.array_args:
+            if access.writes:
+                array.mark_write(device_index)
+
+        resources = launch.resources()
+        op = KernelOp(
+            label=launch.label,
+            resources=resources,
+            compute_fn=launch.execute,
+        )
+        # Race-detector tokens are per *copy* — (array, device) — so a
+        # peer-to-peer copy reading GPU 0's replica does not conflict
+        # with a kernel also reading GPU 0's replica, but does conflict
+        # with anything touching the destination replica.
+        op.info["reads"] = frozenset(
+            (id(a), device_index) for a, k in launch.array_args if k.reads
+        )
+        op.info["writes"] = frozenset(
+            (id(a), device_index) for a, k in launch.array_args if k.writes
+        )
+        op.info["array_names"] = {
+            (id(a), device_index): f"{a.name}@gpu{device_index}"
+            for a, _ in launch.array_args
+        }
+        op.info["device"] = device_index
+        self.engine.submit(stream, op)
+        duration_estimate = self.devices[
+            device_index
+        ].contention.kernel_duration(op)
+        per_dev.outstanding_work += duration_estimate
+        op.on_complete.append(
+            lambda _op, pd=per_dev, d=duration_estimate: self._retire(pd, d)
+        )
+        element.finish_event = self.engine.record_event(
+            stream, label=f"done:{launch.label}@gpu{device_index}"
+        )
+
+    @staticmethod
+    def _retire(per_dev: _PerDevice, duration: float) -> None:
+        per_dev.outstanding_work = max(
+            0.0, per_dev.outstanding_work - duration
+        )
+
+    def _migrate_inputs(
+        self,
+        stream: SimStream,
+        device_index: int,
+        launch: KernelLaunch,
+    ) -> None:
+        """Move stale read inputs to ``device_index``.
+
+        Valid peer copies move over peer-to-peer (D2D); otherwise the
+        host uploads (HtoD).  In-flight migrations to the same device
+        from other streams are awaited through their events.
+        """
+        for array, access in launch.array_args:
+            if not access.reads:
+                continue
+            source = array.migration_source(device_index)
+            if source is None:
+                # Resident — possibly via a still-in-flight migration
+                # issued by another stream: wait on its event.
+                pending = self._migrations.get((id(array), device_index))
+                if pending is not None and not pending.complete:
+                    self.engine.wait_event(stream, pending)
+                continue
+            # A peer copy must not start before the source replica is
+            # itself fully materialized (its own migration may still be
+            # in flight on another stream).
+            if source >= 0:
+                source_pending = self._migrations.get((id(array), source))
+                if source_pending is not None and not source_pending.complete:
+                    self.engine.wait_event(stream, source_pending)
+            direction = (
+                TransferDirection.HOST_TO_DEVICE
+                if source == -1
+                else TransferDirection.DEVICE_TO_DEVICE
+            )
+            op = TransferOp(
+                label=(
+                    f"{'HtoD' if source == -1 else f'D{source}toD'}"
+                    f"{device_index}:{array.name}"
+                ),
+                direction=direction,
+                nbytes=array.nbytes,
+                kind=TransferKind.PREFETCH,
+            )
+            src_token = (id(array), "host" if source == -1 else source)
+            dst_token = (id(array), device_index)
+            op.info["reads"] = frozenset({src_token})
+            op.info["writes"] = frozenset({dst_token})
+            op.info["array_names"] = {
+                src_token: f"{array.name}@{src_token[1]}",
+                dst_token: f"{array.name}@gpu{device_index}",
+            }
+            self.engine.submit(stream, op)
+            array.mark_read(device_index)
+            event = self.engine.record_event(
+                stream, label=f"mig:{array.name}@gpu{device_index}"
+            )
+            self._migrations[(id(array), device_index)] = event
+
+    # -- host interaction ------------------------------------------------------
+
+    def write_input(self, array: MultiGpuArray, data=None) -> None:
+        """Host write: invalidates all device copies.
+
+        Synchronizes any in-flight computation touching the array first
+        (the CPU-access rule of section IV-A, simplified to full-array
+        streaming writes).
+        """
+        conflicts = [
+            e
+            for e in self.dag.frontier
+            if e.active and e.uses(array) is not None
+        ]
+        for e in conflicts:
+            if e.finish_event is not None:
+                self.engine.sync_event(e.finish_event)
+        if data is not None:
+            array.copy_from_host(data)
+        else:
+            array.mark_cpu_write()
+        self.dag.deactivate_completed()
+
+    def read_result(self, array: MultiGpuArray, nbytes: int | None = None):
+        """Host read: syncs producers and charges the readback."""
+        writers = [
+            e
+            for e in self.dag.frontier
+            if e.active and e.writes_in_set(array)
+        ]
+        for e in writers:
+            if e.finish_event is not None:
+                self.engine.sync_event(e.finish_event)
+        if not array.host_valid:
+            stream = self.engine.default_stream
+            op = TransferOp(
+                label=f"DtoH:{array.name}",
+                direction=TransferDirection.DEVICE_TO_HOST,
+                nbytes=min(nbytes or array.nbytes, array.nbytes),
+                kind=TransferKind.WRITEBACK,
+            )
+            self.engine.submit(stream, op)
+            self.engine.sync_stream(stream)
+            array.mark_cpu_read()
+        self.dag.deactivate_completed()
+        return array.kernel_view
+
+    def sync(self) -> None:
+        self.engine.sync_all()
+        self.dag.deactivate_completed()
+
+    @property
+    def elapsed(self) -> float:
+        return self.engine.timeline.makespan
+
+    def device_kernel_counts(self) -> list[int]:
+        """Kernels executed per GPU (load-balance introspection)."""
+        counts = [0] * len(self.devices)
+        for rec in self.engine.timeline.kernels():
+            counts[rec.meta.get("device", 0)] += 1
+        return counts

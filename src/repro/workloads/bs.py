@@ -1,0 +1,117 @@
+"""B&S — Black & Scholes (section V-B).
+
+"Black & Scholes equation for European call options, for 10 underlying
+stocks, and 10 vectors of prices.  Adapted [from the CUDA samples] to
+simulate a computationally intensive streaming benchmark with
+double-precision arithmetic and many independent kernels that can be
+overlapped with no dependencies."
+
+DAG per iteration: 10 fully independent ``bs(x_i) -> y_i`` chains, one
+per stock (Fig. 6).  The kernels are FP64-bound: on consumer GPUs they
+saturate the scarce double-precision units (so concurrent execution
+yields little CC gain and the benchmark sits at 15-20 % of its
+contention-free bound, Fig. 9); on the P100 the computation is fast
+enough to hide entirely behind the PCIe transfers (high CT overlap and
+the best speedups of Fig. 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import ndtr
+
+from repro.kernels.profile import LinearCostModel
+from repro.memory.array import DeviceArray
+from repro.workloads.base import ArraySpec, Benchmark, Invocation, KernelSpec
+
+#: Option parameters (the CUDA sample's fixed rate/volatility setup).
+RISK_FREE = 0.02
+VOLATILITY = 0.30
+STRIKE = 30.0
+MATURITY = 1.0
+
+NUM_STOCKS = 10
+
+
+def black_scholes_call(prices: np.ndarray) -> np.ndarray:
+    """Closed-form European call price for unit maturity (float64)."""
+    s = prices.astype(np.float64)
+    sqrt_t = np.sqrt(MATURITY)
+    d1 = (
+        np.log(s / STRIKE)
+        + (RISK_FREE + 0.5 * VOLATILITY**2) * MATURITY
+    ) / (VOLATILITY * sqrt_t)
+    d2 = d1 - VOLATILITY * sqrt_t
+    return s * ndtr(d1) - STRIKE * np.exp(-RISK_FREE * MATURITY) * ndtr(d2)
+
+
+def _bs_kernel(x: np.ndarray, y: np.ndarray, n: int) -> None:
+    y[:n] = black_scholes_call(x[:n])
+
+
+class BlackScholes(Benchmark):
+    """B&S: ten independent double-precision option-pricing chains."""
+
+    name = "b&s"
+    description = (
+        "European call options for 10 stocks; FP64-heavy, no dependencies"
+    )
+
+    def array_specs(self) -> dict[str, ArraySpec]:
+        n = self.scale
+        specs: dict[str, ArraySpec] = {}
+        for i in range(NUM_STOCKS):
+            specs[f"x{i}"] = ArraySpec(n, np.float64)
+            specs[f"y{i}"] = ArraySpec(n, np.float64)
+        return specs
+
+    def kernel_specs(self) -> list[KernelSpec]:
+        return [
+            KernelSpec(
+                name="bs",
+                signature="const ptr double, ptr double, sint32",
+                fn=_bs_kernel,
+                # log, exp, sqrt and two ndtr evaluations expand to ~180
+                # FP64 operations per option (transcendentals are
+                # multi-instruction sequences); 8 B in + 8 B out.
+                cost=LinearCostModel(
+                    flops_per_item=180.0,
+                    dram_bytes_per_item=16.0,
+                    l2_bytes_per_item=16.0,
+                    instructions_per_item=180.0,
+                    fp64=True,
+                ),
+            )
+        ]
+
+    def invocations(self) -> list[Invocation]:
+        n = self.scale
+        g, b = self.num_blocks, self.block_size
+        return [
+            Invocation("bs", g, b, (f"x{i}", f"y{i}", n))
+            for i in range(NUM_STOCKS)
+        ]
+
+    def refresh(self, arrays: dict[str, DeviceArray], iteration: int) -> None:
+        rng = self.rng(iteration)
+        for i in range(NUM_STOCKS):
+            self.load_input(
+                iteration,
+                arrays[f"x{i}"],
+                lambda: rng.uniform(20.0, 40.0, self.scale),
+                record=f"x{i}",
+            )
+
+    def read_result(self, arrays: dict[str, DeviceArray]) -> float:
+        return float(
+            sum(float(arrays[f"y{i}"][0]) for i in range(NUM_STOCKS))
+        )
+
+    def reference(self, iteration: int) -> float:
+        ins = self.inputs(iteration)
+        return float(
+            sum(
+                black_scholes_call(ins[f"x{i}"][:1])[0]
+                for i in range(NUM_STOCKS)
+            )
+        )

@@ -1,0 +1,200 @@
+"""DL — Deep Learning (section V-B).
+
+"A convolutional neural network that projects 2 input images to low
+dimensional embeddings and combines the embeddings using a dense layer.
+Similar neural networks can be used, for example, to classify if 2
+images contain the same subject."
+
+DAG per iteration (Fig. 6)::
+
+    conv(x,w1→x1) ─ pool(x1→x2) ─ conv(x2,w2→x3) ─┐
+                                                   concat(x3,y3→z) ─ dot(z,wd→out)
+    conv(y,w3→y1) ─ pool(y1→y2) ─ conv(y2,w4→y3) ─┘
+
+Two independent CNN towers (one per input image) joined by a dense
+layer.  Convolutions are compute-bound FP32 kernels with register-limited
+occupancy; the towers space-share, giving the moderate 1.2-1.3x speedups
+of Fig. 11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.kernels.profile import LinearCostModel
+from repro.memory.array import DeviceArray
+from repro.workloads.base import ArraySpec, Benchmark, Invocation, KernelSpec
+
+KERNEL_SIZE = 3
+
+
+def _conv(x: np.ndarray, w: np.ndarray, out: np.ndarray, side: int) -> None:
+    np.maximum(
+        ndimage.convolve(x, w, mode="constant"), 0.0, out=out
+    )
+
+
+def _pool(x: np.ndarray, out: np.ndarray, side: int) -> None:
+    h = side // 2
+    out[:, :] = x[: 2 * h, : 2 * h].reshape(h, 2, h, 2).max(axis=(1, 3))
+
+
+def _concat(a: np.ndarray, b: np.ndarray, z: np.ndarray, n: int) -> None:
+    z[:n] = a.ravel()
+    z[n : 2 * n] = b.ravel()
+
+
+def _dot(z: np.ndarray, w: np.ndarray, out: np.ndarray, n: int) -> None:
+    out[0] = float(np.dot(z[:n].astype(np.float64), w[:n].astype(np.float64)))
+
+
+class DeepLearning(Benchmark):
+    """DL: two CNN towers joined by a dense layer."""
+
+    name = "dl"
+    description = (
+        "Two-tower CNN producing image embeddings combined by a dense"
+        " layer"
+    )
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.scale -= self.scale % 2  # pooling halves the side
+        if self.scale < 4:
+            raise ValueError("DL needs scale >= 4")
+
+    def array_specs(self) -> dict[str, ArraySpec]:
+        s = self.scale
+        h = s // 2
+        img = ArraySpec((s, s), np.float32)
+        half = ArraySpec((h, h), np.float32)
+        w = ArraySpec((KERNEL_SIZE, KERNEL_SIZE), np.float32)
+        return {
+            "x": img, "y": img,
+            "w1": w, "w2": w, "w3": w, "w4": w,
+            "x1": img, "y1": img,
+            "x2": half, "y2": half,
+            "x3": half, "y3": half,
+            "z": ArraySpec(2 * h * h, np.float32),
+            "wd": ArraySpec(2 * h * h, np.float32),
+            "out": ArraySpec(1, np.float32),
+        }
+
+    def kernel_specs(self) -> list[KernelSpec]:
+        conv_sig = "const ptr, const ptr, ptr, sint32"
+        return [
+            KernelSpec(
+                "conv", conv_sig, _conv,
+                # 3x3 kernel across 32 feature channels (~600 MACs per
+                # output pixel); register-limited occupancy.  The
+                # functional implementation computes one representative
+                # channel; the cost model prices the full layer.
+                LinearCostModel(
+                    flops_per_item=600.0,
+                    dram_bytes_per_item=12.0,
+                    l2_bytes_per_item=200.0,
+                    instructions_per_item=250.0,
+                    sm_fraction_cap=0.85,
+                ),
+            ),
+            KernelSpec(
+                "pool", "const ptr, ptr, sint32", _pool,
+                LinearCostModel(
+                    flops_per_item=3.0,
+                    dram_bytes_per_item=5.0,
+                    instructions_per_item=5.0,
+                ),
+            ),
+            KernelSpec(
+                "concat", "const ptr, const ptr, ptr, sint32", _concat,
+                LinearCostModel(
+                    dram_bytes_per_item=12.0,
+                    instructions_per_item=3.0,
+                ),
+            ),
+            KernelSpec(
+                "dot", "const ptr, const ptr, ptr, sint32", _dot,
+                LinearCostModel(
+                    flops_per_item=2.0,
+                    dram_bytes_per_item=8.0,
+                    instructions_per_item=4.0,
+                ),
+            ),
+        ]
+
+    def invocations(self) -> list[Invocation]:
+        s = self.scale
+        h = s // 2
+        g2 = (48, 48)
+        b2 = (self.block_size_2d, self.block_size_2d)
+        g1, b1 = self.num_blocks, self.block_size
+        return [
+            Invocation("conv", g2, b2, ("x", "w1", "x1", s)),
+            Invocation("pool", g2, b2, ("x1", "x2", s)),
+            Invocation("conv", g2, b2, ("x2", "w2", "x3", h)),
+            Invocation("conv", g2, b2, ("y", "w3", "y1", s)),
+            Invocation("pool", g2, b2, ("y1", "y2", s)),
+            Invocation("conv", g2, b2, ("y2", "w4", "y3", h)),
+            Invocation("concat", g1, b1, ("x3", "y3", "z", h * h)),
+            Invocation("dot", g1, b1, ("z", "wd", "out", 2 * h * h)),
+        ]
+
+    def refresh(self, arrays: dict[str, DeviceArray], iteration: int) -> None:
+        rng = self.rng(iteration)
+        s = self.scale
+        for name in ("x", "y"):
+            self.load_input(
+                iteration,
+                arrays[name],
+                lambda: rng.uniform(0.0, 1.0, (s, s)).astype(np.float32),
+                record=name,
+            )
+        if iteration == 0:
+            wrng = self.rng(424_243)
+            h = s // 2
+            self._weights = {}
+            for name in ("w1", "w2", "w3", "w4"):
+                data = self.load_input(
+                    iteration,
+                    arrays[name],
+                    lambda: wrng.uniform(
+                        -0.5, 0.5, (KERNEL_SIZE, KERNEL_SIZE)
+                    ).astype(np.float32),
+                )
+                if data is not None:
+                    self._weights[name] = data
+            data = self.load_input(
+                iteration,
+                arrays["wd"],
+                lambda: wrng.uniform(-0.1, 0.1, 2 * h * h).astype(
+                    np.float32
+                ),
+            )
+            if data is not None:
+                self._weights["wd"] = data
+
+    def read_result(self, arrays: dict[str, DeviceArray]) -> float:
+        return float(arrays["out"][0])
+
+    def reference(self, iteration: int) -> float:
+        ins = self.inputs(iteration)
+        w = self._weights
+        s = self.scale
+        h = s // 2
+
+        def tower(img, wa, wb):
+            c1 = np.empty_like(img)
+            _conv(img, wa, c1, s)
+            p = np.empty((h, h), dtype=np.float32)
+            _pool(c1, p, s)
+            c2 = np.empty_like(p)
+            _conv(p, wb, c2, h)
+            return c2
+
+        x3 = tower(ins["x"], w["w1"], w["w2"])
+        y3 = tower(ins["y"], w["w3"], w["w4"])
+        z = np.concatenate([x3.ravel(), y3.ravel()])
+        out = np.empty(1, dtype=np.float32)
+        _dot(z, w["wd"], out, 2 * h * h)
+        return float(out[0])

@@ -1,0 +1,76 @@
+"""Suite registry and the paper's per-GPU input scales (Table I).
+
+Scales follow the paper's x-axes (Figs. 7-9): each benchmark is swept
+over input sizes whose memory footprint spans ~10 % to ~90 % of each
+GPU's device memory, and larger GPUs get two extra scale points.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.specs import GPUSpec, gpu_by_name
+from repro.workloads.base import Benchmark
+from repro.workloads.bs import BlackScholes
+from repro.workloads.dl import DeepLearning
+from repro.workloads.hits import HITS
+from repro.workloads.img import ImageProcessing
+from repro.workloads.ml import MLEnsemble
+from repro.workloads.vec import VectorSquares
+
+BENCHMARKS: dict[str, type[Benchmark]] = {
+    "vec": VectorSquares,
+    "b&s": BlackScholes,
+    "img": ImageProcessing,
+    "ml": MLEnsemble,
+    "hits": HITS,
+    "dl": DeepLearning,
+}
+
+#: The paper's benchmark-scale x-axes (Figs. 7-9).  The first three
+#: points fit every GPU; the last two only the larger ones.
+PAPER_SCALES: dict[str, list[int]] = {
+    "vec": [20_000_000, 80_000_000, 120_000_000, 500_000_000, 700_000_000],
+    "b&s": [2_000_000, 8_000_000, 12_000_000, 50_000_000, 70_000_000],
+    "img": [1_600, 3_200, 4_800, 10_000, 16_000],
+    "ml": [200_000, 800_000, 1_200_000, 4_000_000, 6_000_000],
+    "hits": [4_000_000, 10_000_000, 20_000_000, 60_000_000, 140_000_000],
+    "dl": [3_000, 5_000, 7_000, 12_000, 16_000],
+}
+
+#: How many of the PAPER_SCALES points each GPU can fit (Fig. 7's
+#: per-GPU series lengths: the GTX 960 runs 3, the 1660 3-4, the P100 5).
+SCALE_POINTS_PER_GPU = {
+    "GTX 960": 3,
+    "GTX 1660 Super": 4,
+    "Tesla P100": 5,
+}
+
+
+def create_benchmark(name: str, scale: int, **kwargs) -> Benchmark:
+    """Instantiate a suite benchmark by name."""
+    key = name.lower()
+    if key == "bs":
+        key = "b&s"
+    if key not in BENCHMARKS:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from"
+            f" {sorted(BENCHMARKS)}"
+        )
+    return BENCHMARKS[key](scale, **kwargs)
+
+
+def default_scales(name: str, gpu: str | GPUSpec) -> list[int]:
+    """The paper's scale sweep for ``name`` on ``gpu``, truncated to the
+    sizes that fit the GPU's memory (Table I)."""
+    spec = gpu_by_name(gpu) if isinstance(gpu, str) else gpu
+    key = name.lower()
+    if key == "bs":
+        key = "b&s"
+    points = SCALE_POINTS_PER_GPU.get(spec.name, 3)
+    scales = PAPER_SCALES[key][:points]
+    cls = BENCHMARKS[key]
+    fitting = []
+    for s in scales:
+        bench = cls(s, execute=False)
+        if bench.memory_footprint_bytes() <= 0.92 * spec.device_memory_bytes:
+            fitting.append(s)
+    return fitting

@@ -1,0 +1,116 @@
+"""VEC — Vector Squares (section V-B, Fig. 4).
+
+"A simple benchmark that measures a basic case of task-level parallelism
+and computes the sum of differences of 2 squared vectors.  Each iteration
+has new input data, simulating a streaming computation that requires
+transfer from CPU to GPU."
+
+DAG per iteration::
+
+    square(X)   square(Y)        (independent -> two streams)
+         \\        /
+        reduce(X, Y, res)         (X, Y read-only)
+
+Both kernels are memory-bound; the parallel scheduler's gain comes from
+overlapping the two input transfers with computation (pure TC/CT overlap,
+no compute-compute gain — exactly Fig. 12's "VEC does not have any
+increase in memory throughput").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.profile import LinearCostModel
+from repro.memory.array import DeviceArray
+from repro.workloads.base import ArraySpec, Benchmark, Invocation, KernelSpec
+
+
+def _square(x: np.ndarray, n: int) -> None:
+    np.square(x[:n], out=x[:n])
+
+
+def _reduce(x: np.ndarray, y: np.ndarray, res: np.ndarray, n: int) -> None:
+    res[0] = float(np.sum(x[:n] - y[:n], dtype=np.float64))
+
+
+class VectorSquares(Benchmark):
+    """VEC: two elementwise squares feeding a sum-of-differences."""
+
+    name = "vec"
+    description = (
+        "Sum of differences of two squared vectors; streaming inputs"
+    )
+
+    def array_specs(self) -> dict[str, ArraySpec]:
+        n = self.scale
+        return {
+            "x": ArraySpec(n, np.float32),
+            "y": ArraySpec(n, np.float32),
+            "res": ArraySpec(1, np.float32),
+        }
+
+    def kernel_specs(self) -> list[KernelSpec]:
+        return [
+            KernelSpec(
+                name="square",
+                signature="ptr, sint32",
+                fn=_square,
+                # 1 FLOP, read+write 4 B each: purely memory-bound.
+                cost=LinearCostModel(
+                    flops_per_item=1.0,
+                    dram_bytes_per_item=8.0,
+                    l2_bytes_per_item=8.0,
+                    instructions_per_item=4.0,
+                ),
+            ),
+            KernelSpec(
+                name="reduce",
+                signature="const ptr, const ptr, ptr, sint32",
+                fn=_reduce,
+                # Reads both vectors; the scalar result is negligible.
+                cost=LinearCostModel(
+                    flops_per_item=2.0,
+                    dram_bytes_per_item=8.0,
+                    l2_bytes_per_item=8.0,
+                    instructions_per_item=6.0,
+                ),
+            ),
+        ]
+
+    def invocations(self) -> list[Invocation]:
+        n = self.scale
+        g, b = self.num_blocks, self.block_size
+        return [
+            Invocation("square", g, b, ("x", n)),
+            Invocation("square", g, b, ("y", n)),
+            Invocation("reduce", g, b, ("x", "y", "res", n)),
+        ]
+
+    def refresh(self, arrays: dict[str, DeviceArray], iteration: int) -> None:
+        rng = self.rng(iteration)
+        self.load_input(
+            iteration,
+            arrays["x"],
+            lambda: rng.uniform(0.0, 2.0, self.scale).astype(np.float32),
+            record="x",
+        )
+        self.load_input(
+            iteration,
+            arrays["y"],
+            lambda: rng.uniform(0.0, 2.0, self.scale).astype(np.float32),
+            record="y",
+        )
+
+    def read_result(self, arrays: dict[str, DeviceArray]) -> float:
+        return float(arrays["res"][0])
+
+    def reference(self, iteration: int) -> float:
+        ins = self.inputs(iteration)
+        x64 = ins["x"].astype(np.float32)
+        y64 = ins["y"].astype(np.float32)
+        return float(
+            np.sum(
+                np.square(x64) - np.square(y64), dtype=np.float64
+            ).astype(np.float32)
+        )

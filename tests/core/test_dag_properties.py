@@ -1,0 +1,103 @@
+"""Property-based tests of the DAG construction invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dag import ComputationDAG
+from repro.core.element import ComputationalElement
+from repro.memory import AccessKind, DeviceArray
+
+N_ARRAYS = 5
+
+# A random program: each step touches a random subset of arrays with
+# random access kinds.
+access_kind = st.sampled_from(list(AccessKind))
+step = st.lists(
+    st.tuples(st.integers(0, N_ARRAYS - 1), access_kind),
+    min_size=1,
+    max_size=4,
+    unique_by=lambda t: t[0],
+)
+program = st.lists(step, min_size=1, max_size=25)
+
+
+def build(prog):
+    arrays = [DeviceArray(4, name=f"a{i}") for i in range(N_ARRAYS)]
+    dag = ComputationDAG()
+    elements = []
+    for i, accesses in enumerate(prog):
+        e = ComputationalElement(
+            [(arrays[j], kind) for j, kind in accesses], label=f"e{i}"
+        )
+        dag.add(e)
+        elements.append(e)
+    return dag, elements, arrays
+
+
+class TestDagInvariants:
+    @given(program)
+    @settings(max_examples=200, deadline=None)
+    def test_acyclic(self, prog):
+        dag, _, _ = build(prog)
+        assert dag.is_acyclic()
+
+    @given(program)
+    @settings(max_examples=200, deadline=None)
+    def test_edges_point_forward(self, prog):
+        dag, elements, _ = build(prog)
+        order = {e.element_id: i for i, e in enumerate(elements)}
+        for edge in dag.edges:
+            assert order[edge.parent.element_id] < order[edge.child.element_id]
+
+    @given(program)
+    @settings(max_examples=200, deadline=None)
+    def test_at_most_one_active_writer_per_array(self, prog):
+        dag, _, arrays = build(prog)
+        for arr in arrays:
+            writers = [e for e in dag.frontier if e.writes_in_set(arr)]
+            assert len(writers) <= 1
+
+    @given(program)
+    @settings(max_examples=200, deadline=None)
+    def test_frontier_elements_are_active_with_nonempty_sets(self, prog):
+        dag, _, _ = build(prog)
+        for e in dag.frontier:
+            assert e.active
+            assert not e.dependency_set_empty
+
+    @given(program)
+    @settings(max_examples=200, deadline=None)
+    def test_conflicting_elements_are_ordered(self, prog):
+        """Soundness: any two elements conflicting on an array must be
+        connected by a directed path (the schedule orders them)."""
+        import networkx as nx
+
+        dag, elements, arrays = build(prog)
+        g = dag.to_networkx()
+        closure = nx.transitive_closure_dag(g)
+
+        def mode(e, arr):
+            for a, k in e.accesses:
+                if a is arr:
+                    return k
+            return None
+
+        for i, a in enumerate(elements):
+            for b in elements[i + 1 :]:
+                for arr in arrays:
+                    ka, kb = mode(a, arr), mode(b, arr)
+                    if ka is None or kb is None:
+                        continue
+                    if ka.writes or kb.writes:
+                        assert closure.has_edge(
+                            a.element_id, b.element_id
+                        ), (
+                            f"{a.label} and {b.label} conflict on"
+                            f" {arr.name} but are unordered"
+                        )
+
+    @given(program)
+    @settings(max_examples=100, deadline=None)
+    def test_children_count_matches_edges(self, prog):
+        dag, elements, _ = build(prog)
+        for e in elements:
+            assert e.children_count == len(dag.children_of(e))

@@ -1,0 +1,203 @@
+"""Dependency-set inference tests, including the exact scenarios of the
+paper's Fig. 3 (cases A, B, C) and Fig. 2 (the ML pipeline DAG)."""
+
+import pytest
+
+from repro.core.dag import ComputationDAG
+from repro.core.element import ComputationalElement
+from repro.memory import AccessKind, DeviceArray
+
+
+def elem(dag, label, reads=(), writes=(), read_writes=()):
+    accesses = (
+        [(a, AccessKind.READ) for a in reads]
+        + [(a, AccessKind.WRITE) for a in writes]
+        + [(a, AccessKind.READ_WRITE) for a in read_writes]
+    )
+    e = ComputationalElement(accesses, label=label)
+    parents = dag.add(e)
+    return e, parents
+
+
+@pytest.fixture
+def dag():
+    return ComputationDAG()
+
+
+@pytest.fixture
+def arrays():
+    return {n: DeviceArray(8, name=n) for n in "XYZWR"}
+
+
+class TestFigure3:
+    """Fig. 3: read-only dependency rules with kernels K1, K2, K3."""
+
+    def test_case_a_reader_depends_on_writer(self, dag, arrays):
+        X, Y, Z = arrays["X"], arrays["Y"], arrays["Z"]
+        k1, _ = elem(dag, "K1", read_writes=[X, Y])
+        k2, p2 = elem(dag, "K2", reads=[X], read_writes=[Z])
+        assert p2 == [k1]
+        # The writer keeps X in its dependency set (not updated).
+        assert k1.writes_in_set(X)
+        assert k2.reads_only_in_set(X)
+
+    def test_case_b_writer_depends_on_reader_not_both(self, dag, arrays):
+        X, Y, Z, W = arrays["X"], arrays["Y"], arrays["Z"], arrays["W"]
+        k1, _ = elem(dag, "K1", read_writes=[X, Y])
+        k2, _ = elem(dag, "K2", reads=[X], read_writes=[Z])
+        k3, p3 = elem(dag, "K3", read_writes=[X, W])
+        # WAR anti-dependency on the reader K2 only — "it will not,
+        # however, depend on both kernels".
+        assert p3 == [k2]
+        # X leaves every earlier dependency set.
+        assert not k1.writes_in_set(X)
+        assert k2.uses(X) is None
+
+    def test_case_c_second_reader_depends_on_writer_only(self, dag, arrays):
+        X, Y, Z, W = arrays["X"], arrays["Y"], arrays["Z"], arrays["W"]
+        k1, _ = elem(dag, "K1", read_writes=[X, Y])
+        k2, _ = elem(dag, "K2", reads=[X], read_writes=[Z])
+        k3, p3 = elem(dag, "K3", reads=[X], read_writes=[W])
+        # Read-only K3 depends on the writer K1, not the reader K2.
+        assert p3 == [k1]
+        # K1's dependency set is not updated by read-only children.
+        assert k1.writes_in_set(X)
+
+    def test_case_c_follow_up_writer_depends_on_both_readers(
+        self, dag, arrays
+    ):
+        # Paper: "if a new kernel requires X as read-only argument, it
+        # will depend on K1, otherwise it will depend on both K2 and K3,
+        # and all dependency sets will be updated."
+        X, Y, Z, W, R = (arrays[n] for n in "XYZWR")
+        k1, _ = elem(dag, "K1", read_writes=[X, Y])
+        k2, _ = elem(dag, "K2", reads=[X], read_writes=[Z])
+        k3, _ = elem(dag, "K3", reads=[X], read_writes=[W])
+        k4, p4 = elem(dag, "K4", read_writes=[X, R])
+        assert set(p4) == {k2, k3}
+        for k in (k1, k2, k3):
+            assert k.uses(X) is None
+
+    def test_case_c_follow_up_reader_depends_on_k1(self, dag, arrays):
+        X, Y, Z, W, R = (arrays[n] for n in "XYZWR")
+        k1, _ = elem(dag, "K1", read_writes=[X, Y])
+        k2, _ = elem(dag, "K2", reads=[X], read_writes=[Z])
+        k3, _ = elem(dag, "K3", reads=[X], read_writes=[W])
+        k4, p4 = elem(dag, "K4", reads=[X], read_writes=[R])
+        assert p4 == [k1]
+
+
+class TestBasicRules:
+    def test_no_dependency_between_disjoint_kernels(self, dag, arrays):
+        _, p1 = elem(dag, "K1", read_writes=[arrays["X"]])
+        _, p2 = elem(dag, "K2", read_writes=[arrays["Y"]])
+        assert p1 == [] and p2 == []
+
+    def test_concurrent_readers_share_no_dependency(self, dag, arrays):
+        X = arrays["X"]
+        k1, _ = elem(dag, "K1", read_writes=[X])
+        k2, p2 = elem(dag, "K2", reads=[X], read_writes=[arrays["Y"]])
+        k3, p3 = elem(dag, "K3", reads=[X], read_writes=[arrays["Z"]])
+        # Both readers depend on the writer, never on each other:
+        # "if two kernels use the same read-only input array, they will
+        # be executed concurrently on different streams."
+        assert p2 == [k1] and p3 == [k1]
+
+    def test_raw_chain(self, dag, arrays):
+        X = arrays["X"]
+        k1, _ = elem(dag, "K1", writes=[X])
+        k2, p2 = elem(dag, "K2", read_writes=[X])
+        k3, p3 = elem(dag, "K3", read_writes=[X])
+        assert p2 == [k1] and p3 == [k2]
+
+    def test_waw_dependency(self, dag, arrays):
+        X = arrays["X"]
+        k1, _ = elem(dag, "K1", writes=[X])
+        k2, p2 = elem(dag, "K2", writes=[X])
+        assert p2 == [k1]
+
+    def test_duplicate_parent_merged(self, dag, arrays):
+        X, Y = arrays["X"], arrays["Y"]
+        k1, _ = elem(dag, "K1", read_writes=[X, Y])
+        k2, p2 = elem(dag, "K2", read_writes=[X, Y])
+        assert p2 == [k1]  # one edge despite two conflicting arrays
+        assert k1.children_count == 1
+
+    def test_same_array_read_and_write_in_one_kernel(self, dag, arrays):
+        X = arrays["X"]
+        e = ComputationalElement(
+            [(X, AccessKind.READ), (X, AccessKind.WRITE)], label="K"
+        )
+        dag.add(e)
+        # Merged to read-write for dependency purposes.
+        assert e.uses(X) is AccessKind.READ_WRITE
+
+    def test_empty_dependency_set_leaves_frontier(self, dag, arrays):
+        X = arrays["X"]
+        k1, _ = elem(dag, "K1", writes=[X])
+        elem(dag, "K2", writes=[X])
+        assert k1 not in dag.frontier
+        assert k1.dependency_set_empty
+
+    def test_inactive_elements_ignored(self, dag, arrays):
+        X = arrays["X"]
+        k1, _ = elem(dag, "K1", writes=[X])
+        dag.deactivate(k1)
+        _, p2 = elem(dag, "K2", reads=[X], writes=[arrays["Y"]])
+        assert p2 == []
+
+
+class TestFigure2MLPipeline:
+    """Fig. 2: FC -> (NB | NO -> RI) -> EN with read-only branches."""
+
+    def test_structure(self, dag):
+        X = DeviceArray(8, name="X")
+        Y = DeviceArray(8, name="Y")
+        Z = DeviceArray(8, name="Z")
+        R1 = DeviceArray(8, name="R1")
+        R2 = DeviceArray(8, name="R2")
+        R = DeviceArray(8, name="R")
+
+        fc, p_fc = elem(dag, "FC", reads=[X], writes=[Y])
+        nb, p_nb = elem(dag, "NB", reads=[Y], read_writes=[R1])
+        no, p_no = elem(dag, "NO", reads=[Y], writes=[Z])
+        ri, p_ri = elem(dag, "RI", reads=[Z], read_writes=[R2])
+        en, p_en = elem(dag, "EN", reads=[R1, R2], writes=[R])
+
+        assert p_fc == []
+        assert p_nb == [fc]
+        assert p_no == [fc]          # independent of NB: parallel branches
+        assert p_ri == [no]
+        assert set(p_en) == {nb, ri}
+
+    def test_edges_labelled_with_arrays(self, dag):
+        X = DeviceArray(8, name="X")
+        Y = DeviceArray(8, name="Y")
+        elem(dag, "FC", reads=[X], writes=[Y])
+        elem(dag, "NB", reads=[Y], writes=[DeviceArray(8, name="R1")])
+        assert dag.edges[0].array.name == "Y"
+
+
+class TestDagIntrospection:
+    def test_counts(self, dag, arrays):
+        X = arrays["X"]
+        elem(dag, "K1", writes=[X])
+        elem(dag, "K2", reads=[X], writes=[arrays["Y"]])
+        assert dag.num_vertices == 2
+        assert dag.num_edges == 1
+
+    def test_parents_children_queries(self, dag, arrays):
+        X = arrays["X"]
+        k1, _ = elem(dag, "K1", writes=[X])
+        k2, _ = elem(dag, "K2", reads=[X], writes=[arrays["Y"]])
+        assert dag.parents_of(k2) == [k1]
+        assert dag.children_of(k1) == [k2]
+
+    def test_networkx_export(self, dag, arrays):
+        X = arrays["X"]
+        elem(dag, "K1", writes=[X])
+        elem(dag, "K2", reads=[X], writes=[arrays["Y"]])
+        g = dag.to_networkx()
+        assert g.number_of_nodes() == 2
+        assert g.number_of_edges() == 1
+        assert dag.is_acyclic()

@@ -1,0 +1,140 @@
+"""Tests for stream-assignment policies (section IV-C)."""
+
+import pytest
+
+from repro.core.element import ComputationalElement
+from repro.core.policies import NewStreamPolicy, ParentStreamPolicy
+from repro.core.streams import StreamManager
+from repro.gpusim import Device, GTX1660_SUPER, SimEngine
+from repro.gpusim.ops import KernelOp, KernelResourceRequest
+from repro.memory import AccessKind, DeviceArray
+
+
+def make_engine():
+    return SimEngine(Device(GTX1660_SUPER))
+
+
+def element(label="e", arrays=()):
+    return ComputationalElement(
+        [(a, AccessKind.READ_WRITE) for a in arrays], label=label
+    )
+
+
+def busy_op():
+    return KernelOp(
+        label="busy",
+        resources=KernelResourceRequest(
+            flops=1e12, fp64=False, dram_bytes=0, l2_bytes=0,
+            instructions=0, threads_total=1 << 20,
+        ),
+    )
+
+
+class TestFreeStreamRetrieval:
+    def test_creates_first_stream(self):
+        mgr = StreamManager(make_engine())
+        s = mgr.retrieve_free_stream()
+        assert s is not None
+        assert mgr.created_count == 1
+
+    def test_fifo_reuses_free_stream(self):
+        mgr = StreamManager(make_engine())
+        s1 = mgr.retrieve_free_stream()
+        s2 = mgr.retrieve_free_stream()
+        assert s1 is s2  # still free: reused, not created
+        assert mgr.created_count == 1
+        assert mgr.reused_count == 1
+
+    def test_fifo_creates_when_all_busy(self):
+        engine = make_engine()
+        mgr = StreamManager(engine)
+        s1 = mgr.retrieve_free_stream()
+        engine.submit(s1, busy_op())
+        s2 = mgr.retrieve_free_stream()
+        assert s2 is not s1
+        assert mgr.created_count == 2
+
+    def test_fifo_prefers_oldest_free(self):
+        engine = make_engine()
+        mgr = StreamManager(engine)
+        s1 = mgr.retrieve_free_stream()
+        engine.submit(s1, busy_op())
+        s2 = mgr.retrieve_free_stream()
+        engine.sync_all()  # everything completes; s1 free again
+        s3 = mgr.retrieve_free_stream()
+        assert s3 is s1  # oldest first
+
+    def test_always_new_policy(self):
+        mgr = StreamManager(
+            make_engine(), new_stream=NewStreamPolicy.ALWAYS_NEW
+        )
+        s1 = mgr.retrieve_free_stream()
+        s2 = mgr.retrieve_free_stream()
+        assert s1 is not s2
+        assert mgr.created_count == 2
+
+
+class TestParentStreamPolicy:
+    def test_no_parents_gets_free_stream(self):
+        mgr = StreamManager(make_engine())
+        e = element()
+        s = mgr.assign(e, [])
+        assert e.stream is s
+
+    def test_first_child_inherits_parent_stream(self):
+        engine = make_engine()
+        mgr = StreamManager(engine)
+        parent = element("p")
+        mgr.assign(parent, [])
+        engine.submit(parent.stream, busy_op())
+        child = element("c")
+        parent.children_count = 1  # DAG increments before assignment
+        s = mgr.assign(child, [parent])
+        assert s is parent.stream
+
+    def test_second_child_gets_other_stream(self):
+        engine = make_engine()
+        mgr = StreamManager(engine)
+        parent = element("p")
+        mgr.assign(parent, [])
+        engine.submit(parent.stream, busy_op())
+        parent.children_count = 2  # second child being assigned
+        child2 = element("c2")
+        s = mgr.assign(child2, [parent])
+        assert s is not parent.stream
+
+    def test_same_as_parent_policy(self):
+        engine = make_engine()
+        mgr = StreamManager(
+            engine, parent_stream=ParentStreamPolicy.SAME_AS_PARENT
+        )
+        parent = element("p")
+        mgr.assign(parent, [])
+        parent.children_count = 5
+        child = element("c")
+        s = mgr.assign(child, [parent])
+        assert s is parent.stream
+
+    def test_multi_parent_prefers_first_childless(self):
+        engine = make_engine()
+        mgr = StreamManager(engine)
+        p1, p2 = element("p1"), element("p2")
+        mgr.assign(p1, [])
+        engine.submit(p1.stream, busy_op())
+        mgr.assign(p2, [])
+        engine.submit(p2.stream, busy_op())
+        assert p1.stream is not p2.stream
+        # p1 already gave its stream away; p2 has not.
+        p1.children_count = 2
+        p2.children_count = 1
+        child = element("c")
+        s = mgr.assign(child, [p1, p2])
+        assert s is p2.stream
+
+    def test_introspection(self):
+        engine = make_engine()
+        mgr = StreamManager(engine)
+        s = mgr.retrieve_free_stream()
+        engine.submit(s, busy_op())
+        assert mgr.active_stream_count == 1
+        assert len(mgr.streams) == 1

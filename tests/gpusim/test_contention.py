@@ -1,0 +1,202 @@
+"""Tests for the roofline/contention model."""
+
+import pytest
+
+from repro.gpusim.contention import ContentionModel
+from repro.gpusim.ops import (
+    KernelOp,
+    KernelResourceRequest,
+    TransferDirection,
+    TransferOp,
+)
+from repro.gpusim.specs import GTX960, GTX1660_SUPER, TESLA_P100
+
+
+def kernel(
+    flops=0.0,
+    fp64=False,
+    dram=0.0,
+    l2=0.0,
+    instr=0.0,
+    threads=1 << 20,
+    fault=0.0,
+    label="k",
+):
+    return KernelOp(
+        label=label,
+        resources=KernelResourceRequest(
+            flops=flops,
+            fp64=fp64,
+            dram_bytes=dram,
+            l2_bytes=l2,
+            instructions=instr,
+            threads_total=threads,
+            fault_bytes=fault,
+        ),
+    )
+
+
+@pytest.fixture
+def model():
+    return ContentionModel(GTX1660_SUPER)
+
+
+class TestRoofline:
+    def test_memory_bound_duration(self, model):
+        # 250 GB/s effective: 250e9 bytes take 1 second.
+        k = kernel(dram=250e9)
+        assert model.kernel_duration(k) == pytest.approx(1.0, rel=1e-6)
+
+    def test_compute_bound_duration(self, model):
+        k = kernel(flops=3.8e12)  # 1 second of FP32
+        assert model.kernel_duration(k) == pytest.approx(1.0, rel=1e-6)
+
+    def test_fp64_much_slower_on_consumer(self, model):
+        k32 = kernel(flops=1e11, fp64=False)
+        k64 = kernel(flops=1e11, fp64=True)
+        ratio = model.kernel_duration(k64) / model.kernel_duration(k32)
+        assert ratio == pytest.approx(3800 / 118, rel=1e-3)
+
+    def test_fp64_mild_penalty_on_p100(self):
+        m = ContentionModel(TESLA_P100)
+        k32 = kernel(flops=1e11, fp64=False)
+        k64 = kernel(flops=1e11, fp64=True)
+        ratio = m.kernel_duration(k64) / m.kernel_duration(k32)
+        assert ratio == pytest.approx(2.0, rel=1e-3)
+
+    def test_duration_is_max_of_terms(self, model):
+        k = kernel(flops=3.8e12, dram=250e9)  # both terms = 1 s
+        assert model.kernel_duration(k) == pytest.approx(1.0, rel=1e-6)
+
+    def test_small_grid_runs_slower(self, model):
+        # A grid too small to fill the device gets a smaller SM fraction,
+        # so compute-bound work takes proportionally longer.
+        big = kernel(flops=1e11, threads=GTX1660_SUPER.max_resident_threads)
+        small = kernel(flops=1e11, threads=GTX1660_SUPER.max_resident_threads // 4)
+        assert model.kernel_duration(small) == pytest.approx(
+            4 * model.kernel_duration(big), rel=1e-6
+        )
+
+    def test_sm_fraction_clamped_to_one(self, model):
+        assert model.kernel_sm_fraction(10**9) == 1.0
+
+    def test_sm_fraction_minimum_one_sm(self, model):
+        assert model.kernel_sm_fraction(1) == pytest.approx(
+            1 / GTX1660_SUPER.sm_count
+        )
+
+    def test_fault_bytes_on_maxwell_raises(self):
+        m = ContentionModel(GTX960)
+        with pytest.raises(ValueError):
+            m.kernel_duration(kernel(dram=1e6, fault=1e6))
+
+    def test_fault_time_dominates_when_unprefetched(self, model):
+        resident = kernel(dram=1e9)
+        faulting = kernel(dram=1e9, fault=1e9)
+        assert model.kernel_duration(faulting) > 2 * model.kernel_duration(
+            resident
+        )
+
+
+class TestSpaceSharing:
+    def test_two_half_device_kernels_run_concurrently_at_full_speed(
+        self, model
+    ):
+        half = GTX1660_SUPER.max_resident_threads // 2
+        k1 = kernel(flops=1e11, threads=half, label="k1")
+        k2 = kernel(flops=1e11, threads=half, label="k2")
+        solo = model.kernel_duration(k1)
+        alloc = model.allocate([k1, k2])
+        # Each keeps its full demanded SM share -> same rate as alone.
+        assert alloc.rates[k1.op_id] == pytest.approx(1 / solo, rel=1e-6)
+        assert alloc.rates[k2.op_id] == pytest.approx(1 / solo, rel=1e-6)
+
+    def test_two_full_device_kernels_halve(self, model):
+        full = GTX1660_SUPER.max_resident_threads
+        k1 = kernel(flops=1e11, threads=full, label="k1")
+        k2 = kernel(flops=1e11, threads=full, label="k2")
+        solo = model.kernel_duration(k1)
+        alloc = model.allocate([k1, k2])
+        assert alloc.rates[k1.op_id] == pytest.approx(0.5 / solo, rel=1e-6)
+        assert alloc.kernel_sm_share[k1.op_id] == pytest.approx(0.5)
+
+    def test_memory_bandwidth_contention(self, model):
+        # Two fully memory-bound kernels with small SM demand still fight
+        # over DRAM bandwidth.
+        quarter = GTX1660_SUPER.max_resident_threads // 4
+        k1 = kernel(dram=250e9, threads=quarter, label="k1")
+        k2 = kernel(dram=250e9, threads=quarter, label="k2")
+        solo_rate = 1 / model.kernel_duration(k1)
+        alloc = model.allocate([k1, k2])
+        assert alloc.rates[k1.op_id] == pytest.approx(
+            solo_rate / 2, rel=1e-6
+        )
+
+    def test_compute_and_memory_kernels_coexist(self, model):
+        # A compute-bound and a memory-bound kernel barely interact.
+        half = GTX1660_SUPER.max_resident_threads // 2
+        kc = kernel(flops=1e11, threads=half, label="compute")
+        km = kernel(dram=100e9, threads=half, label="memory")
+        rc_solo = 1 / model.kernel_duration(kc)
+        rm_solo = 1 / model.kernel_duration(km)
+        alloc = model.allocate([kc, km])
+        assert alloc.rates[kc.op_id] == pytest.approx(rc_solo, rel=0.05)
+        assert alloc.rates[km.op_id] == pytest.approx(rm_solo, rel=0.05)
+
+    def test_fp64_half_device_kernels_coexist(self, model):
+        # FP64 units live per-SM: two half-device FP64 kernels use
+        # disjoint units and run at full solo speed concurrently.
+        half = GTX1660_SUPER.max_resident_threads // 2
+        k1 = kernel(flops=1e10, fp64=True, threads=half, label="a")
+        k2 = kernel(flops=1e10, fp64=True, threads=half, label="b")
+        solo = 1 / model.kernel_duration(k1)
+        alloc = model.allocate([k1, k2])
+        assert alloc.rates[k1.op_id] == pytest.approx(solo, rel=1e-3)
+
+    def test_fp64_full_device_kernels_conserve_work(self, model):
+        # Full-occupancy FP64 kernels split the SMs: concurrency does
+        # not create FP64 throughput (B&S's limitation, section V-E).
+        full = GTX1660_SUPER.max_resident_threads
+        k1 = kernel(flops=1e10, fp64=True, threads=full, label="a")
+        k2 = kernel(flops=1e10, fp64=True, threads=full, label="b")
+        solo = 1 / model.kernel_duration(k1)
+        alloc = model.allocate([k1, k2])
+        assert alloc.rates[k1.op_id] == pytest.approx(solo / 2, rel=1e-3)
+
+    def test_pagefault_controller_shared(self, model):
+        half = GTX1660_SUPER.max_resident_threads // 2
+        k1 = kernel(dram=1e9, fault=1e9, threads=half, label="a")
+        k2 = kernel(dram=1e9, fault=1e9, threads=half, label="b")
+        solo = 1 / model.kernel_duration(k1)
+        alloc = model.allocate([k1, k2])
+        assert alloc.rates[k1.op_id] < solo * 0.75
+
+
+class TestTransfers:
+    def test_single_transfer_full_bandwidth(self, model):
+        t = TransferOp(nbytes=11e9, direction=TransferDirection.HOST_TO_DEVICE)
+        alloc = model.allocate([t])
+        assert alloc.rates[t.op_id] == pytest.approx(11e9, rel=1e-6)
+
+    def test_same_direction_transfers_serialize(self, model):
+        # One DMA copy engine per direction: the first submitted transfer
+        # owns the link; the second waits (Fig. 10's staircase).
+        t1 = TransferOp(nbytes=1e9, direction=TransferDirection.HOST_TO_DEVICE)
+        t2 = TransferOp(nbytes=1e9, direction=TransferDirection.HOST_TO_DEVICE)
+        alloc = model.allocate([t1, t2])
+        assert alloc.rates[t1.op_id] == pytest.approx(11e9, rel=1e-6)
+        assert alloc.rates[t2.op_id] < 1.0
+
+    def test_opposite_directions_full_duplex(self, model):
+        t1 = TransferOp(nbytes=1e9, direction=TransferDirection.HOST_TO_DEVICE)
+        t2 = TransferOp(nbytes=1e9, direction=TransferDirection.DEVICE_TO_HOST)
+        alloc = model.allocate([t1, t2])
+        assert alloc.rates[t1.op_id] == pytest.approx(11e9, rel=1e-6)
+        assert alloc.rates[t2.op_id] == pytest.approx(11e9, rel=1e-6)
+
+    def test_transfer_does_not_slow_kernel(self, model):
+        k = kernel(flops=1e11, label="k")
+        t = TransferOp(nbytes=1e9, direction=TransferDirection.HOST_TO_DEVICE)
+        solo = 1 / model.kernel_duration(k)
+        alloc = model.allocate([k, t])
+        assert alloc.rates[k.op_id] == pytest.approx(solo, rel=1e-6)

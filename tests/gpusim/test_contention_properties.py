@@ -1,0 +1,142 @@
+"""Property-based tests of the contention model's conservation laws."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.contention import ContentionModel
+from repro.gpusim.ops import KernelOp, KernelResourceRequest
+from repro.gpusim.specs import ALL_GPUS, GTX1660_SUPER
+
+kernel_strategy = st.builds(
+    lambda flops, dram, l2, instr, threads, cap, fp64: KernelOp(
+        label="k",
+        resources=KernelResourceRequest(
+            flops=flops,
+            fp64=fp64,
+            dram_bytes=dram,
+            l2_bytes=l2,
+            instructions=instr,
+            threads_total=threads,
+            sm_fraction_cap=cap,
+        ),
+    ),
+    flops=st.floats(0, 1e12),
+    dram=st.floats(0, 1e10),
+    l2=st.floats(0, 1e10),
+    instr=st.floats(0, 1e11),
+    threads=st.integers(32, 1 << 20),
+    cap=st.floats(0.1, 1.0),
+    fp64=st.booleans(),
+)
+
+kernel_sets = st.lists(kernel_strategy, min_size=1, max_size=12)
+
+
+@pytest.fixture
+def model():
+    return ContentionModel(GTX1660_SUPER)
+
+
+class TestAllocationProperties:
+    @given(kernel_sets)
+    @settings(max_examples=150, deadline=None)
+    def test_rates_positive(self, kernels):
+        model = ContentionModel(GTX1660_SUPER)
+        alloc = model.allocate(list(kernels))
+        for k in kernels:
+            assert alloc.rates[k.op_id] > 0
+
+    @given(kernel_sets)
+    @settings(max_examples=150, deadline=None)
+    def test_never_faster_than_solo(self, kernels):
+        model = ContentionModel(GTX1660_SUPER)
+        alloc = model.allocate(list(kernels))
+        for k in kernels:
+            solo_rate = 1.0 / model.kernel_duration(k)
+            assert alloc.rates[k.op_id] <= solo_rate * (1 + 1e-9)
+
+    @given(kernel_sets)
+    @settings(max_examples=150, deadline=None)
+    def test_sm_shares_conserve_device(self, kernels):
+        model = ContentionModel(GTX1660_SUPER)
+        alloc = model.allocate(list(kernels))
+        assert sum(alloc.kernel_sm_share.values()) <= 1.0 + 1e-9
+
+    @given(kernel_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_dram_demand_capped(self, kernels):
+        """Aggregate DRAM draw at the allocated rates never exceeds the
+        device's bandwidth."""
+        model = ContentionModel(GTX1660_SUPER)
+        alloc = model.allocate(list(kernels))
+        demand = sum(
+            alloc.rates[k.op_id] * k.resources.dram_bytes for k in kernels
+        )
+        assert demand <= GTX1660_SUPER.dram_bandwidth_gbs * 1e9 * (1 + 1e-6)
+
+    @given(kernel_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_single_kernel_gets_solo_rate(self, k):
+        model = ContentionModel(GTX1660_SUPER)
+        alloc = model.allocate([k])
+        assert alloc.rates[k.op_id] == pytest.approx(
+            1.0 / model.kernel_duration(k), rel=1e-9
+        )
+
+    @given(kernel_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_duration_finite_on_every_gpu(self, k):
+        for spec in ALL_GPUS:
+            d = ContentionModel(spec).kernel_duration(k)
+            assert d > 0 and d < float("inf")
+
+    @given(kernel_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_kernel_never_speeds_others_up(self, kernels):
+        model = ContentionModel(GTX1660_SUPER)
+        base = model.allocate(list(kernels[:-1])) if len(kernels) > 1 else None
+        full = model.allocate(list(kernels))
+        if base is not None:
+            for k in kernels[:-1]:
+                assert full.rates[k.op_id] <= base.rates[k.op_id] * (
+                    1 + 1e-9
+                )
+
+
+class TestBlockSizeSensitivity:
+    def test_memory_bound_insensitive_to_occupancy(self, model):
+        lo = KernelOp(
+            label="lo",
+            resources=KernelResourceRequest(
+                flops=0, fp64=False, dram_bytes=1e9, l2_bytes=0,
+                instructions=0, threads_total=2048,
+            ),
+        )
+        hi = KernelOp(
+            label="hi",
+            resources=KernelResourceRequest(
+                flops=0, fp64=False, dram_bytes=1e9, l2_bytes=0,
+                instructions=0,
+                threads_total=GTX1660_SUPER.max_resident_threads,
+            ),
+        )
+        # Bandwidth is device-wide: tiny grids stream just as fast.
+        assert model.kernel_duration(lo) == pytest.approx(
+            model.kernel_duration(hi), rel=1e-9
+        )
+
+    def test_compute_bound_scales_with_occupancy(self, model):
+        full = GTX1660_SUPER.max_resident_threads
+
+        def k(threads):
+            return KernelOp(
+                label="k",
+                resources=KernelResourceRequest(
+                    flops=1e11, fp64=False, dram_bytes=0, l2_bytes=0,
+                    instructions=0, threads_total=threads,
+                ),
+            )
+
+        assert model.kernel_duration(k(full // 8)) == pytest.approx(
+            8 * model.kernel_duration(k(full)), rel=1e-6
+        )

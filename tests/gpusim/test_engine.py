@@ -1,0 +1,245 @@
+"""Tests for the discrete-event engine: clock, ordering, events, deadlock."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.gpusim import Device, SimEngine, GTX1660_SUPER
+from repro.gpusim.ops import (
+    KernelOp,
+    KernelResourceRequest,
+    TransferDirection,
+    TransferOp,
+)
+from repro.gpusim.stream import SimEvent
+from repro.gpusim.timeline import IntervalKind
+
+
+def kernel(flops=3.8e9, threads=1 << 20, label="k", dram=0.0, fn=None):
+    """A kernel lasting ~1 ms on the GTX 1660 at full occupancy."""
+    return KernelOp(
+        label=label,
+        resources=KernelResourceRequest(
+            flops=flops,
+            fp64=False,
+            dram_bytes=dram,
+            l2_bytes=0.0,
+            instructions=0.0,
+            threads_total=threads,
+        ),
+        compute_fn=fn,
+    )
+
+
+def htod(nbytes, label="t", fn=None):
+    return TransferOp(
+        label=label,
+        direction=TransferDirection.HOST_TO_DEVICE,
+        nbytes=nbytes,
+        apply_fn=fn,
+    )
+
+
+@pytest.fixture
+def engine():
+    return SimEngine(Device(GTX1660_SUPER))
+
+
+class TestBasicExecution:
+    def test_clock_starts_at_zero(self, engine):
+        assert engine.clock == 0.0
+        assert engine.idle
+
+    def test_single_kernel_duration(self, engine):
+        k = kernel()
+        engine.submit(engine.default_stream, k)
+        engine.sync_all()
+        assert engine.clock == pytest.approx(1e-3, rel=1e-6)
+        assert k.end_time == pytest.approx(1e-3, rel=1e-6)
+
+    def test_single_transfer_duration(self, engine):
+        t = htod(11e6)  # 1 ms at 11 GB/s
+        engine.submit(engine.default_stream, t)
+        engine.sync_all()
+        assert engine.clock == pytest.approx(1e-3, rel=1e-6)
+
+    def test_fifo_order_within_stream(self, engine):
+        a, b = kernel(label="a"), kernel(label="b")
+        engine.submit(engine.default_stream, a)
+        engine.submit(engine.default_stream, b)
+        engine.sync_all()
+        assert a.end_time <= b.start_time
+        assert engine.clock == pytest.approx(2e-3, rel=1e-6)
+
+    def test_two_streams_overlap(self, engine):
+        s1, s2 = engine.create_stream(), engine.create_stream()
+        # Each kernel demands half the device: true space-sharing.
+        half = GTX1660_SUPER.max_resident_threads // 2
+        a = kernel(flops=1.9e9, threads=half, label="a")
+        b = kernel(flops=1.9e9, threads=half, label="b")
+        engine.submit(s1, a)
+        engine.submit(s2, b)
+        engine.sync_all()
+        # Both run concurrently at full speed -> total 1 ms, not 2.
+        assert engine.clock == pytest.approx(1e-3, rel=1e-6)
+
+    def test_transfer_overlaps_kernel(self, engine):
+        s1, s2 = engine.create_stream(), engine.create_stream()
+        engine.submit(s1, kernel(label="k"))
+        engine.submit(s2, htod(11e6, label="t"))
+        engine.sync_all()
+        assert engine.clock == pytest.approx(1e-3, rel=1e-6)
+
+    def test_compute_fn_called_on_completion(self, engine):
+        calls = []
+        k = kernel(fn=lambda: calls.append("k"))
+        t = htod(1e6, fn=lambda: calls.append("t"))
+        engine.submit(engine.default_stream, t)
+        engine.submit(engine.default_stream, k)
+        engine.sync_all()
+        assert calls == ["t", "k"]
+
+    def test_on_complete_callbacks(self, engine):
+        seen = []
+        k = kernel()
+        k.on_complete.append(lambda op: seen.append(op.label))
+        engine.submit(engine.default_stream, k)
+        engine.sync_all()
+        assert seen == ["k"]
+
+
+class TestEvents:
+    def test_event_orders_across_streams(self, engine):
+        s1, s2 = engine.create_stream(), engine.create_stream()
+        a = kernel(label="a")
+        b = kernel(label="b")
+        engine.submit(s1, a)
+        ev = engine.record_event(s1)
+        engine.wait_event(s2, ev)
+        engine.submit(s2, b)
+        engine.sync_all()
+        assert b.start_time >= a.end_time
+        assert engine.clock == pytest.approx(2e-3, rel=1e-6)
+
+    def test_sync_event_blocks_until_recorded(self, engine):
+        a = kernel(label="a")
+        engine.submit(engine.default_stream, a)
+        ev = engine.record_event(engine.default_stream)
+        engine.sync_event(ev)
+        assert ev.complete
+        assert engine.clock == pytest.approx(1e-3, rel=1e-6)
+
+    def test_sync_event_does_not_drain_other_streams(self, engine):
+        s1, s2 = engine.create_stream(), engine.create_stream()
+        a = kernel(label="a")
+        b = kernel(label="b", flops=38e9)  # 10 ms
+        engine.submit(s1, a)
+        engine.submit(s2, b)
+        ev = engine.record_event(s1)
+        engine.sync_event(ev)
+        # a finished; b may still be running in virtual time.
+        assert a.end_time <= engine.clock
+        assert engine.clock < 10e-3
+
+    def test_wait_on_never_recorded_event_deadlocks(self, engine):
+        ev = SimEvent("never")
+        engine.wait_event(engine.default_stream, ev)
+        engine.submit(engine.default_stream, kernel())
+        with pytest.raises(DeadlockError):
+            engine.sync_all()
+
+    def test_cross_wait_cycle_deadlocks(self, engine):
+        s1, s2 = engine.create_stream(), engine.create_stream()
+        ev1, ev2 = SimEvent("e1"), SimEvent("e2")
+        engine.wait_event(s1, ev2)
+        engine.record_event(s1, ev1)
+        engine.wait_event(s2, ev1)
+        engine.record_event(s2, ev2)
+        with pytest.raises(DeadlockError):
+            engine.sync_all()
+
+
+class TestStreamSync:
+    def test_sync_stream_only_waits_for_that_stream(self, engine):
+        s1, s2 = engine.create_stream(), engine.create_stream()
+        a = kernel(label="a")
+        b = kernel(label="b", flops=38e9)
+        engine.submit(s1, a)
+        engine.submit(s2, b)
+        engine.sync_stream(s1)
+        assert not s1.busy
+        assert s2.busy  # b still queued/running
+
+    def test_sync_all_drains_everything(self, engine):
+        for _ in range(3):
+            s = engine.create_stream()
+            engine.submit(s, kernel())
+        engine.sync_all()
+        assert engine.idle
+
+
+class TestHostTime:
+    def test_charge_host_time_advances_clock(self, engine):
+        engine.charge_host_time(5e-6)
+        assert engine.clock == pytest.approx(5e-6)
+
+    def test_device_progresses_during_host_time(self, engine):
+        k = kernel()  # 1 ms
+        engine.submit(engine.default_stream, k)
+        engine.charge_host_time(2e-3)
+        assert engine.clock == pytest.approx(2e-3)
+        assert k.end_time == pytest.approx(1e-3, rel=1e-6)
+        assert engine.idle
+
+    def test_negative_host_time_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.charge_host_time(-1.0)
+
+
+class TestTimelineRecording:
+    def test_records_have_kinds(self, engine):
+        engine.submit(engine.default_stream, htod(1e6, label="in"))
+        engine.submit(engine.default_stream, kernel(label="k"))
+        engine.sync_all()
+        kinds = [r.kind for r in engine.timeline]
+        assert IntervalKind.TRANSFER_HTOD in kinds
+        assert IntervalKind.KERNEL in kinds
+
+    def test_makespan_equals_clock_for_busy_device(self, engine):
+        engine.submit(engine.default_stream, kernel())
+        engine.sync_all()
+        assert engine.timeline.makespan == pytest.approx(
+            engine.clock, rel=1e-6
+        )
+
+    def test_kernel_record_carries_resources(self, engine):
+        k = kernel()
+        engine.submit(engine.default_stream, k)
+        engine.sync_all()
+        rec = engine.timeline.kernels()[0]
+        assert rec.meta["resources"] is k.resources
+
+
+class TestWorkConservation:
+    def test_contended_kernels_total_time(self, engine):
+        # Two full-device kernels of 1 ms each must take exactly 2 ms
+        # when space-shared (rates halve), conserving total work.
+        s1, s2 = engine.create_stream(), engine.create_stream()
+        engine.submit(s1, kernel(label="a"))
+        engine.submit(s2, kernel(label="b"))
+        engine.sync_all()
+        assert engine.clock == pytest.approx(2e-3, rel=1e-5)
+
+    def test_staggered_contention(self, engine):
+        # b starts after a's first kernel; exact piecewise-rate check.
+        s1, s2 = engine.create_stream(), engine.create_stream()
+        a1 = kernel(label="a1")
+        a2 = kernel(label="a2")
+        b = kernel(label="b")
+        engine.submit(s1, a1)
+        engine.submit(s1, a2)
+        engine.submit(s2, b)
+        engine.sync_all()
+        # Three 1 ms full-device kernels, two streams: s1 runs a1,a2
+        # back-to-back sharing with b throughout. Total work = 3 ms of
+        # device time; the device is never idle until the last finishes.
+        assert engine.clock == pytest.approx(3e-3, rel=1e-5)

@@ -1,0 +1,143 @@
+"""Property-based stress tests of the discrete-event engine.
+
+Random stream/op/event programs are generated and the engine's core
+guarantees are checked: work conservation, FIFO order, event causality,
+timeline consistency, and determinism.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import Device, SimEngine, GTX1660_SUPER
+from repro.gpusim.ops import (
+    KernelOp,
+    KernelResourceRequest,
+    TransferDirection,
+    TransferOp,
+)
+
+N_STREAMS = 4
+
+# A random program step: (kind, stream, size-class, optional event link)
+step_strategy = st.tuples(
+    st.sampled_from(["kernel", "htod", "dtoh", "record", "wait"]),
+    st.integers(0, N_STREAMS - 1),
+    st.integers(1, 4),
+    st.integers(0, 10),
+)
+program_strategy = st.lists(step_strategy, min_size=1, max_size=30)
+
+
+def build_and_run(program):
+    engine = SimEngine(Device(GTX1660_SUPER))
+    streams = [engine.create_stream(f"s{i}") for i in range(N_STREAMS)]
+    events = {}
+    ops = []
+    for kind, sid, size, link in program:
+        stream = streams[sid]
+        if kind == "kernel":
+            op = KernelOp(
+                label=f"k{len(ops)}",
+                resources=KernelResourceRequest(
+                    flops=size * 1e9,
+                    fp64=False,
+                    dram_bytes=size * 1e8,
+                    l2_bytes=0,
+                    instructions=0,
+                    threads_total=size * 8192,
+                ),
+            )
+            engine.submit(stream, op)
+            ops.append(op)
+        elif kind in ("htod", "dtoh"):
+            op = TransferOp(
+                label=f"t{len(ops)}",
+                direction=(
+                    TransferDirection.HOST_TO_DEVICE
+                    if kind == "htod"
+                    else TransferDirection.DEVICE_TO_HOST
+                ),
+                nbytes=size * 1e7,
+            )
+            engine.submit(stream, op)
+            ops.append(op)
+        elif kind == "record":
+            events[link] = engine.record_event(stream)
+        elif kind == "wait":
+            # Only wait on events already recorded on a *different*
+            # stream id to keep programs deadlock-free by construction.
+            ev = events.get(link)
+            if ev is not None:
+                engine.wait_event(stream, ev)
+    engine.sync_all()
+    return engine, ops
+
+
+class TestEngineProperties:
+    @given(program_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_all_work_completes(self, program):
+        engine, ops = build_and_run(program)
+        for op in ops:
+            assert op.work_remaining == 0.0
+            assert op.end_time >= op.start_time >= op.submit_time
+
+    @given(program_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_fifo_within_streams(self, program):
+        engine, ops = build_and_run(program)
+        per_stream = {}
+        for op in ops:
+            per_stream.setdefault(op.stream.stream_id, []).append(op)
+        for stream_ops in per_stream.values():
+            for a, b in zip(stream_ops, stream_ops[1:]):
+                assert a.end_time <= b.start_time + 1e-12
+
+    @given(program_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_timeline_matches_ops(self, program):
+        engine, ops = build_and_run(program)
+        recorded = {
+            r.op_id for r in engine.timeline if r.duration >= 0
+        }
+        for op in ops:
+            assert op.op_id in recorded
+
+    @given(program_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic(self, program):
+        e1, ops1 = build_and_run(program)
+        e2, ops2 = build_and_run(program)
+        assert e1.clock == e2.clock
+        assert [
+            (o.start_time, o.end_time) for o in ops1
+        ] == [(o.start_time, o.end_time) for o in ops2]
+
+    @given(program_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_work_conservation_lower_bound(self, program):
+        """The makespan can never beat the single-resource bounds:
+        total kernel work / device capacity and per-direction transfer
+        bytes / PCIe bandwidth."""
+        engine, ops = build_and_run(program)
+        spec = engine.device.spec
+        htod_bytes = sum(
+            o.nbytes
+            for o in ops
+            if isinstance(o, TransferOp)
+            and o.direction is TransferDirection.HOST_TO_DEVICE
+        )
+        min_transfer_time = htod_bytes / (spec.pcie_bandwidth_gbs * 1e9)
+        assert engine.clock >= min_transfer_time - 1e-9
+
+    @given(program_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_kernel_durations_at_least_solo(self, program):
+        """Contention can only slow kernels down, never speed them up."""
+        engine, ops = build_and_run(program)
+        model = engine.device.contention
+        for op in ops:
+            if isinstance(op, KernelOp):
+                solo = model.kernel_duration(op)
+                measured = op.end_time - op.start_time
+                assert measured >= solo * (1 - 1e-9)

@@ -1,0 +1,190 @@
+"""Tests for operation types and stream FIFO semantics."""
+
+import pytest
+
+from repro.errors import InvalidStateError
+from repro.gpusim.ops import (
+    EventRecordOp,
+    EventWaitOp,
+    KernelOp,
+    KernelResourceRequest,
+    Operation,
+    OpState,
+    TransferDirection,
+    TransferOp,
+)
+from repro.gpusim.stream import SimEvent, SimStream
+
+
+def res(threads=1024, flops=1e6, dram=1e6):
+    return KernelResourceRequest(
+        flops=flops,
+        fp64=False,
+        dram_bytes=dram,
+        l2_bytes=2 * dram,
+        instructions=flops,
+        threads_total=threads,
+    )
+
+
+class TestResourceRequest:
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            KernelResourceRequest(
+                flops=-1, fp64=False, dram_bytes=0, l2_bytes=0,
+                instructions=0, threads_total=1,
+            )
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            KernelResourceRequest(
+                flops=0, fp64=False, dram_bytes=0, l2_bytes=0,
+                instructions=0, threads_total=0,
+            )
+
+    def test_negative_fault_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            KernelResourceRequest(
+                flops=0, fp64=False, dram_bytes=0, l2_bytes=0,
+                instructions=0, threads_total=1, fault_bytes=-1,
+            )
+
+
+class TestOps:
+    def test_kernel_requires_resources(self):
+        with pytest.raises(ValueError):
+            KernelOp(label="k")
+
+    def test_kernel_work_normalized(self):
+        k = KernelOp(label="k", resources=res())
+        assert k.work_total == 1.0
+        assert not k.instantaneous
+        assert k.is_kernel and not k.is_transfer
+
+    def test_transfer_work_is_bytes(self):
+        t = TransferOp(
+            label="t",
+            direction=TransferDirection.HOST_TO_DEVICE,
+            nbytes=1024,
+        )
+        assert t.work_total == 1024
+        assert t.is_transfer and not t.is_kernel
+
+    def test_zero_byte_transfer_is_instantaneous(self):
+        t = TransferOp(nbytes=0)
+        assert t.instantaneous
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            TransferOp(nbytes=-1)
+
+    def test_event_record_requires_event(self):
+        with pytest.raises(ValueError):
+            EventRecordOp()
+
+    def test_event_wait_auto_waits(self):
+        ev = SimEvent("e")
+        w = EventWaitOp(event=ev)
+        assert not w.waits_satisfied()
+        ev._record(1.0)
+        assert w.waits_satisfied()
+
+    def test_op_ids_unique(self):
+        ids = {TransferOp(nbytes=1).op_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_op_equality_is_identity(self):
+        a, b = TransferOp(nbytes=1), TransferOp(nbytes=1)
+        assert a == a and a != b
+
+
+class TestEvent:
+    def test_double_record_rejected(self):
+        ev = SimEvent()
+        ev._record(0.0)
+        with pytest.raises(InvalidStateError):
+            ev._record(1.0)
+
+    def test_record_time_stored(self):
+        ev = SimEvent()
+        ev._record(3.5)
+        assert ev.record_time == 3.5
+
+
+class TestStreamFIFO:
+    def test_submit_sets_stream(self):
+        s = SimStream(1)
+        op = TransferOp(nbytes=1)
+        s.submit(op)
+        assert op.stream is s
+        assert s.busy and not s.free
+
+    def test_double_submit_rejected(self):
+        s1, s2 = SimStream(1), SimStream(2)
+        op = TransferOp(nbytes=1)
+        s1.submit(op)
+        with pytest.raises(InvalidStateError):
+            s2.submit(op)
+
+    def test_head_order_is_fifo(self):
+        s = SimStream(1)
+        a, b = TransferOp(nbytes=1, label="a"), TransferOp(nbytes=1, label="b")
+        s.submit(a)
+        s.submit(b)
+        assert s.head_if_ready() is a
+
+    def test_head_blocked_by_wait(self):
+        s = SimStream(1)
+        ev = SimEvent()
+        op = TransferOp(nbytes=1)
+        op.add_wait(ev)
+        s.submit(op)
+        assert s.head_if_ready() is None
+        ev._record(0.0)
+        assert s.head_if_ready() is op
+
+    def test_only_one_running(self):
+        s = SimStream(1)
+        a, b = TransferOp(nbytes=1), TransferOp(nbytes=1)
+        s.submit(a)
+        s.submit(b)
+        s.begin(a)
+        assert s.head_if_ready() is None  # b blocked while a runs
+        s.finish(a)
+        assert s.head_if_ready() is b
+
+    def test_begin_requires_head(self):
+        s = SimStream(1)
+        a, b = TransferOp(nbytes=1), TransferOp(nbytes=1)
+        s.submit(a)
+        s.submit(b)
+        with pytest.raises(InvalidStateError):
+            s.begin(b)
+
+    def test_finish_requires_running(self):
+        s = SimStream(1)
+        a = TransferOp(nbytes=1)
+        s.submit(a)
+        with pytest.raises(InvalidStateError):
+            s.finish(a)
+
+    def test_destroy_busy_stream_rejected(self):
+        s = SimStream(1)
+        s.submit(TransferOp(nbytes=1))
+        with pytest.raises(InvalidStateError):
+            s.destroy()
+
+    def test_submit_to_destroyed_rejected(self):
+        s = SimStream(1)
+        s.destroy()
+        with pytest.raises(InvalidStateError):
+            s.submit(TransferOp(nbytes=1))
+
+    def test_free_after_completion(self):
+        s = SimStream(1)
+        a = TransferOp(nbytes=1)
+        s.submit(a)
+        s.begin(a)
+        s.finish(a)
+        assert s.free
+        assert s.completed_count == 1

@@ -1,0 +1,94 @@
+"""Tests for GPU spec presets and architecture rules."""
+
+import pytest
+
+from repro.gpusim import (
+    ALL_GPUS,
+    GTX960,
+    GTX1660_SUPER,
+    TESLA_P100,
+    GPUArchitecture,
+    gpu_by_name,
+)
+
+
+class TestArchitecture:
+    def test_maxwell_has_no_page_faults(self):
+        assert not GPUArchitecture.MAXWELL.supports_page_faults
+
+    def test_pascal_has_page_faults(self):
+        assert GPUArchitecture.PASCAL.supports_page_faults
+
+    def test_turing_has_page_faults(self):
+        assert GPUArchitecture.TURING.supports_page_faults
+
+
+class TestPresets:
+    def test_three_presets(self):
+        assert len(ALL_GPUS) == 3
+
+    def test_paper_memory_capacities(self):
+        # Table I: 2 GB, 6 GB, 12.2 GB.
+        assert GTX960.device_memory_gb == 2.0
+        assert GTX1660_SUPER.device_memory_gb == 6.0
+        assert TESLA_P100.device_memory_gb == 12.2
+
+    def test_p100_fp64_ratio_is_half(self):
+        assert TESLA_P100.fp64_gflops == pytest.approx(
+            TESLA_P100.fp32_gflops / 2
+        )
+
+    def test_consumer_fp64_ratio_is_one_thirtysecond(self):
+        for spec in (GTX960, GTX1660_SUPER):
+            assert spec.fp64_gflops == pytest.approx(
+                spec.fp32_gflops / 32, rel=0.05
+            )
+
+    def test_p100_fp64_20x_faster_than_1660(self):
+        # Section V-F: "the Tesla P100 has 20x higher double-precision
+        # performance than the 1660".
+        ratio = TESLA_P100.fp64_gflops / GTX1660_SUPER.fp64_gflops
+        assert 15 <= ratio <= 40
+
+    def test_maxwell_preset_has_no_fault_bandwidth(self):
+        assert GTX960.pagefault_bandwidth_gbs == 0.0
+        assert not GTX960.supports_page_faults
+
+    def test_device_memory_bytes(self):
+        assert GTX960.device_memory_bytes == int(2.0e9)
+
+    def test_max_resident_threads(self):
+        assert GTX960.max_resident_threads == 8 * 2048
+
+    def test_flops_rate_selects_precision(self):
+        assert GTX1660_SUPER.flops_rate(False) == pytest.approx(3.8e12)
+        assert GTX1660_SUPER.flops_rate(True) == pytest.approx(118e9)
+
+    def test_instruction_rate_positive(self):
+        for spec in ALL_GPUS:
+            assert spec.instruction_rate() > 0
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(Exception):
+            GTX960.sm_count = 99  # type: ignore[misc]
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("P100", TESLA_P100),
+            ("p100", TESLA_P100),
+            ("tesla p100", TESLA_P100),
+            ("GTX 960", GTX960),
+            ("gtx-1660", GTX1660_SUPER),
+            ("gtx1660super", GTX1660_SUPER),
+            ("1660", GTX1660_SUPER),
+        ],
+    )
+    def test_lookup_variants(self, name, expected):
+        assert gpu_by_name(name) is expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            gpu_by_name("RTX 9090")

@@ -1,0 +1,174 @@
+"""Tests for timeline records and the interval algebra helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gpusim.timeline import (
+    IntervalKind,
+    Timeline,
+    TimelineRecord,
+    intersect_two,
+    intervals_measure,
+    merge_intervals,
+)
+
+
+def rec(start, end, kind=IntervalKind.KERNEL, stream=0, label="x", nbytes=0.0):
+    return TimelineRecord(
+        op_id=0,
+        label=label,
+        kind=kind,
+        stream_id=stream,
+        start=start,
+        end=end,
+        nbytes=nbytes,
+    )
+
+
+class TestRecord:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            rec(2.0, 1.0)
+
+    def test_duration(self):
+        assert rec(1.0, 3.5).duration == 2.5
+
+    def test_overlaps(self):
+        assert rec(0, 2).overlaps(rec(1, 3))
+        assert not rec(0, 1).overlaps(rec(1, 2))  # touching is not overlap
+        assert not rec(0, 1).overlaps(rec(2, 3))
+
+    def test_transfer_kind_flags(self):
+        assert IntervalKind.TRANSFER_HTOD.is_transfer
+        assert IntervalKind.TRANSFER_DTOH.is_transfer
+        assert not IntervalKind.KERNEL.is_transfer
+
+
+class TestTimeline:
+    def test_empty_makespan_zero(self):
+        assert Timeline().makespan == 0.0
+
+    def test_selections(self):
+        tl = Timeline()
+        tl.add(rec(0, 1, IntervalKind.KERNEL, stream=1))
+        tl.add(rec(0, 2, IntervalKind.TRANSFER_HTOD, stream=2))
+        tl.add(rec(2, 3, IntervalKind.TRANSFER_DTOH, stream=1))
+        assert len(tl.kernels()) == 1
+        assert len(tl.transfers()) == 2
+        assert len(tl.by_stream(1)) == 2
+        assert tl.stream_ids() == [1, 2]
+
+    def test_makespan_ignores_zero_duration_events(self):
+        tl = Timeline()
+        tl.add(rec(5, 5, IntervalKind.EVENT))
+        tl.add(rec(1, 2))
+        assert tl.makespan == 1.0
+        assert tl.start == 1.0 and tl.end == 2.0
+
+    def test_totals(self):
+        tl = Timeline()
+        tl.add(rec(0, 1))
+        tl.add(rec(0, 2, IntervalKind.TRANSFER_HTOD, nbytes=100.0))
+        assert tl.total_kernel_time() == 1.0
+        assert tl.total_transfer_time() == 2.0
+        assert tl.total_transferred_bytes() == 100.0
+
+    def test_render_ascii_nonempty(self):
+        tl = Timeline()
+        tl.add(rec(0, 1, IntervalKind.KERNEL, stream=1, label="mmul"))
+        tl.add(rec(0.5, 2, IntervalKind.TRANSFER_HTOD, stream=2))
+        art = tl.render_ascii(width=40)
+        assert "S1" in art and "S2" in art
+        assert "m" in art  # label tag rendered
+
+    def test_render_empty(self):
+        assert "empty" in Timeline().render_ascii()
+
+    def test_clear(self):
+        tl = Timeline()
+        tl.add(rec(0, 1))
+        tl.clear()
+        assert len(tl) == 0
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_kept(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_overlapping_merged(self):
+        assert merge_intervals([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_touching_merged(self):
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_zero_length_dropped(self):
+        assert merge_intervals([(1, 1), (2, 2)]) == []
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(5, 6), (0, 1), (0.5, 2)]) == [(0, 2), (5, 6)]
+
+    def test_measure(self):
+        assert intervals_measure([(0, 2), (1, 3), (10, 11)]) == 4.0
+
+
+class TestIntersect:
+    def test_basic(self):
+        xs = [(0.0, 2.0), (4.0, 6.0)]
+        ys = [(1.0, 5.0)]
+        assert intersect_two(xs, ys) == [(1.0, 2.0), (4.0, 5.0)]
+
+    def test_disjoint(self):
+        assert intersect_two([(0.0, 1.0)], [(2.0, 3.0)]) == []
+
+    def test_empty(self):
+        assert intersect_two([], [(0.0, 1.0)]) == []
+
+
+finite_interval = st.tuples(
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+    st.floats(min_value=0, max_value=100, allow_nan=False),
+).map(lambda t: (min(t), max(t)))
+
+interval_lists = st.lists(finite_interval, max_size=30)
+
+
+class TestIntervalProperties:
+    @given(interval_lists)
+    def test_merge_is_disjoint_and_sorted(self, items):
+        merged = merge_intervals(items)
+        for (a1, b1), (a2, b2) in zip(merged, merged[1:]):
+            assert b1 < a2
+
+    @given(interval_lists)
+    def test_merge_idempotent(self, items):
+        once = merge_intervals(items)
+        assert merge_intervals(once) == once
+
+    @given(interval_lists)
+    def test_measure_upper_bound(self, items):
+        # Union measure never exceeds the sum of the parts.
+        assert intervals_measure(items) <= sum(
+            b - a for a, b in items
+        ) + 1e-9
+
+    @given(interval_lists, interval_lists)
+    def test_intersection_within_both(self, xs, ys):
+        mx, my = merge_intervals(xs), merge_intervals(ys)
+        inter = intersect_two(mx, my)
+        m_inter = intervals_measure(inter)
+        assert m_inter <= intervals_measure(mx) + 1e-9
+        assert m_inter <= intervals_measure(my) + 1e-9
+
+    @given(interval_lists, interval_lists)
+    def test_inclusion_exclusion(self, xs, ys):
+        mx, my = merge_intervals(xs), merge_intervals(ys)
+        union = intervals_measure(list(mx) + list(my))
+        assert union == pytest.approx(
+            intervals_measure(mx)
+            + intervals_measure(my)
+            - intervals_measure(intersect_two(mx, my)),
+            abs=1e-6,
+        )

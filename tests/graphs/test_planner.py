@@ -1,0 +1,117 @@
+"""Tests for the shared static stream planner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.planner import plan_streams
+
+
+class TestBasicShapes:
+    def test_single_node(self):
+        [step] = plan_streams([[]])
+        assert step.stream == 0
+        assert step.waits == ()
+        assert not step.record_event
+
+    def test_chain_stays_on_one_stream(self):
+        plan = plan_streams([[], [0], [1], [2]])
+        assert {s.stream for s in plan} == {0}
+        assert all(s.waits == () for s in plan)
+
+    def test_independent_roots_get_distinct_streams(self):
+        plan = plan_streams([[], [], []])
+        assert [s.stream for s in plan] == [0, 1, 2]
+
+    def test_join_waits_on_other_stream(self):
+        # a; b; c(a, b): c inherits a's stream, waits on b.
+        plan = plan_streams([[], [], [0, 1]])
+        assert plan[2].stream == plan[0].stream
+        assert plan[2].waits == (1,)
+        assert plan[1].record_event
+        assert not plan[0].record_event
+
+    def test_fork_second_child_new_stream(self):
+        # a; b(a); c(a): b inherits, c opens a stream.
+        plan = plan_streams([[], [0], [0]])
+        assert plan[1].stream == plan[0].stream
+        assert plan[2].stream != plan[0].stream
+        assert plan[2].waits == (0,)
+
+    def test_ancestor_stream_reused(self):
+        # Diamond a -> (b, c) -> d, then another diamond: the second
+        # diamond must reuse the first's streams, not leak new ones.
+        parents = [[], [0], [0], [1, 2]]
+        parents += [[3], [4], [4], [5, 6]]
+        plan = plan_streams(parents)
+        assert 1 + max(s.stream for s in plan) == 2
+
+    def test_iterated_pipeline_bounded_streams(self):
+        # HITS-like: two chains cross-synchronized per step, 10 steps.
+        parents = []
+        for step in range(10):
+            base = step * 2
+            if step == 0:
+                parents += [[], []]
+            else:
+                parents += [
+                    [base - 2, base - 1],
+                    [base - 1, base - 2],
+                ]
+        plan = plan_streams(parents)
+        assert 1 + max(s.stream for s in plan) == 2
+
+
+forests = st.integers(1, 24).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.lists(st.integers(0, max(0, n - 1)), max_size=3),
+            min_size=n,
+            max_size=n,
+        ),
+    )
+)
+
+
+def normalize(n, raw):
+    """Clamp parent indices to be strictly smaller than the node's."""
+    return [
+        sorted({p for p in parents if p < i}) for i, parents in enumerate(raw)
+    ]
+
+
+class TestPlannerProperties:
+    @given(forests)
+    @settings(max_examples=200, deadline=None)
+    def test_waits_are_cross_stream_and_backward(self, data):
+        n, raw = data
+        parents = normalize(n, raw)
+        plan = plan_streams(parents)
+        for step in plan:
+            for w in step.waits:
+                assert w < step.index
+                assert plan[w].stream != step.stream
+                assert plan[w].record_event
+
+    @given(forests)
+    @settings(max_examples=200, deadline=None)
+    def test_every_parent_ordered(self, data):
+        """Each parent is ordered before its child: either same stream
+        (FIFO) and earlier, or through an event wait."""
+        n, raw = data
+        parents = normalize(n, raw)
+        plan = plan_streams(parents)
+        for i, ps in enumerate(parents):
+            for p in ps:
+                same_stream = plan[p].stream == plan[i].stream
+                waited = p in plan[i].waits
+                assert same_stream or waited
+
+    @given(forests)
+    @settings(max_examples=200, deadline=None)
+    def test_stream_count_bounded_by_width(self, data):
+        """Never more streams than nodes, and chains never leak."""
+        n, raw = data
+        parents = normalize(n, raw)
+        plan = plan_streams(parents)
+        assert 1 + max(s.stream for s in plan) <= n

@@ -1,0 +1,79 @@
+"""Fast sanity tests of the figure-reproduction harness.
+
+The full grids live in ``benchmarks/``; these run minimal configurations
+so the harness logic (cell running, aggregation, rendering) is covered
+by the regular test suite.
+"""
+
+import pytest
+
+from repro.harness import figures, run_cell, sweep_cells
+from repro.harness.figures import FigureData, table1, figure10
+from repro.workloads import Mode
+
+
+class TestRunner:
+    def test_run_cell_basic(self):
+        cell = run_cell("vec", "1660", 1_000_000, Mode.PARALLEL, iterations=2)
+        assert cell.benchmark == "vec"
+        assert cell.gpu == "GTX 1660 Super"
+        assert cell.elapsed > 0
+        assert cell.iterations == 2
+
+    def test_run_cell_block_size(self):
+        c32 = run_cell(
+            "vec", "1660", 1_000_000, Mode.SERIAL, iterations=2,
+            block_size=32,
+        )
+        assert c32.block_size == 32
+
+    def test_sweep_cells_truncated(self):
+        cells = sweep_cells(
+            benchmarks=["vec"],
+            gpus=["GTX 960"],
+            modes=[Mode.SERIAL, Mode.PARALLEL],
+            scales_per_gpu=1,
+            iterations=2,
+        )
+        assert len(cells) == 2
+        assert {c.mode for c in cells} == {Mode.SERIAL, Mode.PARALLEL}
+
+
+class TestFigureData:
+    def test_render_empty(self):
+        assert "no data" in FigureData(name="x", rows=[]).render()
+
+    def test_render_columns_aligned(self):
+        data = FigureData(
+            name="t",
+            rows=[{"a": 1.0, "b": "xx"}, {"a": 22.5, "b": "y"}],
+            summary={"geomean": 1.5},
+        )
+        text = data.render()
+        assert "== t ==" in text
+        assert "geomean: 1.5" in text
+
+    def test_table1_shape(self):
+        data = table1()
+        assert len(data.rows) == 7  # 6 benchmarks + GPU-memory row
+        assert set(data.rows[0]) == {
+            "benchmark", "GTX 960", "GTX 1660 Super", "Tesla P100",
+        }
+
+    def test_figure10_has_timeline(self):
+        data = figure10(scale=50_000, iterations=2)
+        assert "timeline" in data.summary
+        assert {r["metric"] for r in data.rows} == {"CT", "TC", "CC", "TOT"}
+
+
+class TestMidScaleHelper:
+    def test_mid_scale_second_point(self):
+        from repro.harness.figures import _mid_scale
+
+        assert _mid_scale("vec", "Tesla P100") == 80_000_000
+
+    def test_mid_scale_falls_back_on_small_gpu(self):
+        from repro.harness.figures import _mid_scale
+
+        s = _mid_scale("b&s", "GTX 960")
+        assert s in (2_000_000, 8_000_000)

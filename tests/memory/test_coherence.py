@@ -1,0 +1,92 @@
+"""Tests for the unified-memory coherence state machine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.pages import (
+    PAGE_SIZE_BYTES,
+    CoherenceState,
+    after_cpu_read,
+    after_cpu_write,
+    after_gpu_read,
+    after_gpu_write,
+    pages_for_bytes,
+)
+
+
+class TestStates:
+    def test_shared_valid_everywhere(self):
+        assert CoherenceState.SHARED.host_valid
+        assert CoherenceState.SHARED.device_valid
+
+    def test_host_only(self):
+        assert CoherenceState.HOST_ONLY.host_valid
+        assert not CoherenceState.HOST_ONLY.device_valid
+
+    def test_device_only(self):
+        assert not CoherenceState.DEVICE_ONLY.host_valid
+        assert CoherenceState.DEVICE_ONLY.device_valid
+
+
+class TestTransitions:
+    def test_gpu_read_migrates(self):
+        assert after_gpu_read(CoherenceState.HOST_ONLY) is CoherenceState.SHARED
+        assert after_gpu_read(CoherenceState.SHARED) is CoherenceState.SHARED
+        assert (
+            after_gpu_read(CoherenceState.DEVICE_ONLY)
+            is CoherenceState.DEVICE_ONLY
+        )
+
+    def test_gpu_write_invalidates_host(self):
+        for s in CoherenceState:
+            assert after_gpu_write(s) is CoherenceState.DEVICE_ONLY
+
+    def test_cpu_read_migrates_back(self):
+        assert (
+            after_cpu_read(CoherenceState.DEVICE_ONLY) is CoherenceState.SHARED
+        )
+        assert after_cpu_read(CoherenceState.HOST_ONLY) is CoherenceState.HOST_ONLY
+
+    def test_cpu_write_invalidates_device(self):
+        for s in CoherenceState:
+            assert after_cpu_write(s) is CoherenceState.HOST_ONLY
+
+
+state_strategy = st.sampled_from(list(CoherenceState))
+transition_strategy = st.sampled_from(
+    [after_gpu_read, after_gpu_write, after_cpu_read, after_cpu_write]
+)
+
+
+class TestCoherenceProperties:
+    @given(state_strategy, st.lists(transition_strategy, max_size=20))
+    def test_some_copy_always_valid(self, state, transitions):
+        for t in transitions:
+            state = t(state)
+            assert state.host_valid or state.device_valid
+
+    @given(state_strategy)
+    def test_gpu_read_makes_device_valid(self, state):
+        assert after_gpu_read(state).device_valid
+
+    @given(state_strategy)
+    def test_cpu_read_makes_host_valid(self, state):
+        assert after_cpu_read(state).host_valid
+
+    @given(state_strategy, transition_strategy)
+    def test_transitions_idempotent(self, state, t):
+        assert t(t(state)) is t(state)
+
+
+class TestPages:
+    def test_zero_bytes(self):
+        assert pages_for_bytes(0) == 0
+
+    def test_one_byte_is_one_page(self):
+        assert pages_for_bytes(1) == 1
+
+    def test_exact_page(self):
+        assert pages_for_bytes(PAGE_SIZE_BYTES) == 1
+
+    def test_page_plus_one(self):
+        assert pages_for_bytes(PAGE_SIZE_BYTES + 1) == 2

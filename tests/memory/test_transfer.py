@@ -1,0 +1,108 @@
+"""Tests for transfer planning from coherence misses."""
+
+import numpy as np
+
+from repro.gpusim.ops import TransferDirection, TransferKind
+from repro.memory import AccessKind, DeviceArray, TransferPlanner
+from repro.memory.pages import PAGE_SIZE_BYTES
+
+
+def host_dirty_array(n=1000):
+    a = DeviceArray(n)
+    a.mark_cpu_write()  # device copy now stale
+    return a
+
+
+class TestHtoDPlanning:
+    def test_no_transfer_when_resident(self):
+        a = DeviceArray(10)
+        ops = TransferPlanner.htod_for_kernel(
+            [(a, AccessKind.READ)], TransferKind.PREFETCH
+        )
+        assert ops == []
+
+    def test_transfer_for_stale_read(self):
+        a = host_dirty_array()
+        ops = TransferPlanner.htod_for_kernel(
+            [(a, AccessKind.READ)], TransferKind.PREFETCH
+        )
+        assert len(ops) == 1
+        assert ops[0].nbytes == a.nbytes
+        assert ops[0].direction is TransferDirection.HOST_TO_DEVICE
+        assert ops[0].kind is TransferKind.PREFETCH
+
+    def test_write_only_args_skip_transfer(self):
+        a = host_dirty_array()
+        ops = TransferPlanner.htod_for_kernel(
+            [(a, AccessKind.WRITE)], TransferKind.EAGER
+        )
+        assert ops == []
+
+    def test_read_write_args_transfer(self):
+        a = host_dirty_array()
+        ops = TransferPlanner.htod_for_kernel(
+            [(a, AccessKind.READ_WRITE)], TransferKind.EAGER
+        )
+        assert len(ops) == 1
+
+    def test_apply_fn_updates_coherence(self):
+        a = host_dirty_array()
+        [op] = TransferPlanner.htod_for_kernel(
+            [(a, AccessKind.READ)], TransferKind.PREFETCH
+        )
+        assert a.stale_device_bytes() > 0
+        op.apply_fn()
+        assert a.stale_device_bytes() == 0
+
+    def test_multiple_arrays(self):
+        a, b = host_dirty_array(), DeviceArray(10)
+        ops = TransferPlanner.htod_for_kernel(
+            [(a, AccessKind.READ), (b, AccessKind.READ)],
+            TransferKind.PREFETCH,
+        )
+        assert len(ops) == 1  # only the stale one
+
+
+class TestFaultPlanning:
+    def test_fault_bytes_counted_for_stale_reads(self):
+        a, b = host_dirty_array(1000), host_dirty_array(500)
+        total = TransferPlanner.fault_bytes_for_kernel(
+            [(a, AccessKind.READ), (b, AccessKind.READ_WRITE)]
+        )
+        assert total == a.nbytes + b.nbytes
+
+    def test_fault_bytes_zero_when_resident(self):
+        a = DeviceArray(10)
+        assert (
+            TransferPlanner.fault_bytes_for_kernel([(a, AccessKind.READ)])
+            == 0.0
+        )
+
+    def test_write_only_not_faulted(self):
+        a = host_dirty_array()
+        assert (
+            TransferPlanner.fault_bytes_for_kernel([(a, AccessKind.WRITE)])
+            == 0.0
+        )
+
+
+class TestDtoHPlanning:
+    def test_none_when_host_valid(self):
+        a = DeviceArray(10)
+        assert TransferPlanner.dtoh_for_cpu_access(a, 4) is None
+
+    def test_page_granular_writeback(self):
+        a = DeviceArray(PAGE_SIZE_BYTES, dtype=np.uint8)
+        a.mark_gpu_write()
+        op = TransferPlanner.dtoh_for_cpu_access(a, 4)
+        assert op is not None
+        assert op.nbytes == PAGE_SIZE_BYTES
+        assert op.direction is TransferDirection.DEVICE_TO_HOST
+        assert op.kind is TransferKind.WRITEBACK
+
+    def test_apply_marks_host_valid(self):
+        a = DeviceArray(16)
+        a.mark_gpu_write()
+        op = TransferPlanner.dtoh_for_cpu_access(a, 4)
+        op.apply_fn()
+        assert a.state.host_valid

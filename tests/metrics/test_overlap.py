@@ -1,0 +1,135 @@
+"""Tests for the CT/TC/CC/TOT overlap metrics against hand-built
+timelines and real scheduler runs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.timeline import IntervalKind, Timeline, TimelineRecord
+from repro.metrics import compute_overlaps
+from repro.workloads import Mode, create_benchmark
+
+
+def rec(kind, start, end, stream=0):
+    return TimelineRecord(
+        op_id=0, label="x", kind=kind, stream_id=stream,
+        start=start, end=end,
+    )
+
+
+def timeline(*records):
+    tl = Timeline()
+    for r in records:
+        tl.add(r)
+    return tl
+
+
+K = IntervalKind.KERNEL
+H = IntervalKind.TRANSFER_HTOD
+D = IntervalKind.TRANSFER_DTOH
+
+
+class TestHandBuilt:
+    def test_empty(self):
+        m = compute_overlaps(timeline())
+        assert (m.ct, m.tc, m.cc, m.tot) == (0.0, 0.0, 0.0, 0.0)
+
+    def test_no_overlap(self):
+        m = compute_overlaps(timeline(rec(H, 0, 1), rec(K, 1, 2)))
+        assert (m.ct, m.tc, m.cc, m.tot) == (0.0, 0.0, 0.0, 0.0)
+
+    def test_full_ct_overlap(self):
+        # Kernel fully covered by a transfer; transfer only half-covered.
+        m = compute_overlaps(timeline(rec(H, 0, 2), rec(K, 0, 1)))
+        assert m.ct == pytest.approx(1.0)
+        assert m.tc == pytest.approx(0.5)
+        assert m.cc == 0.0
+
+    def test_cc_overlap(self):
+        m = compute_overlaps(
+            timeline(rec(K, 0, 2, stream=1), rec(K, 1, 3, stream=2))
+        )
+        assert m.cc == pytest.approx(0.5)  # 1s overlap in each 2s kernel
+        assert m.ct == 0.0 and m.tc == 0.0
+        assert m.tot == pytest.approx(0.5)
+
+    def test_tot_counts_union_once(self):
+        # Three kernels all overlapping [0,1]: each is fully covered by
+        # the others, so TOT = 1 (not inflated beyond the union).
+        m = compute_overlaps(
+            timeline(rec(K, 0, 1), rec(K, 0, 1), rec(K, 0, 1))
+        )
+        assert m.tot == pytest.approx(1.0)
+        assert m.cc == pytest.approx(1.0)
+
+    def test_dtoh_counts_as_transfer(self):
+        m = compute_overlaps(timeline(rec(D, 0, 1), rec(K, 0, 1)))
+        assert m.ct == pytest.approx(1.0)
+        assert m.tc == pytest.approx(1.0)
+
+    def test_zero_duration_records_ignored(self):
+        m = compute_overlaps(
+            timeline(rec(K, 0, 1), rec(IntervalKind.EVENT, 0.5, 0.5))
+        )
+        assert m.tot == 0.0
+
+
+interval = st.tuples(
+    st.floats(min_value=0, max_value=10, allow_nan=False),
+    st.floats(min_value=0.01, max_value=5, allow_nan=False),
+).map(lambda t: (t[0], t[0] + t[1]))
+
+
+class TestProperties:
+    @given(
+        st.lists(interval, min_size=1, max_size=8),
+        st.lists(interval, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_all_fractions_in_unit_interval(self, ks, ts):
+        tl = timeline(
+            *(rec(K, a, b) for a, b in ks),
+            *(rec(H, a, b) for a, b in ts),
+        )
+        m = compute_overlaps(tl)
+        for v in (m.ct, m.tc, m.cc, m.tot):
+            assert -1e-9 <= v <= 1 + 1e-9
+
+    @given(st.lists(interval, min_size=2, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_tot_at_least_cc_weighted(self, ks):
+        # With only kernels, TOT == CC.
+        tl = timeline(*(rec(K, a, b) for a, b in ks))
+        m = compute_overlaps(tl)
+        assert m.tot == pytest.approx(m.cc, abs=1e-9)
+
+
+class TestOnRealRuns:
+    def test_serial_has_no_cc_overlap(self):
+        bench = create_benchmark("vec", 50_000, iterations=2)
+        result = bench.run("1660", Mode.SERIAL)
+        m = compute_overlaps(result.timeline)
+        assert m.cc == pytest.approx(0.0, abs=1e-9)
+        assert m.ct == pytest.approx(0.0, abs=1e-9)
+
+    def test_parallel_bs_has_cc_overlap(self):
+        bench = create_benchmark(
+            "b&s", 2_000_000, iterations=2, execute=False
+        )
+        result = bench.run("1660", Mode.PARALLEL)
+        m = compute_overlaps(result.timeline)
+        assert m.cc > 0.3  # ten overlapping chains
+        assert m.tot > 0.3
+
+    def test_parallel_vec_overlap_is_transfer_driven(self):
+        bench = create_benchmark(
+            "vec", 20_000_000, iterations=3, execute=False
+        )
+        result = bench.run("1660", Mode.PARALLEL)
+        m = compute_overlaps(result.timeline)
+        # VEC's speedup "comes only from transfer and computation
+        # overlap" (section V-F): kernels hide under transfers (CT),
+        # with no computation-computation overlap at all.
+        assert m.ct > 0.2
+        assert m.ct > m.tc
+        assert m.cc == pytest.approx(0.0, abs=0.05)
+        assert m.tot > 0.3

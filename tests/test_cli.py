@@ -1,0 +1,36 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["figure7"])
+        assert args.scales == 2
+        assert args.iterations == 3
+
+
+class TestExecution:
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "GPU memory" in out
+
+    def test_figure10_runs(self, capsys):
+        assert main(["figure10", "--iterations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "CT" in out

@@ -1,0 +1,23 @@
+"""Shared fixtures for the workload tests.
+
+Test scales are tiny (so functional numpy execution stays fast); the
+timing experiments of the ``benchmarks/`` tree use the paper's scales
+with functional execution disabled.
+"""
+
+import pytest
+
+#: small-but-nontrivial scales per benchmark
+TEST_SCALES = {
+    "vec": 50_000,
+    "b&s": 10_000,
+    "img": 96,
+    "ml": 1_000,
+    "hits": 2_000,
+    "dl": 64,
+}
+
+
+@pytest.fixture(params=sorted(TEST_SCALES))
+def bench_name(request):
+    return request.param

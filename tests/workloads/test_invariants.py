@@ -1,0 +1,77 @@
+"""Cross-cutting scheduler invariants over the whole benchmark grid.
+
+These are the regression net for the paper's two strongest claims:
+
+* the parallel scheduler is **never slower** than the serial one;
+* the automatic scheduler is **never significantly slower** than any
+  hand-optimized baseline.
+
+Run at reduced scales (timing-only) so the whole grid fits in the unit
+suite; the full-scale versions live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.core.race import check_no_races
+from repro.metrics import compute_hardware_metrics
+from repro.gpusim.specs import gpu_by_name
+from repro.workloads import BENCHMARKS, Mode, create_benchmark
+
+#: reduced scales (~1/10 of the smallest paper point): fast but still
+#: kernel-dominated
+SMALL_SCALES = {
+    "vec": 2_000_000,
+    "b&s": 200_000,
+    "img": 512,
+    "ml": 20_000,
+    "hits": 400_000,
+    "dl": 512,
+}
+
+GPUS = ["GTX 960", "GTX 1660 Super", "Tesla P100"]
+
+
+def run(name, gpu, mode):
+    bench = create_benchmark(
+        name, SMALL_SCALES[name], iterations=3, execute=False
+    )
+    return bench.run(gpu, mode)
+
+
+@pytest.mark.parametrize("gpu", GPUS)
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+class TestGridInvariants:
+    def test_parallel_never_slower_than_serial(self, name, gpu):
+        serial = run(name, gpu, Mode.SERIAL)
+        parallel = run(name, gpu, Mode.PARALLEL)
+        assert parallel.elapsed <= serial.elapsed * 1.02
+
+    def test_parallel_race_free(self, name, gpu):
+        check_no_races(run(name, gpu, Mode.PARALLEL).timeline)
+
+    def test_counters_mode_invariant(self, name, gpu):
+        spec = gpu_by_name(gpu)
+        hw_s = compute_hardware_metrics(
+            run(name, gpu, Mode.SERIAL).timeline, spec
+        )
+        hw_p = compute_hardware_metrics(
+            run(name, gpu, Mode.PARALLEL).timeline, spec
+        )
+        assert hw_s.total_flops == pytest.approx(hw_p.total_flops)
+        assert hw_s.total_dram_bytes == pytest.approx(
+            hw_p.total_dram_bytes
+        )
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+class TestBaselineParity:
+    def test_never_significantly_slower_than_handtuned(self, name):
+        grcuda = run(name, "GTX 1660 Super", Mode.PARALLEL)
+        tuned = run(name, "GTX 1660 Super", Mode.HANDTUNED)
+        # "no significant slowdown against hand-optimized scheduling"
+        assert grcuda.elapsed <= tuned.elapsed * 1.15
+
+    def test_beats_or_matches_graph_api(self, name):
+        grcuda = run(name, "GTX 1660 Super", Mode.PARALLEL)
+        graph = run(name, "GTX 1660 Super", Mode.GRAPH_MANUAL)
+        assert grcuda.elapsed <= graph.elapsed * 1.10
