@@ -6,6 +6,8 @@ Usage::
     python -m repro figure7 --scales 2 --iterations 3
     python -m repro table1
     python -m repro all --scales 1
+    python -m repro serve-bench --tenants 4 --requests 100 \
+        --fleet-size 2 --admission fair-share --placement least-loaded
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from repro.harness import (
     figure10,
     figure11,
     figure12,
+    serve_bench,
     table1,
 )
 
@@ -41,7 +44,20 @@ EXPERIMENTS = {
     "figure10": (figure10, "ML execution timeline with overlaps"),
     "figure11": (figure11, "CT/TC/CC/TOT overlap fractions"),
     "figure12": (figure12, "hardware metrics, serial vs parallel"),
+    "serve-bench": (
+        serve_bench,
+        "multi-tenant serving throughput over a simulated GPU fleet",
+    ),
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,16 +89,73 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="iterations per benchmark execution (default 3)",
     )
+    serving = parser.add_argument_group(
+        "serve-bench options",
+        "only used by the serve-bench experiment",
+    )
+    serving.add_argument(
+        "--tenants",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="number of logical tenants (default 4)",
+    )
+    serving.add_argument(
+        "--requests",
+        type=_positive_int,
+        default=100,
+        metavar="N",
+        help="task graphs submitted across all tenants (default 100)",
+    )
+    serving.add_argument(
+        "--fleet-size",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="simulated GPUs in the fleet (default 2)",
+    )
+    serving.add_argument(
+        "--admission",
+        choices=["fifo", "priority", "fair-share"],
+        default="fair-share",
+        help="admission-control policy (default fair-share)",
+    )
+    serving.add_argument(
+        "--placement",
+        choices=["round-robin", "min-transfer", "least-loaded"],
+        default="least-loaded",
+        help="fleet placement policy (default least-loaded)",
+    )
+    serving.add_argument(
+        "--gpu",
+        default="GTX 1660 Super",
+        help="GPU model of the fleet (default 'GTX 1660 Super')",
+    )
+    serving.add_argument(
+        "--validate",
+        action="store_true",
+        help="check every request's results against serial execution",
+    )
     return parser
 
 
-def run_experiment(name: str, scales: int, iterations: int) -> None:
+def run_experiment(name: str, args: argparse.Namespace) -> None:
     fn, _ = EXPERIMENTS[name]
     kwargs: dict = {"render": True}
+    if name == "serve-bench":
+        kwargs.update(
+            tenants=args.tenants,
+            requests=args.requests,
+            fleet_size=args.fleet_size,
+            admission=args.admission,
+            placement=args.placement,
+            gpu=args.gpu,
+            validate=args.validate,
+        )
     if name in _SCALED:
-        kwargs["scales_per_gpu"] = scales
+        kwargs["scales_per_gpu"] = args.scales
     if name in _ITERATED:
-        kwargs["iterations"] = iterations
+        kwargs["iterations"] = args.iterations
     fn(**kwargs)
 
 
@@ -93,11 +166,14 @@ def main(argv: list[str] | None = None) -> int:
         for name, (_, desc) in EXPERIMENTS.items():
             print(f"{name.ljust(width)}  {desc}")
         return 0
-    names = (
-        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    )
+    if args.experiment == "all":
+        # "all" means the paper's figures/tables; the serving benchmark
+        # is not a paper experiment and stays opt-in.
+        names = [n for n in EXPERIMENTS if n != "serve-bench"]
+    else:
+        names = [args.experiment]
     for name in names:
-        run_experiment(name, args.scales, args.iterations)
+        run_experiment(name, args)
         print()
     return 0
 

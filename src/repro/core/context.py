@@ -43,6 +43,47 @@ from repro.memory.array import AccessKind, DeviceArray
 from repro.memory.transfer import MigrationTracker, TransferPlanner
 
 
+def annotate_kernel_access_sets(op: KernelOp, launch: KernelLaunch) -> None:
+    """Stamp the launch's access sets on ``op`` for the race detector
+    and timeline introspection (shared by every kernel submission path:
+    execution contexts, CUDA-graph replay, serving replay)."""
+    op.info["reads"] = frozenset(
+        id(a) for a, k in launch.array_args if k.reads
+    )
+    op.info["writes"] = frozenset(
+        id(a) for a, k in launch.array_args if k.writes
+    )
+    op.info["array_names"] = {
+        id(a): a.name for a, _ in launch.array_args
+    }
+
+
+def kernel_history_recorder(launch: KernelLaunch, sink):
+    """An ``on_complete`` callback feeding a
+    :class:`KernelExecutionRecord` for ``launch`` into ``sink`` (e.g.
+    ``KernelHistory.record`` or a per-tenant list's ``append``)."""
+    data_bytes = float(sum(a.nbytes for a, _ in launch.array_args))
+
+    def record(completed_op) -> None:
+        sink(
+            KernelExecutionRecord(
+                kernel_name=launch.label,
+                threads_per_block=launch.threads_per_block,
+                blocks=launch.blocks,
+                data_bytes=data_bytes,
+                duration=completed_op.end_time - completed_op.start_time,
+                stream_id=(
+                    completed_op.stream.stream_id
+                    if completed_op.stream is not None
+                    else -1
+                ),
+                end_time=completed_op.end_time,
+            )
+        )
+
+    return record
+
+
 class ExecutionContext(abc.ABC):
     """Common machinery for both scheduling policies."""
 
@@ -56,6 +97,10 @@ class ExecutionContext(abc.ABC):
         #: per-kernel execution history (section IV-A), feeding the
         #: block-size heuristic of section VI
         self.history = KernelHistory()
+        #: extra key/values merged into every submitted op's ``info``.
+        #: Multi-tenant hosts (``repro.serve``) set e.g. a tenant name
+        #: here so shared-engine timeline records stay attributable.
+        self.op_tags: dict = {}
         self.kernel_count = 0
         self.cpu_access_fast_path_count = 0
         self.cpu_access_element_count = 0
@@ -94,37 +139,11 @@ class ExecutionContext(abc.ABC):
             resources=resources,
             compute_fn=launch.execute,
         )
-        # Annotate the access sets for the race detector / introspection.
-        op.info["reads"] = frozenset(
-            id(a) for a, k in launch.array_args if k.reads
+        annotate_kernel_access_sets(op, launch)
+        op.info.update(self.op_tags)
+        op.on_complete.append(
+            kernel_history_recorder(launch, self.history.record)
         )
-        op.info["writes"] = frozenset(
-            id(a) for a, k in launch.array_args if k.writes
-        )
-        op.info["array_names"] = {
-            id(a): a.name for a, _ in launch.array_args
-        }
-        data_bytes = float(sum(a.nbytes for a, _ in launch.array_args))
-
-        def record_history(completed_op) -> None:
-            self.history.record(
-                KernelExecutionRecord(
-                    kernel_name=launch.label,
-                    threads_per_block=launch.threads_per_block,
-                    blocks=launch.blocks,
-                    data_bytes=data_bytes,
-                    duration=completed_op.end_time
-                    - completed_op.start_time,
-                    stream_id=(
-                        completed_op.stream.stream_id
-                        if completed_op.stream is not None
-                        else -1
-                    ),
-                    end_time=completed_op.end_time,
-                )
-            )
-
-        op.on_complete.append(record_history)
         return op
 
     def _submit_read_migrations(
@@ -147,6 +166,7 @@ class ExecutionContext(abc.ABC):
         migrated: list = []
         for op in transfers:
             op.apply_fn = None  # applied eagerly below instead
+            op.info.update(self.op_tags)
             self.engine.submit(stream, op)
         for array, access in launch.array_args:
             if access.reads and array.stale_device_bytes() > 0:
@@ -217,6 +237,7 @@ class SerialExecutionContext(ExecutionContext):
         op = TransferPlanner.cpu_access_migration(array, kind, touched)
         if op is not None:
             op.apply_fn = None
+            op.info.update(self.op_tags)
             self.engine.submit(self.engine.default_stream, op)
             self.engine.sync_stream(self.engine.default_stream)
         if kind.reads:
@@ -315,6 +336,7 @@ class ParallelExecutionContext(ExecutionContext):
 
         if migration is not None:
             migration.apply_fn = None
+            migration.info.update(self.op_tags)
             stream = self.engine.default_stream
             self.engine.submit(stream, migration)
             self.engine.sync_stream(stream)
@@ -377,14 +399,13 @@ class ParallelExecutionContext(ExecutionContext):
             instructions=0.0,
             threads_total=spec.max_resident_threads,
         )
-        self.engine.submit(
-            stream,
-            KernelOp(
-                label=element.label,
-                resources=resources,
-                compute_fn=element.fn,
-            ),
+        op = KernelOp(
+            label=element.label,
+            resources=resources,
+            compute_fn=element.fn,
         )
+        op.info.update(self.op_tags)
+        self.engine.submit(stream, op)
         element.finish_event = self.engine.record_event(
             stream, label=f"done:{element.label}"
         )

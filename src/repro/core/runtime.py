@@ -52,13 +52,62 @@ class GrCUDARuntime:
         self.device = Device(spec)
         self.engine = SimEngine(self.device)
         self.registry = registry
-        if self.config.execution is ExecutionPolicy.SERIAL:
-            self.context: ExecutionContext = SerialExecutionContext(
-                self.engine, self.config
-            )
-        else:
-            self.context = ParallelExecutionContext(self.engine, self.config)
+        self.context: ExecutionContext = self._build_context()
         self._arrays: list[DeviceArray] = []
+        #: contexts retired by :meth:`renew_context` (re-entrancy count)
+        self.context_generation = 0
+
+    def _build_context(self) -> ExecutionContext:
+        if self.config.execution is ExecutionPolicy.SERIAL:
+            return SerialExecutionContext(self.engine, self.config)
+        return ParallelExecutionContext(self.engine, self.config)
+
+    def renew_context(
+        self, op_tags: dict | None = None, drain: bool = True
+    ) -> ExecutionContext:
+        """Replace the execution context with a fresh one (re-entrant use).
+
+        A long-lived runtime serving many independent task graphs (see
+        :mod:`repro.serve`) reuses the device and engine while giving
+        each admitted graph its own DAG, stream manager and kernel
+        history — the isolation a tenant would get from a private
+        runtime, without re-building the device.  By default the old
+        context is drained first and its streams are reclaimed from the
+        engine, so the scheduling loop does not scan ever-growing
+        dead-stream lists; arrays still registered with the runtime are
+        re-attached to the new context.
+
+        ``drain=False`` swaps contexts *without* synchronizing: the old
+        context's submitted work stays in flight and its arrays keep
+        their hooks, so several contexts can coexist on the engine (the
+        serving layer's batch path).  The caller then owns draining the
+        engine and reclaiming the retired contexts' streams.
+
+        ``op_tags`` (e.g. ``{"tenant": "a"}``) are merged into every op
+        the new context submits, keeping shared-engine timeline records
+        attributable.
+        """
+        if drain:
+            self.context.sync()
+            old = self.context
+            if isinstance(old, ParallelExecutionContext):
+                self.engine.reclaim_streams(old.streams.streams)
+        ctx = self._build_context()
+        if op_tags:
+            ctx.op_tags.update(op_tags)
+        if drain:
+            for arr in self._arrays:
+                ctx.attach(arr)
+        self.context = ctx
+        self.context_generation += 1
+        return ctx
+
+    def _dispatch_launch(self, launch) -> None:
+        """Route a kernel launch to the *current* context.
+
+        Kernels keep working across :meth:`renew_context` because they
+        bind this dispatcher rather than one context's ``launch``."""
+        self.context.launch(launch)
 
     # -- arrays ---------------------------------------------------------------
 
@@ -86,6 +135,12 @@ class GrCUDARuntime:
         self._arrays.append(arr)
         return arr
 
+    def adopt_array(self, arr: DeviceArray) -> None:
+        """Track an externally-created array on this runtime's device so
+        :meth:`free_arrays` releases it (used by executors that manage
+        coherence manually, e.g. the serving layer's replay path)."""
+        self._arrays.append(arr)
+
     def free_arrays(self) -> None:
         """Release every array allocated through this runtime."""
         for arr in self._arrays:
@@ -108,7 +163,7 @@ class GrCUDARuntime:
             name,
             signature,
             cost_model=cost_model,
-            launch_handler=self.context.launch,
+            launch_handler=self._dispatch_launch,
             registry=self.registry,
         )
 

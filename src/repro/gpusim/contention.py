@@ -199,48 +199,54 @@ class ContentionModel:
             speed[k.op_id] = granted / t.sm_fraction  # <= 1.0
 
         # 3. Shared device-wide pools: DRAM bandwidth, L2 bandwidth and
-        #    the page-fault controller.  Demand on each pool is
-        #    proportional to current speed; if aggregate demand exceeds
-        #    capacity, consumers of that pool scale down.  (FP64 units
-        #    need no extra pool: they live per-SM, so their sharing is
-        #    exactly the SM water-filling above — the scarcity of FP64
-        #    on consumer parts is captured in the solo roofline.)
+        #    the page-fault controller.  A kernel whose uncontended
+        #    duration is T and whose pool term is p uses fraction
+        #    ``w = p/T`` of the pool at full speed, so the pool's
+        #    aggregate weight is ``W = sum(w)`` over its users; when the
+        #    pool is over-subscribed every user is capped at speed
+        #    ``1/W`` (proportional sharing), which caps aggregate
+        #    utilisation at ``sum((1/W) * w) = 1``.  Non-users are
+        #    untouched.  Both cap terms — the SM water-filling scale and
+        #    ``1/W`` — can only shrink when a kernel is added, so the
+        #    allocation is *monotone*: adding a kernel never raises any
+        #    existing kernel's rate (the property the engine's
+        #    next-completion jumps rely on, and that a redistribution
+        #    heuristic would violate).  (FP64 units need no extra pool:
+        #    they live per-SM, so their sharing is exactly the SM
+        #    water-filling above — the scarcity of FP64 on consumer
+        #    parts is captured in the solo roofline.)
         for pool_time in (
             lambda t: t.dram_time,
             lambda t: t.l2_time,
             lambda t: t.fault_time,
         ):
-            self._scale_shared_pool(kernels, timings, speed, pool_time)
+            self._cap_shared_pool(kernels, timings, speed, pool_time)
 
         for k in kernels:
             t = timings[k.op_id]
             rates[k.op_id] = speed[k.op_id] / t.duration
 
     @staticmethod
-    def _scale_shared_pool(kernels, timings, speed, pool_time) -> None:
-        """Scale ``speed`` so the pool's aggregate utilisation <= 1.
+    def _cap_shared_pool(kernels, timings, speed, pool_time) -> None:
+        """Cap every pool user's ``speed`` at its proportional share.
 
-        A kernel whose uncontended duration is T and whose pool term is
-        ``p = pool_time`` uses fraction ``p/T`` of the pool at full speed;
-        at ``speed`` s it uses ``s * p / T``.  Kernels barely bound by
-        the pool are slowed less than fully-bound ones; since that
-        weighting is heuristic, iterate to a fixed point so aggregate
-        demand genuinely stays within the pool's capacity.
+        With weights ``w_i = pool_time_i / duration_i`` the pool supports
+        everyone at full speed iff ``W = sum(w_i) <= 1``; beyond that each
+        user is capped at ``1/W``.  The cap depends only on the *set* of
+        users (not on their current speeds), which makes the resulting
+        allocation monotone under adding kernels.
         """
-        for _ in range(8):
-            demand = 0.0
-            for k in kernels:
-                t = timings[k.op_id]
-                demand += speed[k.op_id] * (pool_time(t) / t.duration)
-            if demand <= 1.0 + 1e-12:
-                return
-            scale = 1.0 / demand
-            for k in kernels:
-                t = timings[k.op_id]
-                if pool_time(t) > 0:
-                    speed[k.op_id] *= scale + (1 - scale) * (
-                        1 - pool_time(t) / t.duration
-                    )
+        weight = 0.0
+        for k in kernels:
+            t = timings[k.op_id]
+            weight += pool_time(t) / t.duration
+        if weight <= 1.0:
+            return
+        cap = 1.0 / weight
+        for k in kernels:
+            t = timings[k.op_id]
+            if pool_time(t) > 0:
+                speed[k.op_id] = min(speed[k.op_id], cap)
 
     #: Rate assigned to transfers queued behind the DMA engine head.
     #: Must be positive (the engine rejects stalled ops) but small enough

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.errors import DeadlockError, InvalidStateError, SimulationError
 from repro.gpusim.device import Device
@@ -82,6 +82,28 @@ class SimEngine:
 
     def stream(self, stream_id: int) -> SimStream:
         return self._streams[stream_id]
+
+    def reclaim_stream(self, stream: SimStream) -> None:
+        """Destroy an idle stream and stop scheduling over it.
+
+        Long-lived engines that serve many short-lived contexts (see
+        :meth:`repro.core.runtime.GrCUDARuntime.renew_context`) would
+        otherwise scan an ever-growing list of dead streams on every
+        scheduling step.  The default stream cannot be reclaimed.
+        """
+        if stream is self.default_stream:
+            raise InvalidStateError("cannot reclaim the default stream")
+        if self._streams.get(stream.stream_id) is not stream:
+            raise InvalidStateError(
+                f"stream {stream.label} does not belong to this engine"
+            )
+        stream.destroy()  # raises if busy
+        del self._streams[stream.stream_id]
+
+    def reclaim_streams(self, streams: Iterable[SimStream]) -> None:
+        """Reclaim several idle streams (see :meth:`reclaim_stream`)."""
+        for stream in streams:
+            self.reclaim_stream(stream)
 
     # -- submission -----------------------------------------------------------
 

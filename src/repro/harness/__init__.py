@@ -19,8 +19,10 @@ from repro.harness.figures import (
     figure11,
     figure12,
 )
+from repro.harness.serving import serve_bench
 
 __all__ = [
+    "serve_bench",
     "ExperimentCell",
     "run_cell",
     "sweep_cells",

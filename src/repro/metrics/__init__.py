@@ -7,12 +7,21 @@
   substitute);
 * :mod:`repro.metrics.contention_free` — the contention-free execution
   bound of section V-E (Fig. 9);
-* :mod:`repro.metrics.stats` — geomean/median helpers.
+* :mod:`repro.metrics.stats` — geomean/median helpers;
+* :mod:`repro.metrics.service` — serving-layer indicators: latency
+  percentiles (p50/p95/p99), throughput and fleet utilization.
 """
 
 from repro.metrics.overlap import OverlapMetrics, compute_overlaps
 from repro.metrics.hardware import HardwareMetrics, compute_hardware_metrics
 from repro.metrics.contention_free import contention_free_time
+from repro.metrics.service import (
+    LatencyStats,
+    ServiceMetrics,
+    busy_seconds,
+    compute_service_metrics,
+    percentile,
+)
 from repro.metrics.stats import geomean, median
 
 __all__ = [
@@ -21,6 +30,11 @@ __all__ = [
     "HardwareMetrics",
     "compute_hardware_metrics",
     "contention_free_time",
+    "LatencyStats",
+    "ServiceMetrics",
+    "busy_seconds",
+    "compute_service_metrics",
+    "percentile",
     "geomean",
     "median",
 ]

@@ -1,0 +1,164 @@
+"""Service-level metrics for the multi-tenant serving layer.
+
+The paper's evaluation reports per-program makespans; a serving system
+is judged on *distributions*: request latency percentiles (p50/p95/p99),
+sustained throughput, and how busy the fleet actually was.  This module
+computes those from the per-request results and per-device timelines the
+:class:`repro.serve.service.SchedulerService` produces.
+
+All times are virtual (simulated) seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.gpusim.timeline import IntervalKind, Timeline
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.request import GraphResult
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Raises
+    ------
+    ValueError
+        On empty input or ``q`` outside [0, 100].
+    """
+    items = sorted(values)
+    if not items:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    if len(items) == 1:
+        return items[0]
+    pos = (q / 100.0) * (len(items) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return items[lo]
+    frac = pos - lo
+    return items[lo] * (1.0 - frac) + items[hi] * frac
+
+
+def busy_seconds(
+    timeline: Timeline, *, include_transfers: bool = True
+) -> float:
+    """Measure of the union of the timeline's busy intervals.
+
+    Overlapping kernels/transfers count once (this is *occupancy*, not
+    work): the device was busy whenever at least one operation ran.
+    """
+    intervals = sorted(
+        (r.start, r.end)
+        for r in timeline
+        if r.kind is IntervalKind.KERNEL
+        or (include_transfers and r.kind.is_transfer)
+    )
+    total = 0.0
+    cur_start: float | None = None
+    cur_end = 0.0
+    for start, end in intervals:
+        if cur_start is None or start > cur_end:
+            if cur_start is not None:
+                total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    if cur_start is not None:
+        total += cur_end - cur_start
+    return total
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of one latency distribution (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    worst: float
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "LatencyStats":
+        items = list(values)
+        if not items:
+            raise ValueError("no latencies to summarize")
+        return cls(
+            count=len(items),
+            mean=sum(items) / len(items),
+            p50=percentile(items, 50),
+            p95=percentile(items, 95),
+            p99=percentile(items, 99),
+            worst=max(items),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceMetrics:
+    """Aggregate service-level indicators of one serving run."""
+
+    completed: int
+    tenants: int
+    makespan: float                      # first arrival -> last completion
+    throughput_rps: float                # completed / makespan
+    latency: LatencyStats
+    queue_wait: LatencyStats
+    per_tenant: dict[str, LatencyStats] = field(default_factory=dict)
+    device_busy: tuple[float, ...] = ()
+    device_utilization: tuple[float, ...] = ()
+    batches: int = 0
+    batched_requests: int = 0            # requests that shared a batch
+    capture_hits: int = 0
+    capture_misses: int = 0
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.device_utilization:
+            return 0.0
+        return sum(self.device_utilization) / len(self.device_utilization)
+
+
+def compute_service_metrics(
+    results: Sequence["GraphResult"],
+    device_timelines: Sequence[Timeline],
+    *,
+    batches: int = 0,
+    capture_hits: int = 0,
+    capture_misses: int = 0,
+) -> ServiceMetrics:
+    """Summarize a serving run from its results and device timelines."""
+    if not results:
+        raise ValueError("no results to summarize")
+    first_arrival = min(r.arrival_time for r in results)
+    last_finish = max(r.finish_time for r in results)
+    makespan = max(last_finish - first_arrival, 1e-12)
+
+    by_tenant: dict[str, list[float]] = {}
+    for r in results:
+        by_tenant.setdefault(r.tenant, []).append(r.latency)
+
+    busy = tuple(busy_seconds(t) for t in device_timelines)
+    return ServiceMetrics(
+        completed=len(results),
+        tenants=len(by_tenant),
+        makespan=makespan,
+        throughput_rps=len(results) / makespan,
+        latency=LatencyStats.from_values(r.latency for r in results),
+        queue_wait=LatencyStats.from_values(r.queue_wait for r in results),
+        per_tenant={
+            t: LatencyStats.from_values(v) for t, v in by_tenant.items()
+        },
+        device_busy=busy,
+        device_utilization=tuple(b / makespan for b in busy),
+        batches=batches,
+        batched_requests=sum(1 for r in results if r.batch_size > 1),
+        capture_hits=capture_hits,
+        capture_misses=capture_misses,
+    )

@@ -11,6 +11,9 @@ Placement policies:
   location and migration costs at run time".  Each candidate device is
   priced as (bytes it would have to migrate) plus a load-balance tiebreak
   on outstanding work.
+* ``LEAST_LOADED`` — ignores data location and picks the device with
+  the least outstanding (estimated) work; the classic serving-fleet
+  dispatch rule that :mod:`repro.serve` builds on.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ from repro.multigpu.array import MultiGpuArray
 class DevicePlacementPolicy(enum.Enum):
     ROUND_ROBIN = "round-robin"
     MIN_TRANSFER = "min-transfer"
+    LEAST_LOADED = "least-loaded"
 
 
 class _PerDevice:
@@ -152,6 +156,11 @@ class MultiGpuScheduler:
             choice = self._rr_next
             self._rr_next = (self._rr_next + 1) % len(self.devices)
             return choice
+        if self.policy is DevicePlacementPolicy.LEAST_LOADED:
+            return min(
+                range(len(self.devices)),
+                key=lambda i: (self._per_device[i].outstanding_work, i),
+            )
         return min(
             range(len(self.devices)),
             key=lambda i: self._placement_cost(i, launch),

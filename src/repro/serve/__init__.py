@@ -1,0 +1,79 @@
+"""Multi-tenant GPU serving layer.
+
+The paper's scheduler extracts parallelism from *one* host program's
+computation DAG.  This package makes the jump to shared infrastructure:
+a :class:`SchedulerService` accepts task-graph submissions from many
+logical tenants, admission-controls them (FIFO / priority / fair-share),
+and dispatches them onto a :class:`GpuFleet` — a pool of long-lived
+:class:`~repro.core.runtime.GrCUDARuntime` instances placed per the
+multi-GPU policies (round-robin / min-transfer / least-loaded) — with
+request batching, a reusable-capture cache and service-level metrics
+(p50/p95/p99 latency, throughput, fleet utilization).
+
+Quickstart::
+
+    from repro.serve import SchedulerService, ServeConfig, AdmissionPolicy
+    from repro.serve.workloads import mixed_workload_graphs
+
+    svc = SchedulerService(
+        fleet_size=2,
+        config=ServeConfig(admission=AdmissionPolicy.FAIR_SHARE),
+    )
+    for i, graph in enumerate(mixed_workload_graphs(16)):
+        svc.submit(f"tenant{i % 4}", graph)
+    report = svc.run()
+    print(report.render())
+"""
+
+from repro.multigpu.scheduler import DevicePlacementPolicy
+from repro.serve.admission import (
+    AdmissionPolicy,
+    AdmissionQueue,
+    FairShareQueue,
+    FifoQueue,
+    PriorityQueue,
+    make_queue,
+)
+from repro.serve.capture import CaptureCache, CapturePlan, derive_plan
+from repro.serve.fleet import FleetDevice, GpuFleet
+from repro.serve.request import (
+    ArrayDecl,
+    GraphRequest,
+    GraphResult,
+    KernelDecl,
+    LaunchDecl,
+    TaskGraph,
+    execute_serial,
+)
+from repro.serve.service import (
+    SchedulerService,
+    ServeConfig,
+    ServiceReport,
+)
+from repro.serve.tenant import TenantState
+
+__all__ = [
+    "AdmissionPolicy",
+    "AdmissionQueue",
+    "ArrayDecl",
+    "CaptureCache",
+    "CapturePlan",
+    "DevicePlacementPolicy",
+    "FairShareQueue",
+    "FifoQueue",
+    "FleetDevice",
+    "GpuFleet",
+    "GraphRequest",
+    "GraphResult",
+    "KernelDecl",
+    "LaunchDecl",
+    "PriorityQueue",
+    "SchedulerService",
+    "ServeConfig",
+    "ServiceReport",
+    "TaskGraph",
+    "TenantState",
+    "derive_plan",
+    "execute_serial",
+    "make_queue",
+]

@@ -1,0 +1,160 @@
+"""The simulated GPU fleet behind the serving layer.
+
+A :class:`GpuFleet` is a pool of :class:`~repro.core.runtime.GrCUDARuntime`
+instances — one long-lived runtime (device + engine) per GPU — plus the
+placement decision: *which GPU serves the next admitted request*.
+Placement reuses the multi-GPU scheduler's policy vocabulary
+(:class:`repro.multigpu.scheduler.DevicePlacementPolicy`):
+
+* ``ROUND_ROBIN`` — cycle through the fleet;
+* ``LEAST_LOADED`` — the device that becomes available earliest (its
+  engine's virtual clock is the time it would start new work);
+* ``MIN_TRANSFER`` — the serving analogue of "compute data location and
+  migration costs at run time": a device that has already served this
+  graph topology is *warm* (kernels built, capture plan exercised, no
+  setup bytes to move) and is preferred; cold devices are priced at the
+  graph's full UM footprint, tie-broken by availability.
+
+Each device keeps a per-fleet kernel cache (kernels bind the runtime's
+context *dispatcher*, so they survive per-request context renewal) and a
+reusable replay-stream pool for capture-cache fast paths.
+"""
+
+from __future__ import annotations
+
+from repro.core.policies import SchedulerConfig
+from repro.core.runtime import GrCUDARuntime
+from repro.gpusim.specs import GPUSpec, gpu_by_name
+from repro.gpusim.stream import SimStream
+from repro.kernels.kernel import Kernel
+from repro.multigpu.scheduler import DevicePlacementPolicy
+from repro.serve.request import GraphRequest
+
+
+class FleetDevice:
+    """One GPU of the fleet: a long-lived runtime plus serving state."""
+
+    def __init__(self, index: int, spec: GPUSpec,
+                 config: SchedulerConfig | None = None) -> None:
+        self.index = index
+        self.runtime = GrCUDARuntime(gpu=spec, config=config)
+        #: kernel cache: KernelDecl.identity -> built Kernel
+        self._kernels: dict[tuple, Kernel] = {}
+        #: topology keys this device has served (MIN_TRANSFER warmth)
+        self.warm_topologies: set[tuple] = set()
+        #: replay stream pool (capture fast path)
+        self._replay_streams: list[SimStream] = []
+        self.requests_served = 0
+        self.kernels_launched = 0
+
+    @property
+    def engine(self):
+        return self.runtime.engine
+
+    @property
+    def clock(self) -> float:
+        """Virtual time at which this device would start new work."""
+        return self.runtime.engine.clock
+
+    def kernel_for(self, decl) -> Kernel:
+        """Build-or-reuse the kernel for ``decl`` on this device."""
+        kernel = self._kernels.get(decl.identity)
+        if kernel is None:
+            kernel = self.runtime.build_kernel(
+                decl.fn, decl.name, decl.signature, cost_model=decl.cost
+            )
+            self._kernels[decl.identity] = kernel
+        return kernel
+
+    def lease_replay_streams(self, count: int) -> list[SimStream]:
+        """``count`` idle streams from the replay pool, growing it on
+        demand.  Pool streams are only used between engine syncs, so
+        reuse is safe."""
+        while len(self._replay_streams) < count:
+            self._replay_streams.append(
+                self.engine.create_stream(
+                    label=f"replay{self.index}-{len(self._replay_streams)}"
+                )
+            )
+        return self._replay_streams[:count]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FleetDevice {self.index} {self.runtime.spec.name}"
+            f" served={self.requests_served}>"
+        )
+
+
+class GpuFleet:
+    """A pool of simulated GPUs with a placement policy."""
+
+    def __init__(
+        self,
+        gpus: list[str | GPUSpec],
+        policy: DevicePlacementPolicy = DevicePlacementPolicy.LEAST_LOADED,
+        config: SchedulerConfig | None = None,
+    ) -> None:
+        if not gpus:
+            raise ValueError("a fleet needs at least one GPU")
+        specs = [gpu_by_name(g) if isinstance(g, str) else g for g in gpus]
+        self.devices = [
+            FleetDevice(i, spec, config=config)
+            for i, spec in enumerate(specs)
+        ]
+        self.policy = policy
+        self._rr_next = 0
+
+    @classmethod
+    def build(
+        cls,
+        size: int,
+        gpu: str | GPUSpec = "GTX 1660 Super",
+        policy: DevicePlacementPolicy = DevicePlacementPolicy.LEAST_LOADED,
+        config: SchedulerConfig | None = None,
+    ) -> "GpuFleet":
+        """Factory: a homogeneous fleet of ``size`` × ``gpu``."""
+        if size <= 0:
+            raise ValueError("fleet size must be positive")
+        return cls([gpu] * size, policy=policy, config=config)
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    # -- placement ---------------------------------------------------------
+
+    def choose(self, request: GraphRequest) -> FleetDevice:
+        """Pick the device that serves ``request`` per the policy."""
+        if self.policy is DevicePlacementPolicy.ROUND_ROBIN:
+            device = self.devices[self._rr_next]
+            self._rr_next = (self._rr_next + 1) % len(self.devices)
+            return device
+        if self.policy is DevicePlacementPolicy.LEAST_LOADED:
+            return min(self.devices, key=lambda d: (d.clock, d.index))
+        # MIN_TRANSFER: migration cost first, availability tie-break.
+        key = request.topology_key
+        return min(
+            self.devices,
+            key=lambda d: (
+                0 if key in d.warm_topologies
+                else request.graph.total_bytes,
+                d.clock,
+                d.index,
+            ),
+        )
+
+    # -- fleet-level accounting ---------------------------------------------
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time by which every device has drained."""
+        return max(d.clock for d in self.devices)
+
+    def kernel_counts(self) -> list[int]:
+        return [d.kernels_launched for d in self.devices]
+
+
+__all__ = [
+    "FleetDevice",
+    "GpuFleet",
+    "DevicePlacementPolicy",
+]

@@ -1,0 +1,258 @@
+"""Task-graph submissions: what a tenant hands the serving layer.
+
+A :class:`TaskGraph` is a *declarative*, runtime-independent description
+of one client computation: the arrays it allocates (with optional host
+input data), the kernels it builds and the launches of its host program
+in program order.  It is exactly the information a GrCUDA host program
+conveys through the Fig. 4 API, reified as data so that the
+:class:`~repro.serve.service.SchedulerService` can queue it, batch it,
+price it and replay it — the per-request unit the serving layer
+multiplexes over the fleet.
+
+Dependency inference stays where it always was: when a request executes,
+its launches flow through a (per-request) execution context which infers
+the DAG from dependency sets, or through a cached capture plan derived
+from the same analysis.  Per-tenant numerical results are therefore
+identical to running the same graph alone on a private runtime.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.policies import ExecutionPolicy, SchedulerConfig
+from repro.core.runtime import GrCUDARuntime
+from repro.gpusim.specs import GPUSpec
+from repro.kernels.profile import CostModel
+from repro.kernels.signature import parse_signature
+
+_request_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """One array of a task graph, with optional host input data."""
+
+    name: str
+    shape: tuple[int, ...] | int
+    dtype: Any = np.float32
+    #: host data copied in before the first launch (None -> zeros, the
+    #: fresh-UM default)
+    init: np.ndarray | None = None
+
+    @property
+    def nbytes(self) -> int:
+        shape = (self.shape,) if isinstance(self.shape, int) else self.shape
+        n = 1
+        for s in shape:
+            n *= s
+        return n * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class KernelDecl:
+    """One kernel of a task graph: implementation + signature + cost."""
+
+    name: str
+    signature: str
+    fn: Callable[..., None]
+    cost: CostModel
+
+    @property
+    def identity(self) -> tuple:
+        """Hashable identity used by topology keys and kernel caches."""
+        return (
+            self.name,
+            self.signature,
+            getattr(self.fn, "__qualname__", repr(self.fn)),
+            repr(self.cost),
+        )
+
+
+@dataclass(frozen=True)
+class LaunchDecl:
+    """One kernel launch in host-program order.
+
+    String entries of ``args`` name graph arrays; everything else passes
+    through as a scalar (the :class:`~repro.workloads.base.Invocation`
+    convention).
+    """
+
+    kernel: str
+    grid: int | tuple[int, ...]
+    block: int | tuple[int, ...]
+    args: tuple[Any, ...]
+
+
+@dataclass
+class TaskGraph:
+    """A complete, self-contained task-graph description."""
+
+    name: str
+    arrays: dict[str, ArrayDecl]
+    kernels: tuple[KernelDecl, ...]
+    launches: tuple[LaunchDecl, ...]
+    #: arrays read back to the host when the graph completes; defaults
+    #: (in __post_init__) to every array some launch writes
+    outputs: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.launches:
+            raise ValueError(f"task graph {self.name!r} has no launches")
+        known = set(self.arrays)
+        kernel_names = {k.name for k in self.kernels}
+        for launch in self.launches:
+            if launch.kernel not in kernel_names:
+                raise ValueError(
+                    f"launch references unknown kernel {launch.kernel!r}"
+                )
+            for arg in launch.args:
+                if isinstance(arg, str) and arg not in known:
+                    raise ValueError(
+                        f"launch of {launch.kernel!r} references unknown"
+                        f" array {arg!r}"
+                    )
+        if not self.outputs:
+            self.outputs = tuple(sorted(self.written_arrays()))
+
+    # -- derived structure ------------------------------------------------
+
+    def kernel_by_name(self, name: str) -> KernelDecl:
+        for k in self.kernels:
+            if k.name == name:
+                return k
+        raise KeyError(name)
+
+    def signature_accesses(self) -> dict[str, list]:
+        """kernel name -> pointer-parameter access kinds, in order."""
+        return {
+            k.name: [
+                p.access for p in parse_signature(k.signature) if p.is_pointer
+            ]
+            for k in self.kernels
+        }
+
+    def written_arrays(self) -> set[str]:
+        """Arrays written by at least one launch (per the signatures)."""
+        accesses = self.signature_accesses()
+        written: set[str] = set()
+        for launch in self.launches:
+            names = [a for a in launch.args if isinstance(a, str)]
+            for name, access in zip(names, accesses[launch.kernel]):
+                if access.writes:
+                    written.add(name)
+        return written
+
+    @property
+    def total_bytes(self) -> int:
+        """UM footprint of the graph (the Table-I quantity)."""
+        return sum(a.nbytes for a in self.arrays.values())
+
+    def topology_key(self) -> tuple:
+        """Hashable structural identity of the graph.
+
+        Two graphs with equal keys launch the *same kernels with the same
+        signatures, geometries and argument wiring on same-shaped
+        arrays* — they differ at most in array contents.  Such graphs
+        share one capture plan and may be coalesced into one batch.
+
+        Memoized: the serving loop evaluates keys per queued request per
+        batch, and graphs are immutable once submitted.
+        """
+        cached = self.__dict__.get("_topology_key")
+        if cached is not None:
+            return cached
+        key = (
+            tuple(
+                (n, a.shape if isinstance(a.shape, tuple) else (a.shape,),
+                 str(np.dtype(a.dtype)))
+                for n, a in sorted(self.arrays.items())
+            ),
+            tuple(k.identity for k in self.kernels),
+            tuple(
+                (l.kernel, l.grid, l.block, l.args) for l in self.launches
+            ),
+            self.outputs,
+        )
+        self.__dict__["_topology_key"] = key
+        return key
+
+
+@dataclass
+class GraphRequest:
+    """One queued submission: a task graph plus its serving envelope."""
+
+    tenant: str
+    graph: TaskGraph
+    priority: int = 0
+    #: virtual service time at which the request entered the system
+    arrival_time: float = 0.0
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def topology_key(self) -> tuple:
+        return self.graph.topology_key()
+
+
+@dataclass
+class GraphResult:
+    """Outcome of one served request."""
+
+    request_id: int
+    tenant: str
+    graph_name: str
+    outputs: dict[str, np.ndarray]
+    arrival_time: float
+    start_time: float          # virtual time execution began on the device
+    finish_time: float         # virtual time the outputs were consumable
+    device_index: int
+    batch_id: int
+    batch_size: int = 1
+    replayed: bool = False     # served from the capture cache
+
+    @property
+    def latency(self) -> float:
+        """End-to-end virtual latency: arrival -> results readable."""
+        return self.finish_time - self.arrival_time
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start_time - self.arrival_time
+
+
+def execute_serial(
+    graph: TaskGraph, gpu: str | GPUSpec = "GTX 1660 Super"
+) -> dict[str, np.ndarray]:
+    """Reference execution: the graph alone on a private serial runtime.
+
+    This is the ground truth the serving layer's results are validated
+    against — one tenant, one runtime, original-GrCUDA serial scheduling.
+    """
+    rt = GrCUDARuntime(
+        gpu=gpu,
+        config=SchedulerConfig(execution=ExecutionPolicy.SERIAL),
+    )
+    arrays = {
+        name: rt.array(decl.shape, dtype=decl.dtype, name=name)
+        for name, decl in graph.arrays.items()
+    }
+    kernels = {
+        k.name: rt.build_kernel(k.fn, k.name, k.signature, cost_model=k.cost)
+        for k in graph.kernels
+    }
+    for name, decl in graph.arrays.items():
+        if decl.init is not None:
+            arrays[name].copy_from_host(decl.init)
+    for launch in graph.launches:
+        args = tuple(
+            arrays[a] if isinstance(a, str) else a for a in launch.args
+        )
+        kernels[launch.kernel](launch.grid, launch.block)(*args)
+    outputs = {name: arrays[name].to_numpy() for name in graph.outputs}
+    rt.sync()
+    rt.free_arrays()
+    return outputs

@@ -1,0 +1,107 @@
+"""Adapters: suite benchmarks -> servable task graphs.
+
+The paper's benchmark suite (:mod:`repro.workloads.suite`) declares each
+workload once — arrays, kernels (with roofline costs) and per-iteration
+invocations.  That declaration is exactly a
+:class:`~repro.serve.request.TaskGraph`, so the serving layer's mixed
+workloads come straight from the suite: a tenant submitting "one VEC
+iteration at scale 100k with seed 7" gets the same kernels, cost models
+and inputs the figure experiments use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.memory.array import DeviceArray
+from repro.serve.request import ArrayDecl, KernelDecl, LaunchDecl, TaskGraph
+from repro.workloads.base import Benchmark
+from repro.workloads.suite import create_benchmark
+
+
+def graph_from_benchmark(
+    bench: Benchmark, iteration: int = 0
+) -> TaskGraph:
+    """One iteration of ``bench`` as a self-contained task graph.
+
+    Host inputs are generated exactly as the benchmark's ``refresh``
+    would (same per-iteration RNG), captured into the graph's array
+    declarations; launches are the benchmark's invocations verbatim.
+    """
+    specs = bench.array_specs()
+    # Detached arrays: refresh() writes the iteration's host inputs into
+    # them with no runtime attached, which costs nothing and lets us
+    # snapshot the exact input data.
+    staging = {
+        name: DeviceArray(spec.shape, dtype=spec.dtype, name=name)
+        for name, spec in specs.items()
+    }
+    bench.refresh(staging, iteration)
+    arrays = {
+        name: ArrayDecl(
+            name=name,
+            shape=spec.shape if isinstance(spec.shape, tuple)
+            else (spec.shape,),
+            dtype=spec.dtype,
+            init=np.array(staging[name].kernel_view, copy=True),
+        )
+        for name, spec in specs.items()
+    }
+    kernels = tuple(
+        KernelDecl(
+            name=k.name, signature=k.signature, fn=k.fn, cost=k.cost
+        )
+        for k in bench.kernel_specs()
+    )
+    launches = tuple(
+        LaunchDecl(
+            kernel=inv.kernel,
+            grid=inv.grid,
+            block=inv.block,
+            args=tuple(inv.args),
+        )
+        for inv in bench.invocations()
+    )
+    return TaskGraph(
+        name=f"{bench.name}@{bench.scale}",
+        arrays=arrays,
+        kernels=kernels,
+        launches=launches,
+    )
+
+
+#: Small per-workload scales that keep serving benchmarks fast while
+#: still exercising multi-kernel DAGs with real transfers.
+SERVING_SCALES: dict[str, int] = {
+    "vec": 120_000,
+    "b&s": 60_000,
+    "ml": 4_000,
+}
+
+
+def mixed_workload_graphs(
+    count: int,
+    seed: int = 7,
+    workloads: list[str] | None = None,
+    scales: dict[str, int] | None = None,
+) -> list[TaskGraph]:
+    """``count`` task graphs cycling over the suite's workloads.
+
+    Graphs of the same workload share a topology (same kernels, shapes
+    and launch wiring) but carry different input data (per-graph seeds),
+    which is exactly the mix the batching window and capture cache are
+    built for.
+    """
+    names = workloads or list(SERVING_SCALES)
+    scales = scales or SERVING_SCALES
+    graphs: list[TaskGraph] = []
+    for i in range(count):
+        name = names[i % len(names)]
+        bench = create_benchmark(
+            name,
+            scales.get(name, SERVING_SCALES.get(name, 10_000)),
+            seed=seed + i,
+            iterations=1,
+        )
+        graphs.append(graph_from_benchmark(bench, iteration=0))
+    return graphs

@@ -98,6 +98,28 @@ class TestPlacement:
         sched = self.run_independent(DevicePlacementPolicy.MIN_TRANSFER)
         assert sched.device_kernel_counts() == [2, 2]
 
+    def test_least_loaded_balances_independent_work(self):
+        sched = self.run_independent(DevicePlacementPolicy.LEAST_LOADED)
+        assert sched.device_kernel_counts() == [2, 2]
+
+    def test_least_loaded_ignores_data_location(self):
+        # A dependent chain: locality would keep it on one GPU, but
+        # least-loaded chases the idle device and pays peer transfers.
+        sched = make_scheduler(2, DevicePlacementPolicy.LEAST_LOADED)
+        k = sched.build_kernel(lambda x, n: None, "k", "ptr, sint32", COST)
+        a = sched.array(N, name="a", materialize=False)
+        sched.write_input(a)
+        for _ in range(4):
+            k(512, 256)(a, N)
+        sched.sync()
+        counts = sched.device_kernel_counts()
+        assert all(c > 0 for c in counts)  # chain spread across GPUs
+        d2d = [
+            r for r in sched.engine.timeline
+            if r.kind is IntervalKind.TRANSFER_D2D
+        ]
+        assert d2d  # the price: peer migrations min-transfer avoids
+
     def test_min_transfer_follows_data(self):
         # A chain on one array: after the first kernel the data lives on
         # one GPU; locality keeps the rest of the chain there.

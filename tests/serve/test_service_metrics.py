@@ -1,0 +1,126 @@
+"""Unit tests for the service-level metrics helpers."""
+
+import pytest
+
+from repro.gpusim.timeline import IntervalKind, Timeline, TimelineRecord
+from repro.metrics.service import (
+    LatencyStats,
+    busy_seconds,
+    compute_service_metrics,
+    percentile,
+)
+from repro.serve.request import GraphResult
+
+
+class TestPercentile:
+    def test_median_of_odd_sequence(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolates(self):
+        assert percentile([0.0, 10.0], 50) == pytest.approx(5.0)
+        assert percentile([0.0, 10.0], 95) == pytest.approx(9.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+def record(start, end, kind=IntervalKind.KERNEL, stream=1):
+    return TimelineRecord(
+        op_id=0,
+        label="k",
+        kind=kind,
+        stream_id=stream,
+        start=start,
+        end=end,
+    )
+
+
+class TestBusySeconds:
+    def test_disjoint_intervals_sum(self):
+        t = Timeline()
+        t.add(record(0.0, 1.0))
+        t.add(record(2.0, 3.0))
+        assert busy_seconds(t) == pytest.approx(2.0)
+
+    def test_overlaps_count_once(self):
+        t = Timeline()
+        t.add(record(0.0, 2.0))
+        t.add(record(1.0, 3.0))
+        assert busy_seconds(t) == pytest.approx(3.0)
+
+    def test_events_ignored(self):
+        t = Timeline()
+        t.add(record(0.0, 1.0, kind=IntervalKind.EVENT))
+        assert busy_seconds(t) == 0.0
+
+    def test_transfers_optional(self):
+        t = Timeline()
+        t.add(record(0.0, 1.0, kind=IntervalKind.TRANSFER_HTOD))
+        assert busy_seconds(t) == pytest.approx(1.0)
+        assert busy_seconds(t, include_transfers=False) == 0.0
+
+
+class TestLatencyStats:
+    def test_from_values(self):
+        stats = LatencyStats.from_values([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.p50 == pytest.approx(2.5)
+        assert stats.worst == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats.from_values([])
+
+
+def result(request_id, tenant, arrival, start, finish, batch_size=1):
+    return GraphResult(
+        request_id=request_id,
+        tenant=tenant,
+        graph_name="g",
+        outputs={},
+        arrival_time=arrival,
+        start_time=start,
+        finish_time=finish,
+        device_index=0,
+        batch_id=1,
+        batch_size=batch_size,
+    )
+
+
+class TestComputeServiceMetrics:
+    def test_aggregates(self):
+        results = [
+            result(1, "a", 0.0, 0.0, 1.0),
+            result(2, "b", 0.0, 1.0, 2.0, batch_size=2),
+        ]
+        device = Timeline()
+        device.add(record(0.0, 1.5))
+        metrics = compute_service_metrics(
+            results, [device], batches=2, capture_hits=1, capture_misses=1
+        )
+        assert metrics.completed == 2
+        assert metrics.tenants == 2
+        assert metrics.makespan == pytest.approx(2.0)
+        assert metrics.throughput_rps == pytest.approx(1.0)
+        assert metrics.latency.worst == pytest.approx(2.0)
+        assert metrics.queue_wait.worst == pytest.approx(1.0)
+        assert metrics.device_utilization[0] == pytest.approx(0.75)
+        assert metrics.mean_utilization == pytest.approx(0.75)
+        assert metrics.batched_requests == 1
+        assert set(metrics.per_tenant) == {"a", "b"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compute_service_metrics([], [])

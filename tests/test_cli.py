@@ -21,6 +21,35 @@ class TestParser:
         assert args.scales == 2
         assert args.iterations == 3
 
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.tenants == 4
+        assert args.requests == 100
+        assert args.fleet_size == 2
+        assert args.admission == "fair-share"
+        assert args.placement == "least-loaded"
+
+    def test_serve_bench_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve-bench",
+                "--tenants", "6",
+                "--requests", "30",
+                "--fleet-size", "3",
+                "--admission", "priority",
+                "--placement", "round-robin",
+            ]
+        )
+        assert (args.tenants, args.requests, args.fleet_size) == (6, 30, 3)
+        assert args.admission == "priority"
+        assert args.placement == "round-robin"
+
+    def test_serve_bench_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve-bench", "--admission", "lottery"]
+            )
+
 
 class TestExecution:
     def test_table1_runs(self, capsys):
@@ -34,3 +63,26 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Figure 10" in out
         assert "CT" in out
+
+    @pytest.mark.parametrize(
+        "admission", ["fifo", "priority", "fair-share"]
+    )
+    def test_serve_bench_runs_each_admission_policy(
+        self, capsys, admission
+    ):
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--tenants", "4",
+                    "--requests", "12",
+                    "--fleet-size", "2",
+                    "--admission", admission,
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"admission={admission}" in out
+        assert "throughput" in out
+        assert "tenant3" in out  # every tenant reported
