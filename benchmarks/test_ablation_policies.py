@@ -29,7 +29,7 @@ def run_with_config(name, scale, config, iterations=3):
     )
     original = Benchmark._build_runtime
 
-    def patched(self, gpu, execution, prefetch):
+    def patched(self, gpu, execution, prefetch, movement=None):
         from repro.core.runtime import GrCUDARuntime
 
         return GrCUDARuntime(gpu=gpu, config=config)

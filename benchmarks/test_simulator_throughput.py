@@ -5,9 +5,8 @@ so regressions in the substrate's algorithmic complexity (rate
 repricing, dependency-set updates, frontier pruning) show up here.
 """
 
-import numpy as np
 
-from repro import GrCUDARuntime, SchedulerConfig
+from repro import GrCUDARuntime
 from repro.kernels import LinearCostModel
 
 COST = LinearCostModel(

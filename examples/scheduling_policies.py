@@ -27,7 +27,7 @@ def run_config(label: str, config: SchedulerConfig):
     bench = create_benchmark("hits", SCALE, iterations=3, execute=False)
     original = Benchmark._build_runtime
     Benchmark._build_runtime = (
-        lambda self, gpu, execution, prefetch: GrCUDARuntime(
+        lambda self, gpu, execution, prefetch, movement=None: GrCUDARuntime(
             gpu=gpu, config=config
         )
     )

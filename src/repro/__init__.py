@@ -35,6 +35,7 @@ from repro.gpusim.specs import (
     gpu_by_name,
 )
 from repro.memory.array import AccessKind, DeviceArray
+from repro.memory.coherence import CoherenceEngine, MovementPolicy
 
 __version__ = "1.0.0"
 
@@ -53,5 +54,7 @@ __all__ = [
     "gpu_by_name",
     "AccessKind",
     "DeviceArray",
+    "CoherenceEngine",
+    "MovementPolicy",
     "__version__",
 ]

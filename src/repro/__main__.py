@@ -8,6 +8,7 @@ Usage::
     python -m repro all --scales 1
     python -m repro serve-bench --tenants 4 --requests 100 \
         --fleet-size 2 --admission fair-share --placement least-loaded
+    python -m repro movement-bench --gpu "GTX 1660 Super" --iterations 4
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ from repro.harness import (
     figure10,
     figure11,
     figure12,
+    movement_bench,
     serve_bench,
     table1,
 )
@@ -47,6 +49,10 @@ EXPERIMENTS = {
     "serve-bench": (
         serve_bench,
         "multi-tenant serving throughput over a simulated GPU fleet",
+    ),
+    "movement-bench": (
+        movement_bench,
+        "data-movement policy sweep over the benchmark workloads",
     ),
 }
 
@@ -89,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="iterations per benchmark execution (default 3)",
     )
+    parser.add_argument(
+        "--gpu",
+        default="GTX 1660 Super",
+        help="GPU model for the serving fleet / movement-policy sweep"
+        " (default 'GTX 1660 Super')",
+    )
     serving = parser.add_argument_group(
         "serve-bench options",
         "only used by the serve-bench experiment",
@@ -127,11 +139,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet placement policy (default least-loaded)",
     )
     serving.add_argument(
-        "--gpu",
-        default="GTX 1660 Super",
-        help="GPU model of the fleet (default 'GTX 1660 Super')",
-    )
-    serving.add_argument(
         "--validate",
         action="store_true",
         help="check every request's results against serial execution",
@@ -142,6 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
 def run_experiment(name: str, args: argparse.Namespace) -> None:
     fn, _ = EXPERIMENTS[name]
     kwargs: dict = {"render": True}
+    if name == "movement-bench":
+        kwargs.update(gpu=args.gpu, iterations=args.iterations)
     if name == "serve-bench":
         kwargs.update(
             tenants=args.tenants,
@@ -167,9 +176,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name.ljust(width)}  {desc}")
         return 0
     if args.experiment == "all":
-        # "all" means the paper's figures/tables; the serving benchmark
-        # is not a paper experiment and stays opt-in.
-        names = [n for n in EXPERIMENTS if n != "serve-bench"]
+        # "all" means the paper's figures/tables; the serving and
+        # movement benchmarks are not paper experiments and stay opt-in.
+        names = [
+            n for n in EXPERIMENTS
+            if n not in ("serve-bench", "movement-bench")
+        ]
     else:
         names = [args.experiment]
     for name in names:

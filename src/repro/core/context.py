@@ -28,7 +28,7 @@ from repro.core.element import (
     KernelElement,
     LibraryCallElement,
 )
-from repro.core.policies import PrefetchPolicy, SchedulerConfig
+from repro.core.policies import SchedulerConfig
 from repro.core.streams import StreamManager
 from repro.gpusim.engine import SimEngine
 from repro.gpusim.ops import (
@@ -40,7 +40,7 @@ from repro.gpusim.stream import SimStream
 from repro.kernels.kernel import KernelLaunch
 from repro.kernels.profile import combine_resources
 from repro.memory.array import AccessKind, DeviceArray
-from repro.memory.transfer import MigrationTracker, TransferPlanner
+from repro.memory.coherence import CoherenceEngine
 
 
 def annotate_kernel_access_sets(op: KernelOp, launch: KernelLaunch) -> None:
@@ -87,13 +87,18 @@ def kernel_history_recorder(launch: KernelLaunch, sink):
 class ExecutionContext(abc.ABC):
     """Common machinery for both scheduling policies."""
 
+    #: whether this context runs the original serial scheduler (movement
+    #: resolution differs: the serial scheduler predates the prefetcher)
+    serial = False
+
     def __init__(self, engine: SimEngine, config: SchedulerConfig) -> None:
         self.engine = engine
         self.device = engine.device
         self.config = config
-        self.prefetch = config.resolve_prefetch(engine.device.spec)
+        self.movement = config.resolve_movement(
+            engine.device.spec, serial=self.serial
+        )
         self.dag = ComputationDAG()
-        self._migrations = MigrationTracker()
         #: per-kernel execution history (section IV-A), feeding the
         #: block-size heuristic of section VI
         self.history = KernelHistory()
@@ -101,6 +106,11 @@ class ExecutionContext(abc.ABC):
         #: Multi-tenant hosts (``repro.serve``) set e.g. a tenant name
         #: here so shared-engine timeline records stay attributable.
         self.op_tags: dict = {}
+        #: all data movement flows through here (shares ``op_tags`` by
+        #: reference so tenant tags reach transfer ops too)
+        self.coherence = CoherenceEngine(
+            engine, policy=self.movement, op_tags=self.op_tags
+        )
         self.kernel_count = 0
         self.cpu_access_fast_path_count = 0
         self.cpu_access_element_count = 0
@@ -146,49 +156,22 @@ class ExecutionContext(abc.ABC):
         )
         return op
 
-    def _submit_read_migrations(
+    def _submit_launch(
         self,
         stream: SimStream,
         launch: KernelLaunch,
-        kind: TransferKind,
-    ) -> None:
-        """Queue host-to-device copies for stale read arrays on ``stream``.
-
-        Coherence transitions are applied eagerly (at submission): stream
-        FIFO order guarantees the copy lands before the kernel runs, and
-        eager bookkeeping stops the next launch from re-planning the same
-        copy.  A per-array migration event lets kernels on *other*
-        streams wait for an in-flight copy instead of duplicating it.
-        """
-        transfers = TransferPlanner.htod_for_kernel(
-            list(launch.array_args), kind
+        kind: "TransferKind | None" = None,
+    ) -> KernelOp:
+        """Declare the launch's accesses to the coherence engine, then
+        submit the kernel with the resulting fault charge and
+        completion-applied state transitions."""
+        plan = self.coherence.acquire(
+            list(launch.array_args), stream, label=launch.label, kind=kind
         )
-        migrated: list = []
-        for op in transfers:
-            op.apply_fn = None  # applied eagerly below instead
-            op.info.update(self.op_tags)
-            self.engine.submit(stream, op)
-        for array, access in launch.array_args:
-            if access.reads and array.stale_device_bytes() > 0:
-                array.mark_gpu_read()
-                migrated.append(array)
-        self._migrations.note_migrations(
-            self.engine, stream, migrated, label=f"migrate:{launch.label}"
-        )
-
-    def _wait_pending_migrations(
-        self, stream: SimStream, launch: KernelLaunch
-    ) -> None:
-        """Wait for in-flight migrations of this launch's arrays that were
-        issued on other streams (same-stream ones are FIFO-ordered)."""
-        self._migrations.wait_for_arrays(
-            self.engine, stream, [a for a, _ in launch.array_args]
-        )
-
-    def _apply_write_marks(self, launch: KernelLaunch) -> None:
-        for array, access in launch.array_args:
-            if access.writes:
-                array.mark_gpu_write()
+        op = self._kernel_op(launch, plan.fault_bytes)
+        self.coherence.release(plan, op)
+        self.engine.submit(stream, op)
+        return op
 
 
 class SerialExecutionContext(ExecutionContext):
@@ -204,29 +187,20 @@ class SerialExecutionContext(ExecutionContext):
     memory reaches the GPU through page faults on Pascal+ (plain UM
     behaviour) and through eager copies on Maxwell, which has no fault
     mechanism.  ``SchedulerConfig(prefetch=PrefetchPolicy.SYNC)`` forces
-    eager copies everywhere (used by the contention-free measurements).
+    eager copies everywhere (used by the contention-free measurements);
+    ``SchedulerConfig(movement=...)`` selects any movement policy
+    explicitly.
     """
+
+    serial = True
 
     def launch(self, launch: KernelLaunch) -> None:
         self.kernel_count += 1
         self.engine.charge_host_time(self.config.serial_overhead_us * 1e-6)
         stream = self.engine.default_stream
-        fault_bytes = 0.0
-        use_faults = (
-            self.device.spec.supports_page_faults
-            and self.prefetch is not PrefetchPolicy.SYNC
-        )
-        if use_faults:
-            fault_bytes = TransferPlanner.fault_bytes_for_kernel(
-                list(launch.array_args)
-            )
-            for array, access in launch.array_args:
-                if access.reads and array.stale_device_bytes() > 0:
-                    array.mark_gpu_read()
-        else:
-            self._submit_read_migrations(stream, launch, TransferKind.EAGER)
-        self._apply_write_marks(launch)
-        self.engine.submit(stream, self._kernel_op(launch, fault_bytes))
+        # The original scheduler's eager copies predate the prefetch API;
+        # they surface as plain EAGER transfers whatever the device.
+        self._submit_launch(stream, launch, kind=TransferKind.EAGER)
         self.engine.sync_stream(stream)
 
     def _on_cpu_access(
@@ -234,16 +208,9 @@ class SerialExecutionContext(ExecutionContext):
     ) -> None:
         # The device is always idle here (every launch synchronized), so
         # only the data migration cost remains.
-        op = TransferPlanner.cpu_access_migration(array, kind, touched)
-        if op is not None:
-            op.apply_fn = None
-            op.info.update(self.op_tags)
-            self.engine.submit(self.engine.default_stream, op)
-            self.engine.sync_stream(self.engine.default_stream)
-        if kind.reads:
-            array.mark_cpu_read()
-        if kind.writes:
-            array.mark_cpu_write()
+        self.coherence.cpu_access(
+            array, kind, touched, stream=self.engine.default_stream
+        )
 
 
 class ParallelExecutionContext(ExecutionContext):
@@ -283,29 +250,12 @@ class ParallelExecutionContext(ExecutionContext):
             ):
                 self.engine.wait_event(stream, parent.finish_event)
 
-        self._wait_pending_migrations(stream, launch)
-
-        fault_bytes = 0.0
-        if self.prefetch is PrefetchPolicy.NONE:
-            # Leave stale pages to the fault engine: the kernel migrates
-            # them on demand, sharing the fault controller with every
-            # other faulting kernel (the ablation of section V-C).
-            fault_bytes = TransferPlanner.fault_bytes_for_kernel(
-                list(launch.array_args)
-            )
-            for array, access in launch.array_args:
-                if access.reads and array.stale_device_bytes() > 0:
-                    array.mark_gpu_read()
-        else:
-            migration_kind = (
-                TransferKind.PREFETCH
-                if self.device.spec.supports_page_faults
-                else TransferKind.EAGER
-            )
-            self._submit_read_migrations(stream, launch, migration_kind)
-
-        self._apply_write_marks(launch)
-        self.engine.submit(stream, self._kernel_op(launch, fault_bytes))
+        # The coherence engine waits on in-flight shared-input
+        # migrations, plans the movement the policy calls for (prefetch,
+        # batched copies, or fault charges inside the kernel — the
+        # ablation of section V-C), and binds the state transitions to
+        # the kernel's completion.
+        self._submit_launch(stream, launch)
         element.finish_event = self.engine.record_event(
             stream, label=f"done:{launch.label}"
         )
@@ -316,13 +266,18 @@ class ParallelExecutionContext(ExecutionContext):
         self, array: DeviceArray, kind: AccessKind, touched: int
     ) -> None:
         conflicts = self._conflicting_elements(array, kind)
-        migration = TransferPlanner.cpu_access_migration(array, kind, touched)
-        if not conflicts and migration is None:
+        needs_migration = self.coherence.needs_host_migration(
+            array, kind, touched
+        )
+        if not conflicts and not needs_migration:
             # Fast path (section IV-A): consecutive accesses, or accesses
-            # while no GPU computation is active, bypass the DAG.
+            # while no GPU computation is active, bypass the DAG.  The
+            # coherence declaration still runs — a full-array write must
+            # invalidate the device copy through the shared transition
+            # path even when nothing migrates.
             self.cpu_access_fast_path_count += 1
             if kind.writes:
-                array.mark_cpu_write()
+                self.coherence.cpu_access(array, kind, touched)
             return
 
         self.cpu_access_element_count += 1
@@ -334,17 +289,9 @@ class ParallelExecutionContext(ExecutionContext):
             if parent.finish_event is not None:
                 self.engine.sync_event(parent.finish_event)
 
-        if migration is not None:
-            migration.apply_fn = None
-            migration.info.update(self.op_tags)
-            stream = self.engine.default_stream
-            self.engine.submit(stream, migration)
-            self.engine.sync_stream(stream)
-
-        if kind.reads:
-            array.mark_cpu_read()
-        if kind.writes:
-            array.mark_cpu_write()
+        self.coherence.cpu_access(
+            array, kind, touched, stream=self.engine.default_stream
+        )
         # The access happens synchronously right after this hook returns:
         # it cannot affect later GPU work through anything but coherence,
         # so it leaves the frontier immediately.

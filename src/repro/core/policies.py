@@ -16,6 +16,12 @@ Section IV-C defines the policy space:
   ahead of kernels (``AUTO`` enables exactly that); ``NONE`` falls back
   to page faults (the ablation the paper advises against); ``SYNC``
   moves data eagerly before each launch (the only choice on Maxwell).
+* **Movement policy** — the newer, executor-independent axis consumed by
+  :class:`repro.memory.coherence.CoherenceEngine`: ``PAGE_FAULT`` (lazy
+  on-demand migration), ``EAGER_PREFETCH`` (copy as soon as the DAG
+  schedules a consumer) or ``BATCHED`` (coalesce adjacent-array copies).
+  When unset, it is derived from the prefetch policy so existing
+  configurations keep their exact behaviour.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.gpusim.specs import GPUSpec
+from repro.memory.coherence import MovementPolicy
 
 
 class ExecutionPolicy(enum.Enum):
@@ -62,9 +69,40 @@ class SchedulerConfig:
     new_stream: NewStreamPolicy = NewStreamPolicy.FIFO
     parent_stream: ParentStreamPolicy = ParentStreamPolicy.DISJOINT
     prefetch: PrefetchPolicy = PrefetchPolicy.AUTO
+    #: data-movement policy for the coherence engine; None derives it
+    #: from ``prefetch`` (and the scheduler's execution policy), keeping
+    #: legacy configurations bit-identical
+    movement: MovementPolicy | None = None
     scheduling_overhead_us: float = 10.0
     serial_overhead_us: float = 4.0
     track_history: bool = True
+
+    def resolve_movement(
+        self, spec: GPUSpec, serial: bool = False
+    ) -> MovementPolicy:
+        """Pin the movement policy down for a concrete device.
+
+        Explicit ``movement`` wins.  Otherwise the legacy prefetch knob
+        maps onto the new axis: ``NONE`` -> page faults; ``AUTO`` on the
+        serial scheduler also means faults (the original scheduler
+        predates the automatic prefetcher); everything else prefetches
+        eagerly.  Devices without a fault mechanism always degrade to
+        eager copies — there is nothing lazy to fall back on.
+        """
+        if self.movement is not None:
+            policy = self.movement
+        elif self.prefetch is PrefetchPolicy.NONE:
+            policy = MovementPolicy.PAGE_FAULT
+        elif serial and self.prefetch is not PrefetchPolicy.SYNC:
+            policy = MovementPolicy.PAGE_FAULT
+        else:
+            policy = MovementPolicy.EAGER_PREFETCH
+        if (
+            policy is MovementPolicy.PAGE_FAULT
+            and not spec.supports_page_faults
+        ):
+            policy = MovementPolicy.EAGER_PREFETCH
+        return policy
 
     def resolve_prefetch(self, spec: GPUSpec) -> PrefetchPolicy:
         """Pin AUTO down for a concrete device.

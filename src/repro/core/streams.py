@@ -16,6 +16,9 @@ the paper's assignment rules:
 
 from __future__ import annotations
 
+import heapq
+from typing import Callable
+
 from repro.core.element import ComputationalElement
 from repro.core.policies import NewStreamPolicy, ParentStreamPolicy
 from repro.gpusim.engine import SimEngine
@@ -23,39 +26,85 @@ from repro.gpusim.stream import SimStream
 
 
 class StreamManager:
-    """Allocates and reuses simulator streams per the configured policies."""
+    """Allocates and reuses simulator streams per the configured policies.
+
+    Free-stream retrieval is constant-time: instead of scanning every
+    stream per retrieval (O(n) per scheduled computation — measurable on
+    long-lived engines with hundreds of streams), the manager keeps a
+    free-list ordered by creation index, fed by each stream's idle
+    callback when its last queued operation completes.  Entries are
+    validated lazily at pop time, so a stream that went busy again since
+    enqueueing is simply skipped; each stream enters the list at most
+    once per idle transition, keeping the amortized cost per retrieval
+    O(1) (O(log n) heap maintenance in the worst case).
+    """
 
     def __init__(
         self,
         engine: SimEngine,
         new_stream: NewStreamPolicy = NewStreamPolicy.FIFO,
         parent_stream: ParentStreamPolicy = ParentStreamPolicy.DISJOINT,
+        stream_factory: Callable[[], SimStream] | None = None,
     ) -> None:
         self.engine = engine
         self.new_stream_policy = new_stream
         self.parent_stream_policy = parent_stream
+        #: optional override producing engine streams (the multi-GPU
+        #: scheduler pins each manager's streams to one device)
+        self._factory = stream_factory
         self._streams: list[SimStream] = []
+        #: free-list as a heap of (creation index, stream), preserving
+        #: the paper's FIFO rule: the *oldest* free stream is reused
+        self._free_heap: list[tuple[int, SimStream]] = []
+        self._in_free_heap: set[int] = set()
+        self._creation_index: dict[int, int] = {}
         self.created_count = 0
         self.reused_count = 0
 
     # -- free-stream retrieval ------------------------------------------------
 
     def _create_stream(self) -> SimStream:
-        stream = self.engine.create_stream(
-            label=f"grcuda-{len(self._streams)}"
-        )
+        if self._factory is not None:
+            stream = self._factory()
+        else:
+            stream = self.engine.create_stream(
+                label=f"grcuda-{len(self._streams)}"
+            )
+        self._creation_index[stream.stream_id] = len(self._streams)
         self._streams.append(stream)
+        stream.idle_callbacks.append(self._note_idle)
         self.created_count += 1
         return stream
+
+    def _note_idle(self, stream: SimStream) -> None:
+        """Idle callback: the stream drained and is reusable again."""
+        if stream.stream_id in self._in_free_heap or stream.destroyed:
+            return
+        self._in_free_heap.add(stream.stream_id)
+        heapq.heappush(
+            self._free_heap,
+            (self._creation_index[stream.stream_id], stream),
+        )
 
     def retrieve_free_stream(self) -> SimStream:
         """A stream with no in-flight work, per the new-stream policy."""
         if self.new_stream_policy is NewStreamPolicy.FIFO:
-            for stream in self._streams:  # FIFO: oldest first
+            while self._free_heap:
+                _, stream = self._free_heap[0]
                 if stream.free:
+                    # Left in the list: it stays retrievable until work
+                    # is actually submitted to it, like the old scan.
                     self.reused_count += 1
                     return stream
-        return self._create_stream()
+                # Stale entry: the stream went busy (or was destroyed)
+                # after it was enqueued; its next idle re-enqueues it.
+                heapq.heappop(self._free_heap)
+                self._in_free_heap.discard(stream.stream_id)
+        stream = self._create_stream()
+        # A created-but-never-used stream is still free: keep it
+        # retrievable (FIFO scan semantics) until work is submitted.
+        self._note_idle(stream)
+        return stream
 
     # -- element assignment ------------------------------------------------------
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from collections import deque
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.errors import InvalidStateError
 from repro.gpusim.ops import Operation
@@ -79,6 +79,10 @@ class SimStream:
         self.running: Operation | None = None
         self.completed_count = 0
         self.destroyed = False
+        #: called with the stream whenever it drains (busy -> free); the
+        #: stream manager uses this to keep its free-list current in
+        #: O(1) instead of scanning every stream per retrieval
+        self.idle_callbacks: list[Callable[["SimStream"], None]] = []
 
     # -- submission ------------------------------------------------------
 
@@ -115,6 +119,9 @@ class SimStream:
             raise InvalidStateError("finishing an op that is not running")
         self.running = None
         self.completed_count += 1
+        if not self.pending:
+            for callback in self.idle_callbacks:
+                callback(self)
 
     # -- queries -----------------------------------------------------------
 

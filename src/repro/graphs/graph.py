@@ -20,11 +20,11 @@ from typing import Any
 
 from repro.errors import GraphError
 from repro.gpusim.engine import SimEngine
-from repro.gpusim.ops import KernelOp, TransferKind
+from repro.gpusim.ops import KernelOp
 from repro.gpusim.stream import SimEvent, SimStream
 from repro.kernels.kernel import Kernel, KernelLaunch, normalize_dim
 from repro.kernels.profile import combine_resources
-from repro.memory.transfer import TransferPlanner
+from repro.memory.coherence import CoherenceEngine, MovementPolicy
 
 _node_counter = itertools.count()
 
@@ -150,6 +150,11 @@ class ExecutableGraph:
         self.graph = graph
         self.stream_count = 1 + max(n.stream_index for n in graph.nodes)
         self._engine_streams: dict[int, list[SimStream]] = {}
+        # One coherence engine per sim engine, persistent across
+        # launches: transitions commit at op completion, so a per-launch
+        # engine would re-plan movement a still-in-flight previous
+        # launch already has on the wire (launch() is asynchronous).
+        self._engine_coherence: dict[int, CoherenceEngine] = {}
         self.launch_count = 0
 
     def _streams_for(self, engine: SimEngine) -> list[SimStream]:
@@ -163,15 +168,25 @@ class ExecutableGraph:
         return self._engine_streams[key]
 
     def launch(self, engine: SimEngine) -> None:
-        """Replay the graph once on ``engine`` (asynchronous)."""
-        from repro.memory.transfer import MigrationTracker
+        """Replay the graph once on ``engine`` (asynchronous).
 
+        A launched graph does not prefetch: data movement runs under the
+        ``PAGE_FAULT`` policy (degrading to eager copies on pre-Pascal
+        devices, where the coherence engine issues the shared-input
+        copies on the first reader's stream and orders later readers on
+        other streams behind the migration event — the same hazard every
+        other mode faces).
+        """
         streams = self._streams_for(engine)
         engine.charge_host_time(GRAPH_LAUNCH_OVERHEAD_US * 1e-6)
         self.launch_count += 1
         events: dict[int, SimEvent] = {}
-        migrations = MigrationTracker()
-        supports_faults = engine.device.spec.supports_page_faults
+        coherence = self._engine_coherence.get(id(engine))
+        if coherence is None:
+            coherence = CoherenceEngine(
+                engine, policy=MovementPolicy.PAGE_FAULT
+            )
+            self._engine_coherence[id(engine)] = coherence
         for node in self.graph.nodes:
             stream = streams[node.stream_index]
             for dep in node.deps:
@@ -179,8 +194,7 @@ class ExecutableGraph:
                     engine.wait_event(stream, events[dep.node_id])
             if node.kind is NodeKind.KERNEL:
                 assert node.launch is not None
-                self._submit_kernel(engine, stream, node.launch,
-                                    supports_faults, migrations)
+                self._submit_kernel(engine, stream, node.launch, coherence)
             if node.needs_event:
                 events[node.node_id] = engine.record_event(
                     stream, label=f"g:{node.label}"
@@ -191,45 +205,15 @@ class ExecutableGraph:
         engine: SimEngine,
         stream: SimStream,
         launch: KernelLaunch,
-        supports_faults: bool,
-        migrations,
+        coherence: CoherenceEngine,
     ) -> None:
-        """Submit one kernel, with graph-style (prefetch-less) UM.
-
-        On Maxwell the eager copies for shared inputs are issued on the
-        first reader's stream; later readers on other streams wait on
-        the migration event (same hazard as every other mode).
-        """
-        migrations.wait_for_arrays(
-            engine, stream, [a for a, _ in launch.array_args]
+        """Submit one kernel with graph-style (prefetch-less) UM."""
+        plan = coherence.acquire(
+            list(launch.array_args), stream, label=launch.label
         )
-        fault_bytes = 0.0
-        migrated = []
-        eager = not supports_faults
-        if supports_faults:
-            fault_bytes = TransferPlanner.fault_bytes_for_kernel(
-                list(launch.array_args)
-            )
-        else:
-            for op in TransferPlanner.htod_for_kernel(
-                list(launch.array_args), TransferKind.EAGER
-            ):
-                op.apply_fn = None
-                engine.submit(stream, op)
-        for array, access in launch.array_args:
-            if access.reads and array.stale_device_bytes() > 0:
-                array.mark_gpu_read()
-                if eager:
-                    migrated.append(array)
-        migrations.note_migrations(
-            engine, stream, migrated, label=f"g-migrate:{launch.label}"
-        )
-        for array, access in launch.array_args:
-            if access.writes:
-                array.mark_gpu_write()
         resources = launch.resources()
-        if fault_bytes > 0:
-            resources = combine_resources(resources, fault_bytes)
+        if plan.fault_bytes > 0:
+            resources = combine_resources(resources, plan.fault_bytes)
         op = KernelOp(
             label=launch.label,
             resources=resources,
@@ -244,4 +228,5 @@ class ExecutableGraph:
         op.info["array_names"] = {
             id(a): a.name for a, _ in launch.array_args
         }
+        coherence.release(plan, op)
         engine.submit(stream, op)

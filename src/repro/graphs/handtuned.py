@@ -14,12 +14,12 @@ from __future__ import annotations
 from typing import Any
 
 from repro.gpusim.engine import SimEngine
-from repro.gpusim.ops import KernelOp, TransferKind
+from repro.gpusim.ops import KernelOp
 from repro.gpusim.stream import SimEvent, SimStream
 from repro.kernels.kernel import Kernel, KernelLaunch, normalize_dim
 from repro.kernels.profile import combine_resources
-from repro.memory.array import AccessKind, DeviceArray
-from repro.memory.transfer import MigrationTracker, TransferPlanner
+from repro.memory.array import DeviceArray
+from repro.memory.coherence import CoherenceEngine, MovementPolicy
 
 #: Host cost of one kernel launch through the driver API.
 LAUNCH_OVERHEAD_US = 5.0
@@ -37,7 +37,12 @@ class HandTunedScheduler:
     def __init__(self, engine: SimEngine) -> None:
         self.engine = engine
         self._streams: list[SimStream] = []
-        self._migrations = MigrationTracker()
+        # Explicit prefetches come from the programmer; anything they
+        # forget falls back to lazy movement (faults on Pascal+, eager
+        # copies on Maxwell) — same rules as every other execution mode.
+        self.coherence = CoherenceEngine(
+            engine, policy=MovementPolicy.PAGE_FAULT
+        )
 
     # -- stream / event plumbing -------------------------------------------
 
@@ -59,19 +64,7 @@ class HandTunedScheduler:
 
     def prefetch(self, array: DeviceArray, stream: SimStream) -> None:
         """``cudaMemPrefetchAsync``: move a stale array to the device."""
-        stale = array.stale_device_bytes()
-        if stale <= 0:
-            return
-        ops = TransferPlanner.htod_for_kernel(
-            [(array, AccessKind.READ)], TransferKind.PREFETCH
-        )
-        for op in ops:
-            op.apply_fn = None
-            self.engine.submit(stream, op)
-        array.mark_gpu_read()
-        self._migrations.note_migrations(
-            self.engine, stream, [array], label=f"prefetch:{array.name}"
-        )
+        self.coherence.prefetch(array, stream)
 
     # -- kernel launches --------------------------------------------------------
 
@@ -99,36 +92,12 @@ class HandTunedScheduler:
             array_args=launch.array_args,
             scalar_args=launch.scalar_args,
         )
-        self._migrations.wait_for_arrays(
-            self.engine, stream, [a for a, _ in launch.array_args]
+        plan = self.coherence.acquire(
+            list(launch.array_args), stream, label=launch.label
         )
-        fault_bytes = 0.0
-        migrated = []
-        eager = not self.engine.device.spec.supports_page_faults
-        if not eager:
-            fault_bytes = TransferPlanner.fault_bytes_for_kernel(
-                list(launch.array_args)
-            )
-        else:
-            for op in TransferPlanner.htod_for_kernel(
-                list(launch.array_args), TransferKind.EAGER
-            ):
-                op.apply_fn = None
-                self.engine.submit(stream, op)
-        for array, access in launch.array_args:
-            if access.reads and array.stale_device_bytes() > 0:
-                array.mark_gpu_read()
-                if eager:
-                    migrated.append(array)
-        self._migrations.note_migrations(
-            self.engine, stream, migrated, label=f"eager:{kernel.name}"
-        )
-        for array, access in launch.array_args:
-            if access.writes:
-                array.mark_gpu_write()
         resources = launch.resources()
-        if fault_bytes > 0:
-            resources = combine_resources(resources, fault_bytes)
+        if plan.fault_bytes > 0:
+            resources = combine_resources(resources, plan.fault_bytes)
         op = KernelOp(
             label=launch.label,
             resources=resources,
@@ -143,4 +112,5 @@ class HandTunedScheduler:
         op.info["array_names"] = {
             id(a): a.name for a, _ in launch.array_args
         }
+        self.coherence.release(plan, op)
         self.engine.submit(stream, op)

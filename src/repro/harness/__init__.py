@@ -20,9 +20,11 @@ from repro.harness.figures import (
     figure12,
 )
 from repro.harness.serving import serve_bench
+from repro.harness.movement import movement_bench
 
 __all__ = [
     "serve_bench",
+    "movement_bench",
     "ExperimentCell",
     "run_cell",
     "sweep_cells",

@@ -1,0 +1,154 @@
+"""Movement-policy sweep: the benchmark axis the coherence engine opens.
+
+``python -m repro movement-bench`` runs each suite workload under every
+:class:`~repro.memory.coherence.MovementPolicy` on the parallel
+scheduler and prints a comparison table: device makespan, bytes moved by
+engine-issued migrations, bytes left to the page-fault engine, and the
+number of transfer operations (BATCHED coalescing shows up here).
+
+Functional invariant, asserted on every sweep: all policies produce
+bit-identical workload results — they only decide *when* and *in how
+many pieces* bytes move, never *which values* are computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.timeline import Timeline
+from repro.memory.coherence import MovementPolicy
+from repro.workloads import Mode
+from repro.workloads.suite import create_benchmark, default_scales
+
+DEFAULT_BENCHMARKS = ("vec", "b&s", "img", "ml")
+
+
+def timeline_fault_bytes(timeline: Timeline) -> float:
+    """Bytes migrated by the fault engine during kernels (the charge the
+    page-fault policy pays instead of issuing transfers)."""
+    return sum(
+        r.meta["resources"].fault_bytes
+        for r in timeline.kernels()
+        if r.meta.get("resources") is not None
+    )
+
+
+def timeline_moved_bytes(timeline: Timeline) -> float:
+    """Bytes moved host-to-device by engine-issued migrations."""
+    from repro.gpusim.timeline import IntervalKind
+
+    return sum(
+        r.nbytes
+        for r in timeline.transfers()
+        if r.kind is IntervalKind.TRANSFER_HTOD
+    )
+
+
+def timeline_htod_ops(timeline: Timeline) -> int:
+    from repro.gpusim.timeline import IntervalKind
+
+    return sum(
+        1
+        for r in timeline.transfers()
+        if r.kind is IntervalKind.TRANSFER_HTOD
+    )
+
+
+@dataclass(frozen=True)
+class MovementCell:
+    """One (workload, movement policy) measurement."""
+
+    benchmark: str
+    scale: int
+    policy: MovementPolicy
+    elapsed: float
+    moved_bytes: float
+    fault_bytes: float
+    htod_ops: int
+    results: tuple[float, ...]
+
+
+def sweep_movement_policies(
+    benchmarks=DEFAULT_BENCHMARKS,
+    gpu: str = "GTX 1660 Super",
+    iterations: int = 4,
+    scale_index: int = 0,
+    execute: bool = True,
+) -> list[MovementCell]:
+    """Run ``benchmarks`` under every movement policy on ``gpu``.
+
+    Raises if any policy's results diverge from the page-fault
+    baseline's — the policies must be functionally indistinguishable.
+    """
+    cells: list[MovementCell] = []
+    for name in benchmarks:
+        scales = default_scales(name, gpu)
+        scale = scales[min(scale_index, len(scales) - 1)]
+        reference: tuple[float, ...] | None = None
+        for policy in MovementPolicy:
+            bench = create_benchmark(
+                name, scale, iterations=iterations, execute=execute
+            )
+            run = bench.run(gpu, Mode.PARALLEL, movement=policy)
+            cell = MovementCell(
+                benchmark=name,
+                scale=scale,
+                policy=policy,
+                elapsed=run.elapsed,
+                moved_bytes=timeline_moved_bytes(run.timeline),
+                fault_bytes=timeline_fault_bytes(run.timeline),
+                htod_ops=timeline_htod_ops(run.timeline),
+                results=tuple(run.results),
+            )
+            if reference is None:
+                reference = cell.results
+            elif execute and cell.results != reference:
+                raise AssertionError(
+                    f"{name}: {policy.value} results diverged from"
+                    f" {MovementPolicy.PAGE_FAULT.value}"
+                )
+            cells.append(cell)
+    return cells
+
+
+def render_movement_table(cells: list[MovementCell]) -> str:
+    lines = [
+        "Movement-policy sweep (parallel scheduler)",
+        "==========================================",
+        f"{'benchmark':<10} {'policy':<16} {'time ms':>10}"
+        f" {'moved MB':>10} {'fault MB':>10} {'HtoD ops':>9}",
+    ]
+    for cell in cells:
+        lines.append(
+            f"{cell.benchmark:<10} {cell.policy.value:<16}"
+            f" {cell.elapsed * 1e3:>10.3f}"
+            f" {cell.moved_bytes / 1e6:>10.1f}"
+            f" {cell.fault_bytes / 1e6:>10.1f}"
+            f" {cell.htod_ops:>9}"
+        )
+    lines.append("")
+    lines.append(
+        "results are bit-identical across policies (asserted per sweep)"
+    )
+    return "\n".join(lines)
+
+
+def movement_bench(
+    benchmarks=DEFAULT_BENCHMARKS,
+    gpu: str = "GTX 1660 Super",
+    iterations: int = 4,
+    scale_index: int = 0,
+    execute: bool = True,
+    render: bool = False,
+) -> list[MovementCell]:
+    """The ``movement-bench`` experiment entry point."""
+    cells = sweep_movement_policies(
+        benchmarks,
+        gpu=gpu,
+        iterations=iterations,
+        scale_index=scale_index,
+        execute=execute,
+    )
+    if render:
+        print(render_movement_table(cells))
+    return cells

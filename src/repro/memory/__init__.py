@@ -10,17 +10,23 @@ page-granular CPU access costs:
 * GPU reads require a valid device copy — obtained by prefetch, eager
   copy, or on-demand page faults depending on architecture and policy;
 * CPU accesses touch single pages, not whole arrays, mirroring UM's
-  page-migration granularity.
+  page-migration granularity;
+* every executor declares its accesses to the
+  :class:`~repro.memory.coherence.CoherenceEngine`, which plans the
+  transfers its :class:`~repro.memory.coherence.MovementPolicy` calls
+  for and applies state transitions on operation completion.
 """
 
 from repro.memory.pages import CoherenceState, PAGE_SIZE_BYTES
 from repro.memory.array import DeviceArray, AccessKind
-from repro.memory.transfer import TransferPlanner
+from repro.memory.coherence import AcquirePlan, CoherenceEngine, MovementPolicy
 
 __all__ = [
     "CoherenceState",
     "PAGE_SIZE_BYTES",
     "DeviceArray",
     "AccessKind",
-    "TransferPlanner",
+    "AcquirePlan",
+    "CoherenceEngine",
+    "MovementPolicy",
 ]

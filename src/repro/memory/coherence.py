@@ -1,0 +1,697 @@
+"""The unified coherence & data-movement engine.
+
+Every execution mode — the serial and parallel contexts, CUDA-graph
+replay, the hand-tuned baseline, the multi-GPU scheduler and the serving
+layer's capture replay — moves the same bytes for the same reasons:
+a computation is about to read an array whose copy on its device is
+stale, or host code is about to touch an array the GPU owns.  This
+module owns that logic once, behind one :class:`CoherenceEngine` API:
+
+* executors *declare accesses* (:meth:`CoherenceEngine.acquire` before
+  submitting a compute op, :meth:`CoherenceEngine.release` to bind the
+  resulting state transitions to it, :meth:`CoherenceEngine.cpu_access`
+  for host-side touches);
+* the engine *plans* the :class:`~repro.gpusim.ops.TransferOp` s a
+  pluggable :class:`MovementPolicy` calls for, *orders* them against
+  in-flight migrations issued on other streams (the shared-input hazard
+  previously handled by the per-executor ``MigrationTracker`` copies),
+  and *applies* coherence-state transitions when the operation
+  completes on the simulated device — never when planned — so that
+  concurrent planning observes a consistent split between the
+  *committed* state (what the hardware has done) and the *planned*
+  overlay (what is already in flight).
+
+Movement policies
+-----------------
+
+``PAGE_FAULT``
+    Lazy: stale pages reach the GPU through the Pascal+ fault engine,
+    charged to the faulting kernel itself.  This is plain UM behaviour
+    and what a launched CUDA graph gets (graphs do not prefetch).
+``EAGER_PREFETCH``
+    Issue a host-to-device copy as soon as the DAG schedules a consumer
+    (``cudaMemPrefetchAsync`` ahead of the kernel) — the paper's
+    prefetching mode.  On pre-Pascal devices the copy is a synchronous
+    eager transfer; the fault path does not exist there.
+``BATCHED``
+    Like ``EAGER_PREFETCH``, but the stale inputs of one acquire are
+    coalesced into a single transfer operation (adjacent-array copies
+    ride one DMA submission), trading per-op overhead for transfer
+    granularity.
+
+All three are functionally identical — values live in one numpy buffer;
+the policies only decide *when* and *in how many pieces* the simulator
+charges the movement.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.gpusim.ops import (
+    Operation,
+    TransferDirection,
+    TransferKind,
+    TransferOp,
+)
+from repro.memory.array import AccessKind, DeviceArray
+from repro.memory.pages import PAGE_SIZE_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gpusim.engine import SimEngine
+    from repro.gpusim.stream import SimEvent, SimStream
+    from repro.multigpu.array import MultiGpuArray
+
+
+class MovementPolicy(enum.Enum):
+    """How the runtime moves stale data to the device (see module docs)."""
+
+    PAGE_FAULT = "page-fault"
+    EAGER_PREFETCH = "eager-prefetch"
+    BATCHED = "batched"
+
+
+_plan_tokens = itertools.count()
+
+
+@dataclass
+class _PlannedState:
+    """In-flight overlay over one array's committed coherence state.
+
+    ``device_valid`` / ``host_valid`` describe what the state *will be*
+    once everything already submitted completes; ``event`` (plus the
+    issuing ``stream``) orders later consumers on other streams behind
+    the in-flight migration.  ``token`` guards the completion callback:
+    a newer plan for the same array supersedes the cleanup of an older
+    one.
+    """
+
+    device_valid: bool
+    host_valid: bool
+    event: "SimEvent | None" = None
+    stream: "SimStream | None" = None
+    token: int = field(default_factory=lambda: next(_plan_tokens))
+
+
+@dataclass
+class AcquirePlan:
+    """Outcome of one :meth:`CoherenceEngine.acquire` declaration.
+
+    ``fault_bytes`` must be charged to the compute op (the page-fault
+    path migrates *during* execution); ``completion_marks`` are the
+    state transitions :meth:`CoherenceEngine.release` binds to the op so
+    they apply at completion time.
+    """
+
+    fault_bytes: float = 0.0
+    completion_marks: list[Callable[[], None]] = field(default_factory=list)
+
+
+class CoherenceEngine:
+    """Owns all host<->device (and device<->device) coherence traffic
+    for one executor on one :class:`~repro.gpusim.engine.SimEngine`.
+
+    The engine keeps two views of every array it has touched:
+
+    * the **committed** state — ``array.state`` (or the location set of
+      a :class:`~repro.multigpu.array.MultiGpuArray`), updated only by
+      completion callbacks on simulator operations;
+    * the **planned** overlay — what the state will become once already
+      submitted work lands, updated eagerly at planning time so that
+      concurrent planning never double-moves the same bytes.
+
+    Cross-stream ordering (the shared-input hazard): when the migration
+    of an array was issued on stream A and a computation on stream B
+    also reads that array, ``acquire`` makes B wait on the migration's
+    event.  The issuing stream itself is already ordered by stream FIFO.
+    """
+
+    def __init__(
+        self,
+        engine: "SimEngine",
+        policy: MovementPolicy = MovementPolicy.EAGER_PREFETCH,
+        op_tags: dict | None = None,
+    ) -> None:
+        self.engine = engine
+        self.policy = policy
+        #: extra key/values stamped on every transfer op this engine
+        #: submits (shared by reference with the owning executor, e.g.
+        #: the tenant tags of ``repro.serve``)
+        self.op_tags = op_tags if op_tags is not None else {}
+        #: planned overlays for single-device arrays, by ``id(array)``
+        self._planned: dict[int, _PlannedState] = {}
+        #: newest plan token committed per array: completion callbacks
+        #: of *superseded* plans (e.g. a migration invalidated by a full
+        #: host overwrite mid-flight) must not apply their transition
+        self._committed_gen: dict[int, int] = {}
+        #: in-flight multi-GPU migrations: (id(array), device) -> event
+        self._multi_pending: dict[tuple[int, int], "SimEvent"] = {}
+        # -- movement accounting (the movement-bench axis) ---------------
+        #: bytes left to the fault engine (charged inside kernels)
+        self.fault_bytes_total = 0.0
+        #: bytes moved by engine-issued HtoD/DtoD migrations
+        self.migrated_bytes_total = 0.0
+        #: bytes written back to the host on CPU accesses
+        self.writeback_bytes_total = 0.0
+        #: transfer operations submitted
+        self.transfer_ops = 0
+        #: transfers saved by BATCHED coalescing
+        self.coalesced_transfers = 0
+
+    # -- planned-state queries ------------------------------------------------
+
+    def _plan_of(self, array: DeviceArray) -> _PlannedState | None:
+        return self._planned.get(id(array))
+
+    def device_valid(self, array: DeviceArray) -> bool:
+        """Will the device copy be valid once in-flight work completes?"""
+        plan = self._plan_of(array)
+        if plan is not None:
+            return plan.device_valid
+        return array.state.device_valid
+
+    def host_valid(self, array: DeviceArray) -> bool:
+        """Will the host copy be valid once in-flight work completes?"""
+        plan = self._plan_of(array)
+        if plan is not None:
+            return plan.host_valid
+        return array.state.host_valid
+
+    def needs_host_migration(
+        self, array: DeviceArray, kind: AccessKind, touched: int
+    ) -> bool:
+        """Would a CPU access of ``touched`` bytes require a writeback?
+
+        Pure query on the planned view — used by the contexts' CPU-access
+        fast path *before* any synchronization happens.
+        """
+        if kind is AccessKind.WRITE and touched >= array.nbytes:
+            return False
+        return not self.host_valid(array)
+
+    def _stale_host_bytes(self, array: DeviceArray, touched: int) -> int:
+        """Planned-view equivalent of ``DeviceArray.stale_host_bytes``."""
+        if self.host_valid(array):
+            return 0
+        pages = max(1, -(-int(touched) // PAGE_SIZE_BYTES))
+        return min(array.nbytes, pages * PAGE_SIZE_BYTES)
+
+    # -- overlay bookkeeping -------------------------------------------------
+
+    def _overlay(
+        self,
+        array: DeviceArray,
+        *,
+        device_valid: bool | None = None,
+        host_valid: bool | None = None,
+        event: "SimEvent | None" = None,
+        stream: "SimStream | None" = None,
+    ) -> _PlannedState:
+        """Update (or open) the planned overlay for ``array``."""
+        plan = self._plan_of(array)
+        dv = self.device_valid(array) if device_valid is None else device_valid
+        hv = self.host_valid(array) if host_valid is None else host_valid
+        if plan is None:
+            plan = _PlannedState(device_valid=dv, host_valid=hv)
+            self._planned[id(array)] = plan
+        else:
+            plan.device_valid = dv
+            plan.host_valid = hv
+            plan.token = next(_plan_tokens)
+        if event is not None:
+            plan.event = event
+            plan.stream = stream
+        return plan
+
+    def _commit(
+        self, array: DeviceArray, mark: Callable[[], None], token: int
+    ) -> None:
+        """Apply one committed-state transition; retire the overlay if no
+        newer plan superseded it (committed == planned again).
+
+        A transition whose plan was superseded by an already-committed
+        newer one is dropped: its operation is dead — e.g. a migration
+        overtaken by a full host overwrite must not re-validate the
+        device copy when it finally lands.
+        """
+        if token < self._committed_gen.get(id(array), -1):
+            return
+        self._committed_gen[id(array)] = token
+        mark()
+        plan = self._plan_of(array)
+        if plan is not None and plan.token == token:
+            del self._planned[id(array)]
+
+    def _committer(
+        self, array: DeviceArray, mark: Callable[[], None], token: int
+    ) -> Callable[[], None]:
+        return lambda: self._commit(array, mark, token)
+
+    def reset(self) -> None:
+        """Forget all planned state (only safe on a drained engine)."""
+        self._planned.clear()
+        self._multi_pending.clear()
+        self._committed_gen.clear()
+
+    # -- access declaration: GPU side ---------------------------------------
+
+    def acquire(
+        self,
+        accesses: list[tuple[DeviceArray, AccessKind]],
+        stream: "SimStream",
+        label: str = "",
+        policy: MovementPolicy | None = None,
+        kind: TransferKind | None = None,
+    ) -> AcquirePlan:
+        """Declare that a computation on ``stream`` is about to touch
+        ``accesses``; plan and submit the movement its policy calls for.
+
+        Returns the :class:`AcquirePlan` whose ``fault_bytes`` the caller
+        charges to the compute op and which :meth:`release` binds to it.
+        ``policy`` overrides the engine's default for this acquire (the
+        hand-tuned baseline faults arrays the programmer forgot while
+        still prefetching explicitly); ``kind`` overrides the transfer
+        kind stamped on migrations (EAGER on pre-Pascal devices).
+        """
+        policy = policy or self.policy
+        supports_faults = self.engine.device.spec.supports_page_faults
+        if policy is MovementPolicy.PAGE_FAULT and not supports_faults:
+            policy = MovementPolicy.EAGER_PREFETCH
+        if kind is None:
+            kind = (
+                TransferKind.PREFETCH
+                if supports_faults
+                else TransferKind.EAGER
+            )
+
+        plan = AcquirePlan()
+        self._wait_pending(
+            stream, [a for a, _ in accesses]
+        )
+
+        stale: list[DeviceArray] = []
+        seen: set[int] = set()
+        for array, access in accesses:
+            if not access.reads or id(array) in seen:
+                continue
+            seen.add(id(array))
+            if not self.device_valid(array):
+                stale.append(array)
+
+        if stale:
+            if policy is MovementPolicy.PAGE_FAULT:
+                self._plan_faults(stale, plan)
+            elif policy is MovementPolicy.BATCHED:
+                self._submit_batched(stale, stream, label, kind)
+            else:
+                self._submit_prefetches(stale, stream, label, kind)
+
+        # Writes commit at compute-op completion; the overlay flips now
+        # so later planning sees the array as device-resident/host-stale.
+        seen.clear()
+        for array, access in accesses:
+            if not access.writes or id(array) in seen:
+                continue
+            seen.add(id(array))
+            overlay = self._overlay(
+                array, device_valid=True, host_valid=False
+            )
+            plan.completion_marks.append(
+                self._committer(array, array.mark_gpu_write, overlay.token)
+            )
+        return plan
+
+    def release(
+        self, plan: AcquirePlan, op: Operation | None = None
+    ) -> None:
+        """Bind ``plan``'s remaining state transitions to ``op`` so they
+        apply when the compute op completes; with ``op=None`` (host-side
+        executors that already synchronized) they apply immediately."""
+        if not plan.completion_marks:
+            return
+        if op is None:
+            for mark in plan.completion_marks:
+                mark()
+            return
+        marks = list(plan.completion_marks)
+
+        def apply_marks(_op: Operation) -> None:
+            for mark in marks:
+                mark()
+
+        op.on_complete.append(apply_marks)
+
+    def _plan_faults(
+        self, stale: list[DeviceArray], plan: AcquirePlan
+    ) -> None:
+        """Leave the stale bytes to the fault engine: the kernel migrates
+        them on demand and the read transition lands at its completion."""
+        for array in stale:
+            plan.fault_bytes += array.nbytes
+            overlay = self._overlay(array, device_valid=True)
+            plan.completion_marks.append(
+                self._committer(array, array.mark_gpu_read, overlay.token)
+            )
+        self.fault_bytes_total += plan.fault_bytes
+
+    def _submit_prefetches(
+        self,
+        stale: list[DeviceArray],
+        stream: "SimStream",
+        label: str,
+        kind: TransferKind,
+    ) -> None:
+        """One HtoD migration per stale array, followed by one event that
+        later consumers on other streams wait on."""
+        for array in stale:
+            self._submit_migration(
+                TransferOp(
+                    label=f"HtoD:{array.name}",
+                    direction=TransferDirection.HOST_TO_DEVICE,
+                    nbytes=array.nbytes,
+                    kind=kind,
+                ),
+                [array],
+                stream,
+            )
+        event = self.engine.record_event(
+            stream, label=f"migrate:{label or stale[0].name}-done"
+        )
+        for array in stale:
+            plan = self._plan_of(array)
+            assert plan is not None
+            plan.event = event
+            plan.stream = stream
+
+    def _submit_batched(
+        self,
+        stale: list[DeviceArray],
+        stream: "SimStream",
+        label: str,
+        kind: TransferKind,
+    ) -> None:
+        """Coalesce all stale inputs of one acquire into a single DMA
+        submission (adjacent-array copies ride one transfer op)."""
+        total = sum(a.nbytes for a in stale)
+        names = ",".join(a.name for a in stale)
+        self._submit_migration(
+            TransferOp(
+                label=f"HtoD:batch[{names}]",
+                direction=TransferDirection.HOST_TO_DEVICE,
+                nbytes=total,
+                kind=kind,
+            ),
+            stale,
+            stream,
+        )
+        self.coalesced_transfers += max(0, len(stale) - 1)
+        event = self.engine.record_event(
+            stream, label=f"migrate:{label or names}-done"
+        )
+        for array in stale:
+            plan = self._plan_of(array)
+            assert plan is not None
+            plan.event = event
+            plan.stream = stream
+
+    def _submit_migration(
+        self,
+        op: TransferOp,
+        arrays: list[DeviceArray],
+        stream: "SimStream",
+    ) -> None:
+        """Submit one engine-planned migration covering ``arrays``."""
+        op.info["writes"] = frozenset(id(a) for a in arrays)
+        op.info["reads"] = frozenset()
+        op.info["array_names"] = {id(a): a.name for a in arrays}
+        op.info.update(self.op_tags)
+        marks: list[Callable[[], None]] = []
+        for array in arrays:
+            overlay = self._overlay(array, device_valid=True)
+            marks.append(
+                self._committer(array, array.mark_gpu_read, overlay.token)
+            )
+
+        def apply_all() -> None:
+            for mark in marks:
+                mark()
+
+        op.apply_fn = apply_all
+        self.engine.submit(stream, op)
+        self.transfer_ops += 1
+        self.migrated_bytes_total += op.nbytes
+
+    def prefetch(self, array: DeviceArray, stream: "SimStream") -> None:
+        """Explicit ``cudaMemPrefetchAsync``: move a (planned-)stale
+        array to the device ahead of its consumers."""
+        if self.device_valid(array):
+            return
+        self._submit_prefetches(
+            [array], stream, f"prefetch:{array.name}", TransferKind.PREFETCH
+        )
+
+    def _wait_pending(
+        self, stream: "SimStream", arrays: list[DeviceArray]
+    ) -> None:
+        """Order ``stream`` behind in-flight migrations of ``arrays``
+        issued on *other* streams (same-stream FIFO already orders)."""
+        for array in arrays:
+            plan = self._plan_of(array)
+            if plan is None or plan.event is None:
+                continue
+            if plan.stream is not stream and not plan.event.complete:
+                self.engine.wait_event(stream, plan.event)
+
+    # -- access declaration: host side ---------------------------------------
+
+    def cpu_access(
+        self,
+        array: DeviceArray,
+        kind: AccessKind,
+        touched: int,
+        stream: "SimStream | None" = None,
+        sync: bool = True,
+    ) -> TransferOp | None:
+        """Declare an imminent host access; move and transition as needed.
+
+        Reads and partial writes migrate the touched pages back
+        (page-granular read-modify-write, like real UM); a pure write
+        covering the whole array goes through
+        :meth:`invalidate_device_copy` instead — nothing migrates, the
+        device copy dies.  The host access itself is synchronous, so
+        with ``sync=True`` (the default) the migration is drained and
+        transitions commit before returning.
+        """
+        if kind is AccessKind.WRITE and touched >= array.nbytes:
+            self.invalidate_device_copy(array)
+            return None
+        op: TransferOp | None = None
+        stale = self._stale_host_bytes(array, touched)
+        if stale > 0:
+            stream = stream or self.engine.default_stream
+            op = TransferOp(
+                label=f"DtoH:{array.name}",
+                direction=TransferDirection.DEVICE_TO_HOST,
+                nbytes=stale,
+                kind=TransferKind.WRITEBACK,
+            )
+            op.info["writes"] = frozenset()
+            op.info["reads"] = frozenset({id(array)})
+            op.info["array_names"] = {id(array): array.name}
+            op.info.update(self.op_tags)
+            overlay = self._overlay(array, host_valid=True)
+            op.apply_fn = self._committer(
+                array, array.mark_cpu_read, overlay.token
+            )
+            self.engine.submit(stream, op)
+            self.transfer_ops += 1
+            self.writeback_bytes_total += stale
+            if sync:
+                self.engine.sync_stream(stream)
+        # The access happens synchronously right after this declaration:
+        # commit the remaining transitions through the shared path.
+        if kind.reads:
+            self._commit_now(array, array.mark_cpu_read, host_valid=True)
+        if kind.writes:
+            self._commit_now(
+                array,
+                array.mark_cpu_write,
+                host_valid=True,
+                device_valid=False,
+            )
+        return op
+
+    def invalidate_device_copy(self, array: DeviceArray) -> None:
+        """Full-array host overwrite: the device copy is dead.
+
+        Goes through the same transition path as transfer completions —
+        the planned overlay is updated first and the committed state
+        follows through :meth:`_commit` — so concurrent planning can
+        never observe the half-updated split where the device copy is
+        invalid but a stale in-flight-migration event still vouches for
+        it.  Any pending migration bookkeeping for the array is
+        cancelled (its event may still be waited on harmlessly, but it
+        no longer marks the device copy valid).
+        """
+        self._commit_now(
+            array,
+            array.mark_cpu_write,
+            host_valid=True,
+            device_valid=False,
+        )
+
+    def _commit_now(
+        self,
+        array: DeviceArray,
+        mark: Callable[[], None],
+        *,
+        host_valid: bool | None = None,
+        device_valid: bool | None = None,
+    ) -> None:
+        """Synchronous host-side transition via the shared commit path:
+        overlay first (superseding in-flight plans), committed state
+        immediately after (the host is, by construction, synchronized)."""
+        overlay = self._overlay(
+            array, device_valid=device_valid, host_valid=host_valid
+        )
+        overlay.event = None
+        overlay.stream = None
+        self._commit(array, mark, overlay.token)
+
+    # -- multi-GPU: device<->device mirroring --------------------------------
+
+    def acquire_multi(
+        self,
+        accesses: list[tuple["MultiGpuArray", AccessKind]],
+        stream: "SimStream",
+        device_index: int,
+        label: str = "",
+    ) -> AcquirePlan:
+        """Multi-GPU access declaration: make every read input resident
+        on ``device_index``, sourcing each migration from the cheapest
+        valid copy (peer-to-peer when a device replica exists, host
+        upload otherwise), and ordering behind in-flight migrations of
+        both the destination and the chosen source replica."""
+        plan = AcquirePlan()
+        for array, access in accesses:
+            if not access.reads:
+                continue
+            source = array.migration_source(device_index)
+            if source is None:
+                # Resident — possibly via a still-in-flight migration
+                # issued by another stream: wait on its event.
+                pending = self._multi_pending.get((id(array), device_index))
+                if pending is not None and not pending.complete:
+                    self.engine.wait_event(stream, pending)
+                continue
+            # A peer copy must not start before the source replica is
+            # itself fully materialized (its own migration may still be
+            # in flight on another stream).
+            if source >= 0:
+                source_pending = self._multi_pending.get((id(array), source))
+                if source_pending is not None and not source_pending.complete:
+                    self.engine.wait_event(stream, source_pending)
+            direction = (
+                TransferDirection.HOST_TO_DEVICE
+                if source == -1
+                else TransferDirection.DEVICE_TO_DEVICE
+            )
+            op = TransferOp(
+                label=(
+                    f"{'HtoD' if source == -1 else f'D{source}toD'}"
+                    f"{device_index}:{array.name}"
+                ),
+                direction=direction,
+                nbytes=array.nbytes,
+                kind=TransferKind.PREFETCH,
+            )
+            # Race-detector tokens are per *copy* — (array, device) — so
+            # a peer-to-peer copy reading GPU 0's replica does not
+            # conflict with a kernel also reading that replica, but does
+            # conflict with anything touching the destination replica.
+            src_token = (id(array), "host" if source == -1 else source)
+            dst_token = (id(array), device_index)
+            op.info["reads"] = frozenset({src_token})
+            op.info["writes"] = frozenset({dst_token})
+            op.info["array_names"] = {
+                src_token: f"{array.name}@{src_token[1]}",
+                dst_token: f"{array.name}@gpu{device_index}",
+            }
+            op.info.update(self.op_tags)
+            self.engine.submit(stream, op)
+            self.transfer_ops += 1
+            self.migrated_bytes_total += op.nbytes
+            # The location set prices placement decisions synchronously,
+            # so multi-GPU residency commits at submission; ordering
+            # still flows through the recorded event.
+            array.mark_read(device_index)
+            event = self.engine.record_event(
+                stream, label=f"mig:{array.name}@gpu{device_index}"
+            )
+            self._multi_pending[(id(array), device_index)] = event
+        return plan
+
+    def release_multi(
+        self,
+        accesses: list[tuple["MultiGpuArray", AccessKind]],
+        device_index: int,
+    ) -> None:
+        """Apply the write transitions of a multi-GPU computation: the
+        writing device becomes the sole valid copy."""
+        for array, access in accesses:
+            if access.writes:
+                array.mark_write(device_index)
+
+    def cpu_write_full_multi(
+        self, array: "MultiGpuArray", mark: bool = True
+    ) -> None:
+        """Full host overwrite of a multi-GPU array: every device replica
+        dies; in-flight migration bookkeeping for the array is dropped.
+
+        ``mark=False`` skips the state transition for callers whose data
+        path already applied it (``copy_from_host`` marks internally) —
+        one transition per write, pending cleanup always.
+        """
+        if mark:
+            array.mark_cpu_write()
+        for key in [k for k in self._multi_pending if k[0] == id(array)]:
+            del self._multi_pending[key]
+
+    def cpu_read_multi(
+        self,
+        array: "MultiGpuArray",
+        stream: "SimStream",
+        nbytes: int | None = None,
+        sync: bool = True,
+    ) -> TransferOp | None:
+        """Host readback of a multi-GPU array (device-to-host writeback
+        from whichever replica is valid)."""
+        if array.host_valid:
+            return None
+        op = TransferOp(
+            label=f"DtoH:{array.name}",
+            direction=TransferDirection.DEVICE_TO_HOST,
+            nbytes=min(nbytes or array.nbytes, array.nbytes),
+            kind=TransferKind.WRITEBACK,
+        )
+        op.info.update(self.op_tags)
+        self.engine.submit(stream, op)
+        self.transfer_ops += 1
+        self.writeback_bytes_total += op.nbytes
+        if sync:
+            self.engine.sync_stream(stream)
+        array.mark_cpu_read()
+        return op
+
+    # -- introspection --------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CoherenceEngine {self.policy.value}"
+            f" planned={len(self._planned)}"
+            f" moved={self.migrated_bytes_total:.0f}B"
+            f" faulted={self.fault_bytes_total:.0f}B>"
+        )

@@ -27,17 +27,13 @@ from repro.core.policies import SchedulerConfig
 from repro.core.streams import StreamManager
 from repro.gpusim.device import Device
 from repro.gpusim.engine import SimEngine
-from repro.gpusim.ops import (
-    KernelOp,
-    TransferDirection,
-    TransferKind,
-    TransferOp,
-)
+from repro.gpusim.ops import KernelOp
 from repro.gpusim.specs import GPUSpec, gpu_by_name
-from repro.gpusim.stream import SimEvent, SimStream
+from repro.gpusim.stream import SimStream
 from repro.kernels.kernel import Kernel, KernelLaunch
 from repro.kernels.registry import build_kernel
 from repro.kernels.profile import CostModel
+from repro.memory.coherence import CoherenceEngine
 from repro.multigpu.array import MultiGpuArray
 
 
@@ -53,27 +49,24 @@ class _PerDevice:
     def __init__(self, index: int, engine: SimEngine,
                  config: SchedulerConfig) -> None:
         self.index = index
+        self._engine = engine
+        # StreamManager creates streams on device 0 by default; a custom
+        # factory pins this manager's streams to this device.
         self.streams = StreamManager(
             engine,
             new_stream=config.new_stream,
             parent_stream=config.parent_stream,
+            stream_factory=self._make_stream,
         )
-        # StreamManager creates streams on device 0 by default; patch
-        # its factory to pin streams to this device.
-        self.streams._create_stream = self._create_stream  # type: ignore
-        self._engine = engine
         self._label_counter = 0
         self.outstanding_work: float = 0.0
 
-    def _create_stream(self) -> SimStream:
+    def _make_stream(self) -> SimStream:
         self._label_counter += 1
-        stream = self._engine.create_stream(
+        return self._engine.create_stream(
             label=f"gpu{self.index}-{self._label_counter}",
             device_index=self.index,
         )
-        self.streams._streams.append(stream)
-        self.streams.created_count += 1
-        return stream
 
 
 class MultiGpuScheduler:
@@ -103,8 +96,8 @@ class MultiGpuScheduler:
         self._arrays: list[MultiGpuArray] = []
         #: element id -> device index (placement decisions, for tests)
         self.placements: dict[int, int] = {}
-        #: in-flight migrations: (array id, device) -> event
-        self._migrations: dict[tuple[int, int], SimEvent] = {}
+        #: all host<->device and peer-to-peer movement flows through here
+        self.coherence = CoherenceEngine(self.engine)
 
     # -- allocation -------------------------------------------------------
 
@@ -193,11 +186,13 @@ class MultiGpuScheduler:
             ):
                 self.engine.wait_event(stream, parent.finish_event)
 
-        self._migrate_inputs(stream, device_index, launch)
-
-        for array, access in launch.array_args:
-            if access.writes:
-                array.mark_write(device_index)
+        self.coherence.acquire_multi(
+            list(launch.array_args), stream, device_index,
+            label=launch.label,
+        )
+        self.coherence.release_multi(
+            list(launch.array_args), device_index
+        )
 
         resources = launch.resources()
         op = KernelOp(
@@ -238,65 +233,6 @@ class MultiGpuScheduler:
             0.0, per_dev.outstanding_work - duration
         )
 
-    def _migrate_inputs(
-        self,
-        stream: SimStream,
-        device_index: int,
-        launch: KernelLaunch,
-    ) -> None:
-        """Move stale read inputs to ``device_index``.
-
-        Valid peer copies move over peer-to-peer (D2D); otherwise the
-        host uploads (HtoD).  In-flight migrations to the same device
-        from other streams are awaited through their events.
-        """
-        for array, access in launch.array_args:
-            if not access.reads:
-                continue
-            source = array.migration_source(device_index)
-            if source is None:
-                # Resident — possibly via a still-in-flight migration
-                # issued by another stream: wait on its event.
-                pending = self._migrations.get((id(array), device_index))
-                if pending is not None and not pending.complete:
-                    self.engine.wait_event(stream, pending)
-                continue
-            # A peer copy must not start before the source replica is
-            # itself fully materialized (its own migration may still be
-            # in flight on another stream).
-            if source >= 0:
-                source_pending = self._migrations.get((id(array), source))
-                if source_pending is not None and not source_pending.complete:
-                    self.engine.wait_event(stream, source_pending)
-            direction = (
-                TransferDirection.HOST_TO_DEVICE
-                if source == -1
-                else TransferDirection.DEVICE_TO_DEVICE
-            )
-            op = TransferOp(
-                label=(
-                    f"{'HtoD' if source == -1 else f'D{source}toD'}"
-                    f"{device_index}:{array.name}"
-                ),
-                direction=direction,
-                nbytes=array.nbytes,
-                kind=TransferKind.PREFETCH,
-            )
-            src_token = (id(array), "host" if source == -1 else source)
-            dst_token = (id(array), device_index)
-            op.info["reads"] = frozenset({src_token})
-            op.info["writes"] = frozenset({dst_token})
-            op.info["array_names"] = {
-                src_token: f"{array.name}@{src_token[1]}",
-                dst_token: f"{array.name}@gpu{device_index}",
-            }
-            self.engine.submit(stream, op)
-            array.mark_read(device_index)
-            event = self.engine.record_event(
-                stream, label=f"mig:{array.name}@gpu{device_index}"
-            )
-            self._migrations[(id(array), device_index)] = event
-
     # -- host interaction ------------------------------------------------------
 
     def write_input(self, array: MultiGpuArray, data=None) -> None:
@@ -315,9 +251,8 @@ class MultiGpuScheduler:
             if e.finish_event is not None:
                 self.engine.sync_event(e.finish_event)
         if data is not None:
-            array.copy_from_host(data)
-        else:
-            array.mark_cpu_write()
+            array.copy_from_host(data)  # marks the host write itself
+        self.coherence.cpu_write_full_multi(array, mark=data is None)
         self.dag.deactivate_completed()
 
     def read_result(self, array: MultiGpuArray, nbytes: int | None = None):
@@ -330,17 +265,9 @@ class MultiGpuScheduler:
         for e in writers:
             if e.finish_event is not None:
                 self.engine.sync_event(e.finish_event)
-        if not array.host_valid:
-            stream = self.engine.default_stream
-            op = TransferOp(
-                label=f"DtoH:{array.name}",
-                direction=TransferDirection.DEVICE_TO_HOST,
-                nbytes=min(nbytes or array.nbytes, array.nbytes),
-                kind=TransferKind.WRITEBACK,
-            )
-            self.engine.submit(stream, op)
-            self.engine.sync_stream(stream)
-            array.mark_cpu_read()
+        self.coherence.cpu_read_multi(
+            array, self.engine.default_stream, nbytes=nbytes
+        )
         self.dag.deactivate_completed()
         return array.kernel_view
 

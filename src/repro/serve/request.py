@@ -174,7 +174,7 @@ class TaskGraph:
             ),
             tuple(k.identity for k in self.kernels),
             tuple(
-                (l.kernel, l.grid, l.block, l.args) for l in self.launches
+                (d.kernel, d.grid, d.block, d.args) for d in self.launches
             ),
             self.outputs,
         )

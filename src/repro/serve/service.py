@@ -38,12 +38,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.policies import SchedulerConfig
-from repro.gpusim.ops import (
-    KernelOp,
-    TransferDirection,
-    TransferKind,
-    TransferOp,
-)
+from repro.gpusim.ops import KernelOp
 from repro.core.context import (
     annotate_kernel_access_sets,
     kernel_history_recorder,
@@ -51,8 +46,9 @@ from repro.core.context import (
 from repro.core.history import KernelExecutionRecord
 from repro.gpusim.timeline import Timeline
 from repro.kernels.kernel import KernelLaunch, normalize_dim
-from repro.memory.array import DeviceArray
-from repro.memory.transfer import MigrationTracker, TransferPlanner
+from repro.kernels.profile import combine_resources
+from repro.memory.array import AccessKind, DeviceArray
+from repro.memory.coherence import CoherenceEngine
 from repro.metrics.service import ServiceMetrics, compute_service_metrics
 from repro.multigpu.scheduler import DevicePlacementPolicy
 from repro.serve.admission import AdmissionPolicy, make_queue
@@ -158,6 +154,7 @@ class _Submission:
         self.replayed = replayed
         self.arrays: dict[str, DeviceArray] = {}
         self.context = None            # context path only
+        self.coherence: CoherenceEngine | None = None   # replay path
         self.history: list[KernelExecutionRecord] = []  # replay path
 
 
@@ -400,6 +397,16 @@ class SchedulerService:
             request, device, engine.clock, batch_id, batch_size,
             replayed=True,
         )
+        # Replay bypasses execution contexts, so the request gets its
+        # own coherence engine: shared-input migration hazards, movement
+        # policy and state transitions all live there (no more manual
+        # coherence management on this path).
+        coherence = CoherenceEngine(
+            engine,
+            policy=self.config.scheduler.resolve_movement(spec),
+            op_tags=tags,
+        )
+        sub.coherence = coherence
         # Each batch member replays on its own stream slice so members
         # space-share instead of serializing behind shared FIFOs.
         pool = device.lease_replay_streams(
@@ -417,16 +424,11 @@ class SchedulerService:
             rt.adopt_array(arr)  # freed with the batch
             if decl.init is not None:
                 arr.copy_from_host(decl.init)
-                arr.mark_cpu_write()  # no hook: apply coherence manually
+                # No hook installed: declare the write to the engine.
+                coherence.cpu_access(arr, AccessKind.WRITE, arr.nbytes)
             sub.arrays[name] = arr
 
         events: dict[int, object] = {}
-        migrations = MigrationTracker()
-        migration_kind = (
-            TransferKind.PREFETCH
-            if spec.supports_page_faults
-            else TransferKind.EAGER
-        )
         for launch_decl, step in zip(graph.launches, plan.steps):
             stream = streams[step.stream]
             for w in step.waits:
@@ -449,30 +451,15 @@ class SchedulerService:
                 array_args=bound.array_args,
                 scalar_args=bound.scalar_args,
             )
-            migrations.wait_for_arrays(
-                engine, stream, [a for a, _ in launch.array_args]
+            acq = coherence.acquire(
+                list(launch.array_args), stream, label=launch.label
             )
-            migrated = []
-            for op in TransferPlanner.htod_for_kernel(
-                list(launch.array_args), migration_kind
-            ):
-                op.apply_fn = None
-                op.info.update(tags)
-                engine.submit(stream, op)
-            for array, access in launch.array_args:
-                if access.reads and array.stale_device_bytes() > 0:
-                    array.mark_gpu_read()
-                    migrated.append(array)
-            migrations.note_migrations(
-                engine, stream, migrated, label=f"replay:{launch.label}"
-            )
-            for array, access in launch.array_args:
-                if access.writes:
-                    array.mark_gpu_write()
-
+            resources = launch.resources()
+            if acq.fault_bytes > 0:
+                resources = combine_resources(resources, acq.fault_bytes)
             op = KernelOp(
                 label=launch.label,
-                resources=launch.resources(),
+                resources=resources,
                 compute_fn=launch.execute,
             )
             annotate_kernel_access_sets(op, launch)
@@ -480,6 +467,7 @@ class SchedulerService:
             op.on_complete.append(
                 kernel_history_recorder(launch, sub.history.append)
             )
+            coherence.release(acq, op)
             engine.submit(stream, op)
             device.kernels_launched += 1
             if step.record_event:
@@ -503,25 +491,14 @@ class SchedulerService:
                 # precisely and charges the readback migration.
                 outputs[name] = arr.to_numpy()
             else:
-                # Replay path (engine already drained): charge the
-                # readback manually, mirroring the hook's behaviour.
-                if not arr.state.host_valid:
-                    op = TransferOp(
-                        label=f"DtoH:{arr.name}",
-                        direction=TransferDirection.DEVICE_TO_HOST,
-                        nbytes=arr.stale_host_bytes(),
-                        kind=TransferKind.WRITEBACK,
-                    )
-                    op.info.update(
-                        {
-                            "tenant": sub.request.tenant,
-                            "request": sub.request.request_id,
-                            "replay": True,
-                        }
-                    )
-                    engine.submit(engine.default_stream, op)
-                    engine.sync_stream(engine.default_stream)
-                    arr.mark_cpu_read()
+                # Replay path (engine already drained): declare the
+                # readback to the request's coherence engine, mirroring
+                # the hook's behaviour on the context path.
+                assert sub.coherence is not None
+                sub.coherence.cpu_access(
+                    arr, AccessKind.READ, arr.nbytes,
+                    stream=engine.default_stream,
+                )
                 outputs[name] = (
                     arr.kernel_view.copy()
                     if arr.materialized

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
@@ -41,7 +41,7 @@ from repro.kernels.profile import CostModel
 from repro.kernels.registry import build_kernel
 from repro.kernels.signature import parse_signature
 from repro.memory.array import AccessKind, DeviceArray
-from repro.memory.transfer import TransferPlanner
+from repro.memory.coherence import CoherenceEngine, MovementPolicy
 
 
 class Mode(enum.Enum):
@@ -247,12 +247,22 @@ class Benchmark(abc.ABC):
         gpu: str | GPUSpec,
         mode: Mode = Mode.PARALLEL,
         prefetch: PrefetchPolicy = PrefetchPolicy.AUTO,
+        movement: MovementPolicy | None = None,
     ) -> RunResult:
-        """Execute the benchmark once under ``mode`` on ``gpu``."""
+        """Execute the benchmark once under ``mode`` on ``gpu``.
+
+        ``movement`` selects the coherence engine's data-movement policy
+        explicitly (the movement-bench axis); None keeps the legacy
+        derivation from ``prefetch``.
+        """
         if mode is Mode.SERIAL:
-            return self._run_grcuda(gpu, ExecutionPolicy.SERIAL, prefetch)
+            return self._run_grcuda(
+                gpu, ExecutionPolicy.SERIAL, prefetch, movement
+            )
         if mode is Mode.PARALLEL:
-            return self._run_grcuda(gpu, ExecutionPolicy.PARALLEL, prefetch)
+            return self._run_grcuda(
+                gpu, ExecutionPolicy.PARALLEL, prefetch, movement
+            )
         if mode in (Mode.GRAPH_MANUAL, Mode.GRAPH_CAPTURE):
             return self._run_graph(gpu, mode)
         return self._run_handtuned(gpu)
@@ -264,10 +274,13 @@ class Benchmark(abc.ABC):
         gpu: str | GPUSpec,
         execution: ExecutionPolicy,
         prefetch: PrefetchPolicy,
+        movement: MovementPolicy | None = None,
     ) -> GrCUDARuntime:
         return GrCUDARuntime(
             gpu=gpu,
-            config=SchedulerConfig(execution=execution, prefetch=prefetch),
+            config=SchedulerConfig(
+                execution=execution, prefetch=prefetch, movement=movement
+            ),
         )
 
     def _run_grcuda(
@@ -275,8 +288,9 @@ class Benchmark(abc.ABC):
         gpu: str | GPUSpec,
         execution: ExecutionPolicy,
         prefetch: PrefetchPolicy,
+        movement: MovementPolicy | None = None,
     ) -> RunResult:
-        rt = self._build_runtime(gpu, execution, prefetch)
+        rt = self._build_runtime(gpu, execution, prefetch, movement)
         arrays = {
             name: rt.array(
                 spec.shape,
@@ -534,23 +548,19 @@ class Benchmark(abc.ABC):
 class _BaselineHost:
     """CPU-access hook for baseline modes: what careful C++ host code
     does around unified memory — synchronize before touching arrays the
-    GPU may be using, and pay UM migration costs."""
+    GPU may be using, and declare the access to the coherence engine,
+    which plans and charges the UM migration."""
 
     def __init__(self, engine: SimEngine) -> None:
         self.engine = engine
+        self.coherence = CoherenceEngine(engine)
 
     def hook(self, array: DeviceArray, kind: AccessKind, touched: int) -> None:
         if not self.engine.idle:
             self.engine.sync_all()
-        op = TransferPlanner.cpu_access_migration(array, kind, touched)
-        if op is not None:
-            op.apply_fn = None
-            self.engine.submit(self.engine.default_stream, op)
-            self.engine.sync_stream(self.engine.default_stream)
-        if kind.reads:
-            array.mark_cpu_read()
-        if kind.writes:
-            array.mark_cpu_write()
+        self.coherence.cpu_access(
+            array, kind, touched, stream=self.engine.default_stream
+        )
 
 
 def _noop(*args: Any) -> None:

@@ -1,13 +1,12 @@
 """Tests for stream-assignment policies (section IV-C)."""
 
-import pytest
 
 from repro.core.element import ComputationalElement
 from repro.core.policies import NewStreamPolicy, ParentStreamPolicy
 from repro.core.streams import StreamManager
 from repro.gpusim import Device, GTX1660_SUPER, SimEngine
 from repro.gpusim.ops import KernelOp, KernelResourceRequest
-from repro.memory import AccessKind, DeviceArray
+from repro.memory import AccessKind
 
 
 def make_engine():

@@ -5,7 +5,6 @@ guarantees are checked: work conservation, FIFO order, event causality,
 timeline consistency, and determinism.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.gpusim import Device, SimEngine, GTX1660_SUPER

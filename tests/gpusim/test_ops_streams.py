@@ -8,8 +8,6 @@ from repro.gpusim.ops import (
     EventWaitOp,
     KernelOp,
     KernelResourceRequest,
-    Operation,
-    OpState,
     TransferDirection,
     TransferOp,
 )

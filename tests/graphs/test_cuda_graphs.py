@@ -210,3 +210,41 @@ class TestStreamCapture:
         cap.stream()
         with pytest.raises(GraphError):
             cap.end_capture()
+
+
+class TestBackToBackAsyncLaunches:
+    def test_no_duplicate_eager_copies_across_async_launches(self):
+        """launch() is asynchronous: a second launch submitted before the
+        first drains must not re-plan the eager copies the first already
+        has in flight (Maxwell path, where movement is eager)."""
+        g, (X, Y, Z), _ = build_vec_graph()
+        X.mark_cpu_write()
+        Y.mark_cpu_write()
+        engine = SimEngine(Device(GTX960))
+        exe = g.instantiate()
+        exe.launch(engine)
+        exe.launch(engine)  # no sync in between
+        engine.sync_all()
+        htod = [
+            r for r in engine.timeline.transfers()
+            if r.kind is IntervalKind.TRANSFER_HTOD
+        ]
+        assert len(htod) == 2  # X and Y once each, not per launch
+        # (Unsynchronized replays of one graph overlap *kernel* work by
+        # design, as on real hardware when the two cudaGraphLaunch calls
+        # target different streams — only the movement must not double.)
+
+    def test_no_double_fault_charge_across_async_launches(self):
+        g, (X, Y, Z), _ = build_vec_graph()
+        X.mark_cpu_write()
+        Y.mark_cpu_write()
+        engine = SimEngine(Device(GTX1660_SUPER))
+        exe = g.instantiate()
+        exe.launch(engine)
+        exe.launch(engine)
+        engine.sync_all()
+        fault = sum(
+            r.meta["resources"].fault_bytes
+            for r in engine.timeline.kernels()
+        )
+        assert fault == 2 * N * 4  # first launch only

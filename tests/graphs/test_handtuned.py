@@ -6,7 +6,6 @@ import pytest
 from repro.core.race import check_no_races
 from repro.gpusim import Device, SimEngine, GTX1660_SUPER
 from repro.gpusim.ops import TransferKind
-from repro.gpusim.timeline import IntervalKind
 from repro.graphs import HandTunedScheduler
 from repro.kernels import LinearCostModel, build_kernel
 from repro.memory import DeviceArray

@@ -1,6 +1,5 @@
 """Tests for the shared static stream planner."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graphs.planner import plan_streams

@@ -5,9 +5,8 @@ so the harness logic (cell running, aggregation, rendering) is covered
 by the regular test suite.
 """
 
-import pytest
 
-from repro.harness import figures, run_cell, sweep_cells
+from repro.harness import run_cell, sweep_cells
 from repro.harness.figures import FigureData, table1, figure10
 from repro.workloads import Mode
 

@@ -1,6 +1,5 @@
 """Tests for the unified-memory coherence state machine."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.memory.pages import (

@@ -1,0 +1,328 @@
+"""Tests for the unified coherence & data-movement engine.
+
+Covers the three scenarios the refactor consolidates:
+
+* the cross-stream shared-input migration hazard (previously handled by
+  per-executor ``MigrationTracker`` copies);
+* partial-vs-full CPU-write invalidation through the completion-applied
+  transition path;
+* movement-policy equivalence: all three policies produce bit-identical
+  workload outputs, with EAGER_PREFETCH strictly reducing simulated
+  page-fault bytes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import Device, GTX960, GTX1660_SUPER, SimEngine
+from repro.gpusim.ops import (
+    KernelOp,
+    KernelResourceRequest,
+    OpState,
+    TransferDirection,
+)
+from repro.gpusim.timeline import IntervalKind
+from repro.memory import (
+    AccessKind,
+    CoherenceEngine,
+    DeviceArray,
+    MovementPolicy,
+    PAGE_SIZE_BYTES,
+)
+from repro.memory.pages import CoherenceState
+
+
+def make_engine(spec=GTX1660_SUPER):
+    return SimEngine(Device(spec))
+
+
+def host_dirty_array(n=1 << 20, name="a"):
+    arr = DeviceArray(n, name=name)
+    arr.mark_cpu_write()  # device copy now stale
+    return arr
+
+
+def kernel_op(label="k"):
+    return KernelOp(
+        label=label,
+        resources=KernelResourceRequest(
+            flops=1e9, fp64=False, dram_bytes=1e6, l2_bytes=0,
+            instructions=1e6, threads_total=1 << 16,
+        ),
+    )
+
+
+class TestCrossStreamMigrationHazard:
+    """The MigrationTracker scenario: stream A issues the copy of a
+    shared input; a kernel on stream B reading it must wait."""
+
+    def test_other_stream_waits_on_inflight_migration(self):
+        engine = make_engine()
+        coherence = CoherenceEngine(engine)
+        x = host_dirty_array(name="x")
+        s1 = engine.create_stream("s1")
+        s2 = engine.create_stream("s2")
+
+        plan1 = coherence.acquire([(x, AccessKind.READ)], s1, label="k1")
+        op1 = kernel_op("k1")
+        coherence.release(plan1, op1)
+        engine.submit(s1, op1)
+
+        plan2 = coherence.acquire([(x, AccessKind.READ)], s2, label="k2")
+        op2 = kernel_op("k2")
+        coherence.release(plan2, op2)
+        engine.submit(s2, op2)
+
+        # Only one migration planned: the second acquire rides the
+        # in-flight copy instead of duplicating it.
+        engine.sync_all()
+        htod = [
+            r for r in engine.timeline.transfers()
+            if r.kind is IntervalKind.TRANSFER_HTOD
+        ]
+        assert len(htod) == 1
+        # And the waiting kernel started only after the migration landed.
+        k2 = next(r for r in engine.timeline.kernels() if r.label == "k2")
+        assert k2.start >= htod[0].end
+
+    def test_same_stream_rides_fifo_without_event_wait(self):
+        engine = make_engine()
+        coherence = CoherenceEngine(engine)
+        x = host_dirty_array(name="x")
+        s1 = engine.create_stream("s1")
+        coherence.release(
+            coherence.acquire([(x, AccessKind.READ)], s1), kernel_op("k1")
+        )
+        before = len(s1.pending)
+        coherence.acquire([(x, AccessKind.READ)], s1)
+        # No new waits or transfers were queued for the same stream.
+        assert len(s1.pending) == before
+
+    def test_transitions_commit_on_completion_not_submission(self):
+        engine = make_engine()
+        coherence = CoherenceEngine(engine)
+        x = host_dirty_array(name="x")
+        s1 = engine.create_stream("s1")
+        coherence.acquire([(x, AccessKind.READ)], s1)
+        # Submitted but not yet executed: committed state is untouched,
+        # while the planned view already sees the copy in flight.
+        assert x.state is CoherenceState.HOST_ONLY
+        assert coherence.device_valid(x)
+        engine.sync_all()
+        assert x.state is CoherenceState.SHARED
+
+    def test_write_marks_commit_at_kernel_completion(self):
+        engine = make_engine()
+        coherence = CoherenceEngine(engine)
+        x = DeviceArray(1 << 20, name="x")  # SHARED: fresh UM memory
+        s1 = engine.create_stream("s1")
+        plan = coherence.acquire([(x, AccessKind.WRITE)], s1)
+        op = kernel_op("w")
+        coherence.release(plan, op)
+        engine.submit(s1, op)
+        assert x.state is CoherenceState.SHARED
+        assert not coherence.host_valid(x)
+        engine.sync_all()
+        assert x.state is CoherenceState.DEVICE_ONLY
+
+
+class TestCpuWriteInvalidation:
+    """Partial vs full CPU-write handling through the shared path."""
+
+    def test_partial_write_migrates_touched_pages(self):
+        engine = make_engine()
+        coherence = CoherenceEngine(engine)
+        x = DeviceArray(4 * PAGE_SIZE_BYTES, dtype=np.uint8, name="x")
+        x.mark_gpu_write()  # host copy stale
+        coherence.cpu_access(x, AccessKind.WRITE, 8)
+        dtoh = [
+            r for r in engine.timeline.transfers()
+            if r.kind is IntervalKind.TRANSFER_DTOH
+        ]
+        assert len(dtoh) == 1
+        assert dtoh[0].nbytes == PAGE_SIZE_BYTES  # page-granular RMW
+        assert x.state is CoherenceState.HOST_ONLY
+
+    def test_full_write_invalidates_without_migration(self):
+        engine = make_engine()
+        coherence = CoherenceEngine(engine)
+        x = DeviceArray(1 << 20, name="x")
+        x.mark_gpu_write()
+        coherence.cpu_access(x, AccessKind.WRITE, x.nbytes)
+        assert engine.timeline.transfers() == []
+        assert x.state is CoherenceState.HOST_ONLY
+
+    def test_full_write_cancels_inflight_migration_plan(self):
+        """The half-updated-state regression: a full host overwrite
+        during an in-flight HtoD migration must leave the engine
+        planning a *fresh* upload — the dead migration's event may no
+        longer vouch for the device copy."""
+        engine = make_engine()
+        coherence = CoherenceEngine(engine)
+        x = host_dirty_array(name="x")
+        s1 = engine.create_stream("s1")
+        coherence.acquire([(x, AccessKind.READ)], s1)
+        assert coherence.device_valid(x)  # migration in flight
+        # Host fully overwrites the array before the copy lands.
+        coherence.cpu_access(x, AccessKind.WRITE, x.nbytes)
+        assert not coherence.device_valid(x)
+        assert coherence.host_valid(x)
+        # A consumer on another stream replans the upload (2 HtoD total)
+        # and does not ride the dead event.
+        s2 = engine.create_stream("s2")
+        coherence.acquire([(x, AccessKind.READ)], s2)
+        engine.sync_all()
+        htod = [
+            r for r in engine.timeline.transfers()
+            if r.kind is IntervalKind.TRANSFER_HTOD
+        ]
+        assert len(htod) == 2
+
+    def test_dead_migration_completion_cannot_revalidate_device_copy(self):
+        """The other interleaving of the full-write hazard: the dead
+        migration *completes* (engine drains) after the invalidation but
+        before the next consumer plans — its completion callback must
+        not re-validate the device copy."""
+        engine = make_engine()
+        coherence = CoherenceEngine(engine)
+        x = host_dirty_array(name="x")
+        s1 = engine.create_stream("s1")
+        coherence.acquire([(x, AccessKind.READ)], s1)
+        coherence.cpu_access(x, AccessKind.WRITE, x.nbytes)  # invalidate
+        engine.sync_all()  # dead migration lands now
+        assert x.state is CoherenceState.HOST_ONLY
+        assert not coherence.device_valid(x)
+        s2 = engine.create_stream("s2")
+        plan = coherence.acquire([(x, AccessKind.READ)], s2)
+        coherence.release(plan, None)
+        engine.sync_all()
+        htod = [
+            r for r in engine.timeline.transfers()
+            if r.kind is IntervalKind.TRANSFER_HTOD
+        ]
+        assert len(htod) == 2  # the upload was re-planned, not skipped
+
+    def test_read_then_write_ends_host_only(self):
+        engine = make_engine()
+        coherence = CoherenceEngine(engine)
+        x = DeviceArray(1 << 20, name="x")
+        x.mark_gpu_write()
+        coherence.cpu_access(x, AccessKind.READ_WRITE, 64)
+        assert x.state is CoherenceState.HOST_ONLY
+
+
+class TestMovementPolicies:
+    def run_policy(self, policy, spec=GTX1660_SUPER):
+        engine = make_engine(spec)
+        coherence = CoherenceEngine(engine, policy=policy)
+        a = host_dirty_array(name="a")
+        b = host_dirty_array(name="b")
+        s = engine.create_stream("s")
+        plan = coherence.acquire(
+            [(a, AccessKind.READ), (b, AccessKind.READ)], s, label="k"
+        )
+        op = kernel_op("k")
+        coherence.release(plan, op)
+        engine.submit(s, op)
+        engine.sync_all()
+        return engine, coherence, plan
+
+    def test_page_fault_issues_no_transfers(self):
+        engine, coherence, plan = self.run_policy(MovementPolicy.PAGE_FAULT)
+        assert engine.timeline.transfers() == []
+        assert plan.fault_bytes == 2 * (1 << 20) * 4
+        assert coherence.fault_bytes_total == plan.fault_bytes
+
+    def test_eager_prefetch_issues_one_transfer_per_array(self):
+        engine, coherence, plan = self.run_policy(
+            MovementPolicy.EAGER_PREFETCH
+        )
+        assert plan.fault_bytes == 0
+        htod = [
+            r for r in engine.timeline.transfers()
+            if r.kind is IntervalKind.TRANSFER_HTOD
+        ]
+        assert len(htod) == 2
+
+    def test_batched_coalesces_adjacent_copies(self):
+        engine, coherence, plan = self.run_policy(MovementPolicy.BATCHED)
+        htod = [
+            r for r in engine.timeline.transfers()
+            if r.kind is IntervalKind.TRANSFER_HTOD
+        ]
+        assert len(htod) == 1
+        assert htod[0].nbytes == 2 * (1 << 20) * 4
+        assert coherence.coalesced_transfers == 1
+
+    def test_page_fault_degrades_to_eager_without_fault_support(self):
+        engine, coherence, plan = self.run_policy(
+            MovementPolicy.PAGE_FAULT, spec=GTX960
+        )
+        assert plan.fault_bytes == 0
+        assert len(engine.timeline.transfers()) == 2
+
+
+class TestPolicyEquivalenceOnWorkloads:
+    """All three movement policies must be functionally identical on the
+    benchmark suite, and eager prefetch must strictly reduce the bytes
+    charged to the page-fault engine."""
+
+    WORKLOADS = [("vec", 100_000), ("ml", 20_000), ("b&s", 50_000)]
+
+    @pytest.mark.parametrize("name,scale", WORKLOADS)
+    def test_policies_bit_identical(self, name, scale):
+        from repro.workloads import Mode, create_benchmark
+
+        results = {}
+        for policy in MovementPolicy:
+            bench = create_benchmark(name, scale, iterations=2)
+            run = bench.run("GTX 1660 Super", Mode.PARALLEL,
+                            movement=policy)
+            results[policy] = run.results
+        baseline = results[MovementPolicy.PAGE_FAULT]
+        for policy, outs in results.items():
+            assert outs == baseline, f"{policy} diverged"
+
+    @pytest.mark.parametrize("name,scale", WORKLOADS[:2])
+    def test_eager_prefetch_strictly_reduces_fault_bytes(self, name, scale):
+        from repro.harness.movement import timeline_fault_bytes
+        from repro.workloads import Mode, create_benchmark
+
+        faulting = create_benchmark(name, scale, iterations=2).run(
+            "GTX 1660 Super", Mode.PARALLEL,
+            movement=MovementPolicy.PAGE_FAULT,
+        )
+        eager = create_benchmark(name, scale, iterations=2).run(
+            "GTX 1660 Super", Mode.PARALLEL,
+            movement=MovementPolicy.EAGER_PREFETCH,
+        )
+        lazy_faults = timeline_fault_bytes(faulting.timeline)
+        eager_faults = timeline_fault_bytes(eager.timeline)
+        assert lazy_faults > 0
+        assert eager_faults < lazy_faults
+
+    def test_movement_bench_sweep_asserts_equivalence(self):
+        from repro.harness.movement import (
+            render_movement_table,
+            sweep_movement_policies,
+        )
+
+        cells = sweep_movement_policies(
+            benchmarks=("vec",), iterations=2, execute=True
+        )
+        assert len(cells) == len(MovementPolicy)
+        table = render_movement_table(cells)
+        assert "page-fault" in table and "batched" in table
+
+
+class TestHostReadback:
+    def test_cpu_read_charges_writeback_and_syncs(self):
+        engine = make_engine()
+        coherence = CoherenceEngine(engine)
+        x = DeviceArray(1 << 20, name="x")
+        x.mark_gpu_write()
+        op = coherence.cpu_access(x, AccessKind.READ, x.nbytes)
+        assert op is not None
+        assert op.direction is TransferDirection.DEVICE_TO_HOST
+        assert op.state is OpState.COMPLETE  # sync=True drained it
+        assert x.state is CoherenceState.SHARED

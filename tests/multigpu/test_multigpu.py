@@ -9,7 +9,6 @@ from repro.gpusim.timeline import IntervalKind
 from repro.kernels import LinearCostModel
 from repro.multigpu import (
     DevicePlacementPolicy,
-    MultiGpuArray,
     MultiGpuScheduler,
 )
 

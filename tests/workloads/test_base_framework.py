@@ -6,7 +6,7 @@ import pytest
 from repro.workloads import Mode, create_benchmark
 from repro.workloads.base import ArraySpec, _BaselineHost
 from repro.gpusim import Device, SimEngine, GTX1660_SUPER
-from repro.memory import AccessKind, DeviceArray
+from repro.memory import DeviceArray
 
 
 class TestArraySpec:

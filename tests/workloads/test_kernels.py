@@ -3,7 +3,6 @@ against independent references, and cost-model sanity."""
 
 import numpy as np
 import pytest
-from scipy import ndimage
 
 from repro.workloads import BENCHMARKS, create_benchmark
 from repro.workloads.bs import (
