@@ -7,6 +7,9 @@ repricing, dependency-set updates, frontier pruning) show up here.
 
 
 from repro import GrCUDARuntime
+from repro.gpusim import Device, SimEngine
+from repro.gpusim.ops import KernelOp, KernelResourceRequest
+from repro.gpusim.specs import gpu_by_name
 from repro.kernels import LinearCostModel
 
 COST = LinearCostModel(
@@ -38,9 +41,53 @@ def wide_fanout_run(width: int = 64) -> float:
     return rt.elapsed()
 
 
+def many_streams_run(
+    num_streams: int = 256, ops_per_stream: int = 4
+) -> SimEngine:
+    """Round-robin submission over many live streams.
+
+    This regresses the O(streams)-per-step scan specifically: the
+    pre-PR-3 engine re-scanned every stream per step in
+    ``_drain_instantaneous`` and in the ``sync_all`` predicate, so
+    long-lived engines with hundreds of streams paid O(streams) per
+    step even when one stream had work.  The indexed engine visits only
+    ready streams and keeps a busy-stream counter.
+    """
+    engine = SimEngine(Device(gpu_by_name("Tesla P100")))
+    streams = [
+        engine.create_stream(label=f"rr-{i}") for i in range(num_streams)
+    ]
+    for round_idx in range(ops_per_stream):
+        for i, stream in enumerate(streams):
+            engine.submit(
+                stream,
+                KernelOp(
+                    label=f"k{round_idx}-{i}",
+                    resources=KernelResourceRequest(
+                        flops=1e8 + (i % 5) * 2e7,
+                        fp64=False,
+                        dram_bytes=float(1 << 14),
+                        l2_bytes=0.0,
+                        instructions=0.0,
+                        threads_total=2048,
+                    ),
+                ),
+            )
+        engine.charge_host_time(1e-6)
+    engine.sync_all()
+    return engine
+
+
 def test_engine_throughput_sequential(benchmark):
     elapsed = benchmark(many_kernel_run)
     assert elapsed > 0
+
+
+def test_engine_throughput_many_streams(benchmark):
+    engine = benchmark(many_streams_run)
+    assert len(engine.timeline) == 256 * 4
+    # Repricing tracks running-set changes (2 per op), never steps.
+    assert engine.repricings <= engine.running_set_changes + 1
 
 
 def test_engine_throughput_fanout(benchmark):

@@ -27,6 +27,7 @@ from repro.harness import (
     figure12,
     movement_bench,
     serve_bench,
+    sim_bench,
     table1,
 )
 
@@ -53,6 +54,10 @@ EXPERIMENTS = {
     "movement-bench": (
         movement_bench,
         "data-movement policy sweep over the benchmark workloads",
+    ),
+    "sim-bench": (
+        sim_bench,
+        "engine micro-benchmarks: near-linear scaling + repricing bounds",
     ),
 }
 
@@ -143,6 +148,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check every request's results against serial execution",
     )
+    simbench = parser.add_argument_group(
+        "sim-bench options",
+        "only used by the sim-bench experiment",
+    )
+    simbench.add_argument(
+        "--bench-out",
+        default="BENCH_simulator.json",
+        metavar="PATH",
+        help="where to write the engine micro-benchmark results"
+        " (default BENCH_simulator.json)",
+    )
     return parser
 
 
@@ -151,6 +167,8 @@ def run_experiment(name: str, args: argparse.Namespace) -> None:
     kwargs: dict = {"render": True}
     if name == "movement-bench":
         kwargs.update(gpu=args.gpu, iterations=args.iterations)
+    if name == "sim-bench":
+        kwargs.update(gpu=args.gpu, out_path=args.bench_out)
     if name == "serve-bench":
         kwargs.update(
             tenants=args.tenants,
@@ -176,11 +194,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name.ljust(width)}  {desc}")
         return 0
     if args.experiment == "all":
-        # "all" means the paper's figures/tables; the serving and
-        # movement benchmarks are not paper experiments and stay opt-in.
+        # "all" means the paper's figures/tables; the serving, movement
+        # and simulator benchmarks are not paper experiments and stay
+        # opt-in.
         names = [
             n for n in EXPERIMENTS
-            if n not in ("serve-bench", "movement-bench")
+            if n not in ("serve-bench", "movement-bench", "sim-bench")
         ]
     else:
         names = [args.experiment]

@@ -259,6 +259,7 @@ class ParallelExecutionContext(ExecutionContext):
         element.finish_event = self.engine.record_event(
             stream, label=f"done:{launch.label}"
         )
+        self.dag.watch_completion(element)
 
     # -- CPU array accesses -------------------------------------------------------
 
@@ -301,18 +302,11 @@ class ParallelExecutionContext(ExecutionContext):
     def _conflicting_elements(
         self, array: DeviceArray, kind: AccessKind
     ) -> list[ComputationalElement]:
-        """Active elements this CPU access would depend on."""
+        """Active elements this CPU access would depend on (indexed:
+        O(degree) per access instead of a full frontier scan)."""
         if kind.writes:
-            return [
-                e
-                for e in self.dag.frontier
-                if e.active and e.uses(array) is not None
-            ]
-        return [
-            e
-            for e in self.dag.frontier
-            if e.active and e.writes_in_set(array)
-        ]
+            return self.dag.active_users(array)
+        return self.dag.active_writers(array)
 
     # -- library functions -----------------------------------------------------
 
@@ -356,3 +350,4 @@ class ParallelExecutionContext(ExecutionContext):
         element.finish_event = self.engine.record_event(
             stream, label=f"done:{element.label}"
         )
+        self.dag.watch_completion(element)

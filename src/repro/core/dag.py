@@ -18,6 +18,13 @@ inferred from argument usage:
   updated");
 * an element whose dependency set empties can no longer introduce
   dependencies and leaves the frontier.
+
+Provider lookup is *indexed*: per-array ``last writer`` and ``readers``
+maps mirror the frontier's dependency sets, so inferring one argument's
+dependencies costs O(degree) — the number of elements actually holding
+that array — instead of O(frontier).  The frozen scan-based
+implementation lives in ``tests/core/reference_dag.py`` and property
+tests assert equivalence over randomized access sequences.
 """
 
 from __future__ import annotations
@@ -44,13 +51,31 @@ class ComputationDAG:
     ``frontier`` holds the *active* elements — those that can still
     introduce dependencies.  ``vertices``/``edges`` accumulate the full
     history for introspection (Fig. 2-style rendering, tests, metrics);
-    the scheduler itself only ever consults the frontier.
+    the scheduler itself only ever consults the frontier (through the
+    per-array indexes).
     """
 
     def __init__(self) -> None:
-        self.frontier: list[ComputationalElement] = []
+        #: active elements, keyed by element id in insertion order (the
+        #: same relative order the legacy frontier list maintained)
+        self._frontier: dict[int, ComputationalElement] = {}
         self.vertices: list[ComputationalElement] = []
         self.edges: list[DependencyEdge] = []
+        #: array id -> the frontier element holding the array *writable*
+        #: in its dependency set (at most one active writer, Fig. 3)
+        self._writer: dict[int, ComputationalElement] = {}
+        #: array id -> frontier elements holding the array read-only,
+        #: keyed by element id in insertion order
+        self._readers: dict[int, dict[int, ComputationalElement]] = {}
+        #: adjacency maps over the accumulated edge history
+        self._parent_edges: dict[int, list[DependencyEdge]] = {}
+        self._child_edges: dict[int, list[DependencyEdge]] = {}
+        #: elements with a finish event, awaiting host-sync deactivation
+        self._watched: list[ComputationalElement] = []
+
+    @property
+    def frontier(self) -> list[ComputationalElement]:
+        return list(self._frontier.values())
 
     # -- construction ---------------------------------------------------------
 
@@ -78,32 +103,39 @@ class ComputationDAG:
 
         for parent in parents.values():
             parent.children_count += 1
-            self.edges.append(
-                DependencyEdge(
-                    parent=parent,
-                    child=element,
-                    array=edge_arrays[parent.element_id],
-                )
+            edge = DependencyEdge(
+                parent=parent,
+                child=element,
+                array=edge_arrays[parent.element_id],
             )
+            self.edges.append(edge)
+            self._child_edges.setdefault(parent.element_id, []).append(edge)
+            self._parent_edges.setdefault(element.element_id, []).append(edge)
 
         self.vertices.append(element)
-        self.frontier.append(element)
-        self._prune_frontier()
+        if not element.dependency_set_empty:
+            self._frontier[element.element_id] = element
+            for aid, kind in element.dependency_set.items():
+                if kind.writes:
+                    self._writer[aid] = element
+                else:
+                    self._readers.setdefault(aid, {})[
+                        element.element_id
+                    ] = element
         return list(parents.values())
 
     def _providers_for_read(
         self, array: DeviceArray
     ) -> list[ComputationalElement]:
-        """Read dependency: the active last writer(s) of ``array``.
+        """Read dependency: the active last writer of ``array``.
 
         The writer keeps the argument in its dependency set, so multiple
         readers all depend on the writer directly and may overlap.
         """
-        return [
-            e
-            for e in self.frontier
-            if e.active and e.writes_in_set(array)
-        ]
+        writer = self._writer.get(id(array))
+        if writer is not None and writer.active:
+            return [writer]
+        return []
 
     def _providers_for_write(
         self, array: DeviceArray
@@ -111,28 +143,25 @@ class ComputationDAG:
         """Write dependency: active readers if any (WAR), else the last
         writer (WAW).  Either way the argument leaves every previous
         holder's dependency set."""
-        readers = [
-            e
-            for e in self.frontier
-            if e.active and e.reads_only_in_set(array)
-        ]
-        writers = [
-            e
-            for e in self.frontier
-            if e.active and e.writes_in_set(array)
-        ]
+        aid = id(array)
+        readers_map = self._readers.get(aid)
+        readers = (
+            [e for e in readers_map.values() if e.active]
+            if readers_map
+            else []
+        )
+        writer = self._writer.get(aid)
+        writers = [writer] if writer is not None and writer.active else []
         providers = readers if readers else writers
         for holder in (*readers, *writers):
             holder.remove_from_set(array)
+            if holder.dependency_set_empty:
+                self._frontier.pop(holder.element_id, None)
+        # The argument left every active holder's set: the per-array
+        # indexes for it are now empty.
+        self._readers.pop(aid, None)
+        self._writer.pop(aid, None)
         return providers
-
-    def _prune_frontier(self) -> None:
-        """Drop inactive elements and those with empty dependency sets."""
-        self.frontier = [
-            e
-            for e in self.frontier
-            if e.active and not e.dependency_set_empty
-        ]
 
     # -- deactivation -----------------------------------------------------------
 
@@ -140,10 +169,30 @@ class ComputationDAG:
         """Remove an element from the frontier (the CPU consumed its
         result, section IV-B)."""
         element.active = False
-        self._prune_frontier()
+        if self._frontier.pop(element.element_id, None) is not None:
+            self._unindex(element)
+
+    def _unindex(self, element: ComputationalElement) -> None:
+        """Drop a departing frontier element from the per-array indexes."""
+        for aid, kind in element.dependency_set.items():
+            if kind.writes:
+                if self._writer.get(aid) is element:
+                    del self._writer[aid]
+            else:
+                readers = self._readers.get(aid)
+                if readers is not None:
+                    readers.pop(element.element_id, None)
+                    if not readers:
+                        del self._readers[aid]
+
+    def watch_completion(self, element: ComputationalElement) -> None:
+        """Register an element whose ``finish_event`` was just assigned,
+        so host syncs only visit elements that can actually have
+        completed instead of walking the whole frontier."""
+        self._watched.append(element)
 
     def deactivate_completed(self) -> None:
-        """Sweep the frontier of elements whose finish event completed.
+        """Sweep the watched elements whose finish event completed.
 
         Called after host synchronizations: any element the host has
         (transitively) waited on is complete and no longer needs to be
@@ -151,10 +200,44 @@ class ComputationDAG:
         would stay *correct* (waiting on a completed event is a no-op)
         but wastes scheduling time and holds streams hostage.
         """
-        for e in self.frontier:
-            if e.finish_event is not None and e.finish_event.complete:
-                e.active = False
-        self._prune_frontier()
+        if not self._watched:
+            return
+        remaining: list[ComputationalElement] = []
+        for element in self._watched:
+            if element.element_id not in self._frontier:
+                continue  # already left the frontier some other way
+            event = element.finish_event
+            if event is not None and event.complete:
+                self.deactivate(element)
+            else:
+                remaining.append(element)
+        self._watched = remaining
+
+    # -- indexed frontier queries ---------------------------------------------
+
+    def active_writers(
+        self, array: DeviceArray
+    ) -> list[ComputationalElement]:
+        """Frontier elements holding ``array`` writable (0 or 1)."""
+        writer = self._writer.get(id(array))
+        if writer is not None and writer.active:
+            return [writer]
+        return []
+
+    def active_users(
+        self, array: DeviceArray
+    ) -> list[ComputationalElement]:
+        """Frontier elements holding ``array`` in their dependency set
+        through any access kind, in frontier (insertion) order."""
+        aid = id(array)
+        users: dict[int, ComputationalElement] = {}
+        readers = self._readers.get(aid)
+        if readers:
+            users.update(readers)
+        writer = self._writer.get(aid)
+        if writer is not None:
+            users[writer.element_id] = writer
+        return [users[eid] for eid in sorted(users) if users[eid].active]
 
     # -- introspection ------------------------------------------------------------
 
@@ -169,12 +252,17 @@ class ComputationDAG:
     def parents_of(
         self, element: ComputationalElement
     ) -> list[ComputationalElement]:
-        return [e.parent for e in self.edges if e.child is element]
+        return [
+            e.parent
+            for e in self._parent_edges.get(element.element_id, ())
+        ]
 
     def children_of(
         self, element: ComputationalElement
     ) -> list[ComputationalElement]:
-        return [e.child for e in self.edges if e.parent is element]
+        return [
+            e.child for e in self._child_edges.get(element.element_id, ())
+        ]
 
     def to_networkx(self):
         """Export the accumulated DAG as a :class:`networkx.DiGraph`.

@@ -44,7 +44,24 @@ class ComputationalElement:
     children_count:
         Number of elements scheduled so far that depend on this one; the
         stream manager gives the parent's stream to the *first* child.
+
+    The dependency set is mutated only by :class:`repro.core.dag.ComputationDAG`,
+    which mirrors every entry into its per-array writer/reader indexes;
+    long programs keep thousands of elements alive in those indexes, so
+    the hierarchy is ``__slots__``-ed.
     """
+
+    __slots__ = (
+        "element_id",
+        "label",
+        "accesses",
+        "_arrays",
+        "dependency_set",
+        "stream",
+        "finish_event",
+        "children_count",
+        "active",
+    )
 
     def __init__(
         self,
@@ -115,6 +132,8 @@ class ComputationalElement:
 class KernelElement(ComputationalElement):
     """A GPU kernel invocation."""
 
+    __slots__ = ("launch",)
+
     def __init__(self, launch: "KernelLaunch") -> None:
         super().__init__(list(launch.array_args), label=launch.label)
         self.launch = launch
@@ -128,6 +147,8 @@ class ArrayAccessElement(ComputationalElement):
     implements that fast path, so every constructed ArrayAccessElement
     really is a DAG vertex.
     """
+
+    __slots__ = ("array", "kind", "touched_bytes")
 
     def __init__(
         self, array: DeviceArray, kind: AccessKind, touched_bytes: int
@@ -145,6 +166,8 @@ class LibraryCallElement(ComputationalElement):
     can be scheduled asynchronously like kernels; others must run
     synchronously to guarantee correctness (section IV-A).
     """
+
+    __slots__ = ("fn", "stream_aware", "cost_seconds")
 
     def __init__(
         self,

@@ -91,6 +91,12 @@ class ContentionModel:
 
     def __init__(self, spec: GPUSpec) -> None:
         self.spec = spec
+        #: single-slot memo keyed on the running-set signature: rates
+        #: are a pure function of the set, so an unchanged set (e.g.
+        #: between instantaneous drains, or one device's subset of a
+        #: multi-GPU engine's running set) never re-prices
+        self._memo_key: frozenset[int] | None = None
+        self._memo_result: RateAllocation | None = None
 
     # -- single-kernel roofline -----------------------------------------
 
@@ -158,6 +164,10 @@ class ContentionModel:
         each other down (DMA engines are independent of the SMs), which is
         exactly the transfer/compute overlap the scheduler exploits.
         """
+        key = frozenset(op.op_id for op in running)
+        if key == self._memo_key:
+            assert self._memo_result is not None
+            return self._memo_result
         rates: dict[int, float] = {}
         sm_share: dict[int, float] = {}
 
@@ -172,7 +182,10 @@ class ContentionModel:
                 # Zero-duration ops complete immediately; the engine
                 # handles them before asking for rates, but be safe.
                 rates[op.op_id] = float("inf")
-        return RateAllocation(rates=rates, kernel_sm_share=sm_share)
+        result = RateAllocation(rates=rates, kernel_sm_share=sm_share)
+        self._memo_key = key
+        self._memo_result = result
+        return result
 
     def _allocate_kernels(
         self,

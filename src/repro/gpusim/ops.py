@@ -122,6 +122,9 @@ class Operation:
     end_time: float = field(default=float("nan"), init=False)
     work_total: float = field(default=0.0, init=False)
     work_remaining: float = field(default=0.0, init=False)
+    #: order in which the op entered the engine's running set; completion
+    #: processing of same-instant finishes follows this sequence
+    start_seq: int = field(default=-1, init=False)
     on_complete: list[Callable[["Operation"], None]] = field(
         default_factory=list, init=False
     )

@@ -38,13 +38,19 @@ class SimEvent:
     keeps the DAG acyclic by construction).
     """
 
-    __slots__ = ("event_id", "label", "complete", "record_time")
+    __slots__ = (
+        "event_id", "label", "complete", "record_time", "_waiters"
+    )
 
     def __init__(self, label: str = "") -> None:
         self.event_id: int = next(_event_counter)
         self.label = label
         self.complete: bool = False
         self.record_time: float = float("nan")
+        #: streams parked on this event (blocked head waiting for it);
+        #: the engine re-queues them when the record op fires.  Keyed by
+        #: stream id so repeated parking never duplicates an entry.
+        self._waiters: dict[int, "SimStream"] | None = None
 
     def _record(self, time: float) -> None:
         if self.complete:
@@ -53,6 +59,20 @@ class SimEvent:
             )
         self.complete = True
         self.record_time = time
+
+    def add_waiter(self, stream: "SimStream") -> None:
+        """Park ``stream`` until this event records (engine internal)."""
+        if self._waiters is None:
+            self._waiters = {}
+        self._waiters[stream.stream_id] = stream
+
+    def pop_waiters(self) -> tuple["SimStream", ...]:
+        """Drain and return the parked streams (engine internal)."""
+        if not self._waiters:
+            return ()
+        waiters = tuple(self._waiters.values())
+        self._waiters = None
+        return waiters
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "complete" if self.complete else "pending"

@@ -60,13 +60,43 @@ class TimelineRecord:
 
 
 class Timeline:
-    """An append-only list of completed-operation records."""
+    """An append-only list of completed-operation records.
+
+    Aggregates (``start``/``end``/``makespan``, per-kind duration and
+    byte totals) and the per-stream grouping are maintained
+    incrementally in :meth:`add`: metrics and the serving harness query
+    them per request, and a full scan per query made long-lived engines
+    O(records) per step.  Running sums accumulate in append order, so
+    they are bit-identical to the scans they replace.
+    """
 
     def __init__(self) -> None:
         self._records: list[TimelineRecord] = []
+        self._kernels: list[TimelineRecord] = []
+        self._transfers: list[TimelineRecord] = []
+        self._by_stream: dict[int, list[TimelineRecord]] = {}
+        self._start: float | None = None
+        self._end: float | None = None
+        self._kernel_time: float = 0.0
+        self._transfer_time: float = 0.0
+        self._transfer_bytes: float = 0.0
 
     def add(self, record: TimelineRecord) -> None:
         self._records.append(record)
+        self._by_stream.setdefault(record.stream_id, []).append(record)
+        duration = record.duration
+        if duration > 0:
+            if self._start is None or record.start < self._start:
+                self._start = record.start
+            if self._end is None or record.end > self._end:
+                self._end = record.end
+        if record.kind is IntervalKind.KERNEL:
+            self._kernels.append(record)
+            self._kernel_time += duration
+        elif record.kind.is_transfer:
+            self._transfers.append(record)
+            self._transfer_time += duration
+            self._transfer_bytes += record.nbytes
 
     def __len__(self) -> int:
         return len(self._records)
@@ -80,33 +110,39 @@ class Timeline:
 
     def clear(self) -> None:
         self._records.clear()
+        self._kernels.clear()
+        self._transfers.clear()
+        self._by_stream.clear()
+        self._start = None
+        self._end = None
+        self._kernel_time = 0.0
+        self._transfer_time = 0.0
+        self._transfer_bytes = 0.0
 
     # -- selections -------------------------------------------------------
 
     def kernels(self) -> list[TimelineRecord]:
-        return [r for r in self._records if r.kind is IntervalKind.KERNEL]
+        return list(self._kernels)
 
     def transfers(self) -> list[TimelineRecord]:
-        return [r for r in self._records if r.kind.is_transfer]
+        return list(self._transfers)
 
     def by_stream(self, stream_id: int) -> list[TimelineRecord]:
-        return [r for r in self._records if r.stream_id == stream_id]
+        return list(self._by_stream.get(stream_id, ()))
 
     def stream_ids(self) -> list[int]:
-        return sorted({r.stream_id for r in self._records})
+        return sorted(self._by_stream)
 
     # -- aggregates ---------------------------------------------------------
 
     @property
     def start(self) -> float:
         """Start of the earliest non-empty interval (0.0 if empty)."""
-        spans = [r.start for r in self._records if r.duration > 0]
-        return min(spans) if spans else 0.0
+        return 0.0 if self._start is None else self._start
 
     @property
     def end(self) -> float:
-        spans = [r.end for r in self._records if r.duration > 0]
-        return max(spans) if spans else 0.0
+        return 0.0 if self._end is None else self._end
 
     @property
     def makespan(self) -> float:
@@ -118,13 +154,13 @@ class Timeline:
         return self.end - self.start
 
     def total_kernel_time(self) -> float:
-        return sum(r.duration for r in self.kernels())
+        return self._kernel_time
 
     def total_transfer_time(self) -> float:
-        return sum(r.duration for r in self.transfers())
+        return self._transfer_time
 
     def total_transferred_bytes(self) -> float:
-        return sum(r.nbytes for r in self.transfers())
+        return self._transfer_bytes
 
     # -- rendering ----------------------------------------------------------
 
@@ -139,9 +175,11 @@ class Timeline:
         t0, t1 = self.start, self.end
         scale = (width - 1) / (t1 - t0)
         lines = []
+        # One pass over the maintained per-stream grouping: the legacy
+        # implementation re-scanned every record once per stream.
         for sid in self.stream_ids():
             row = [" "] * width
-            for rec in self.by_stream(sid):
+            for rec in self._by_stream[sid]:
                 if rec.duration <= 0:
                     continue
                 a = int((rec.start - t0) * scale)

@@ -21,10 +21,12 @@ from repro.harness.figures import (
 )
 from repro.harness.serving import serve_bench
 from repro.harness.movement import movement_bench
+from repro.harness.simbench import sim_bench
 
 __all__ = [
     "serve_bench",
     "movement_bench",
+    "sim_bench",
     "ExperimentCell",
     "run_cell",
     "sweep_cells",

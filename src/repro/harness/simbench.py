@@ -1,0 +1,239 @@
+"""Simulator-substrate micro-benchmarks (``python -m repro sim-bench``).
+
+Every figure, serving replay and movement sweep in this repository is
+bottlenecked on the discrete-event engine, so this harness measures the
+engine itself at several scales and *asserts* the two properties the
+event-heap refactor establishes:
+
+* **near-linear scaling** — growing the op count by K× may grow the
+  wall-clock by at most ``2.5 * K`` (the pre-refactor engine was
+  quadratic in ops × streams);
+* **repricings grow with running-set changes, not steps** — rates are
+  piecewise-constant, so an engine step that changes nothing must not
+  re-price the running set.
+
+Results are written to ``BENCH_simulator.json`` so the perf trajectory
+of the substrate is recorded alongside the paper figures.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+
+from repro.gpusim.device import Device
+from repro.gpusim.engine import SimEngine
+from repro.gpusim.ops import (
+    KernelOp,
+    KernelResourceRequest,
+    TransferDirection,
+    TransferOp,
+)
+from repro.gpusim.specs import gpu_by_name
+
+#: Wall-clock may grow at most this factor beyond linear in op count.
+NEAR_LINEAR_FACTOR = 2.5
+
+#: Default measurement grid (ops x streams).
+DEFAULT_OPS_GRID = (200, 1000, 5000)
+DEFAULT_STREAMS_GRID = (8, 64)
+
+
+@dataclass(frozen=True)
+class SimBenchCell:
+    """One engine micro-benchmark measurement."""
+
+    ops: int
+    streams: int
+    wall_s: float
+    sim_makespan_s: float
+    steps: int
+    repricings: int
+    running_set_changes: int
+    timeline_records: int
+    ops_per_sec: float
+
+
+def _churn_run(num_ops: int, num_streams: int, gpu: str) -> SimEngine:
+    """Submit ``num_ops`` operations round-robin over ``num_streams``
+    streams: a mix of kernels, transfers, cross-stream event waits and
+    per-launch host-time charges — the same step pattern the scheduler
+    and the serving layer impose on the engine."""
+    engine = SimEngine(Device(gpu_by_name(gpu)))
+    streams = [
+        engine.create_stream(label=f"bench-{i}") for i in range(num_streams)
+    ]
+    last_event = None
+    for i in range(num_ops):
+        stream = streams[i % num_streams]
+        if i % 11 == 7:
+            engine.submit(
+                stream,
+                TransferOp(
+                    label=f"t{i}",
+                    direction=(
+                        TransferDirection.HOST_TO_DEVICE
+                        if i % 2
+                        else TransferDirection.DEVICE_TO_HOST
+                    ),
+                    nbytes=float(1 << 18),
+                ),
+            )
+        else:
+            if last_event is not None and i % 7 == 3:
+                # Cross-stream ordering: exercises the parked-head /
+                # event-wakeup path (always acyclic: the record is
+                # already submitted).
+                engine.wait_event(stream, last_event)
+            engine.submit(
+                stream,
+                KernelOp(
+                    label=f"k{i}",
+                    resources=KernelResourceRequest(
+                        flops=1e8 + (i % 7) * 3e7,
+                        fp64=False,
+                        dram_bytes=float(1 << 16),
+                        l2_bytes=0.0,
+                        instructions=0.0,
+                        threads_total=4096 * (1 + i % 4),
+                    ),
+                ),
+            )
+            if i % 13 == 5:
+                last_event = engine.record_event(stream)
+        # The scheduler charges host overhead per launch; this is what
+        # produced the reprice-per-step pathology in the legacy engine.
+        engine.charge_host_time(2e-7)
+    engine.sync_all()
+    return engine
+
+
+def _measure(num_ops: int, num_streams: int, gpu: str) -> SimBenchCell:
+    t0 = time.perf_counter()
+    engine = _churn_run(num_ops, num_streams, gpu)
+    wall = time.perf_counter() - t0
+    return SimBenchCell(
+        ops=num_ops,
+        streams=num_streams,
+        wall_s=wall,
+        sim_makespan_s=engine.timeline.makespan,
+        steps=engine.steps,
+        repricings=engine.repricings,
+        running_set_changes=engine.running_set_changes,
+        timeline_records=len(engine.timeline),
+        ops_per_sec=num_ops / wall if wall > 0 else float("inf"),
+    )
+
+
+def sim_bench(
+    render: bool = True,
+    gpu: str = "GTX 1660 Super",
+    ops_grid: tuple[int, ...] = DEFAULT_OPS_GRID,
+    streams_grid: tuple[int, ...] = DEFAULT_STREAMS_GRID,
+    out_path: str | None = "BENCH_simulator.json",
+) -> dict:
+    """Run the engine micro-benchmark grid and check its asymptotics.
+
+    Raises ``AssertionError`` if scaling regresses; returns (and
+    optionally writes) the structured results.
+    """
+    if len(ops_grid) < 2 or len(set(ops_grid)) != len(ops_grid):
+        raise ValueError(
+            "ops_grid needs at least two distinct op counts to assert"
+            f" scaling, got {ops_grid!r}"
+        )
+    if not streams_grid:
+        raise ValueError("streams_grid must not be empty")
+    ops_grid = tuple(sorted(ops_grid))
+    # Warm-up: import costs, allocator pools, dict resizes.
+    _churn_run(64, 4, gpu)
+
+    cells: list[SimBenchCell] = []
+    for num_streams in streams_grid:
+        for num_ops in ops_grid:
+            cells.append(_measure(num_ops, num_streams, gpu))
+
+    near_linear = []
+    for num_streams in streams_grid:
+        group = {c.ops: c for c in cells if c.streams == num_streams}
+        lo, hi = ops_grid[-2], ops_grid[-1]
+        ops_ratio = hi / lo
+        wall_ratio = group[hi].wall_s / max(group[lo].wall_s, 1e-9)
+        near_linear.append(
+            {
+                "streams": num_streams,
+                "ops_lo": lo,
+                "ops_hi": hi,
+                "ops_ratio": ops_ratio,
+                "wall_ratio": wall_ratio,
+                "limit": NEAR_LINEAR_FACTOR * ops_ratio,
+                "ok": wall_ratio < NEAR_LINEAR_FACTOR * ops_ratio,
+            }
+        )
+
+    repricings_bounded = [
+        {
+            "ops": c.ops,
+            "streams": c.streams,
+            "steps": c.steps,
+            "repricings": c.repricings,
+            "running_set_changes": c.running_set_changes,
+            "ok": c.repricings <= c.running_set_changes + 1,
+        }
+        for c in cells
+    ]
+
+    results = {
+        "benchmark": "sim-bench",
+        "gpu": gpu,
+        "near_linear_factor": NEAR_LINEAR_FACTOR,
+        "cells": [asdict(c) for c in cells],
+        "assertions": {
+            "near_linear": near_linear,
+            "repricings_bounded": repricings_bounded,
+        },
+    }
+
+    if render:
+        print("sim-bench: engine micro-benchmarks", f"({gpu})")
+        header = (
+            f"{'ops':>6} {'streams':>7} {'wall [ms]':>10}"
+            f" {'ops/s':>10} {'steps':>8} {'repricings':>10} {'changes':>8}"
+        )
+        print(header)
+        for c in cells:
+            print(
+                f"{c.ops:>6} {c.streams:>7} {c.wall_s * 1e3:>10.2f}"
+                f" {c.ops_per_sec:>10.0f} {c.steps:>8}"
+                f" {c.repricings:>10} {c.running_set_changes:>8}"
+            )
+        for check in near_linear:
+            print(
+                f"scaling @{check['streams']} streams:"
+                f" {check['ops_lo']} -> {check['ops_hi']} ops,"
+                f" wall x{check['wall_ratio']:.2f}"
+                f" (limit x{check['limit']:.1f})"
+                f" {'OK' if check['ok'] else 'FAIL'}"
+            )
+
+    if out_path:
+        with open(out_path, "w") as fh:
+            json.dump(results, fh, indent=2)
+        if render:
+            print(f"wrote {out_path}")
+
+    for check in near_linear:
+        assert check["ok"], (
+            f"engine scaling regressed at {check['streams']} streams:"
+            f" {check['ops_lo']}->{check['ops_hi']} ops grew wall-clock"
+            f" {check['wall_ratio']:.2f}x (limit {check['limit']:.1f}x)"
+        )
+    for check in repricings_bounded:
+        assert check["ok"], (
+            f"repricings ({check['repricings']}) exceeded running-set"
+            f" changes ({check['running_set_changes']}) at"
+            f" {check['ops']} ops / {check['streams']} streams:"
+            " the engine re-prices without a set change"
+        )
+    return results

@@ -226,6 +226,7 @@ class MultiGpuScheduler:
         element.finish_event = self.engine.record_event(
             stream, label=f"done:{launch.label}@gpu{device_index}"
         )
+        self.dag.watch_completion(element)
 
     @staticmethod
     def _retire(per_dev: _PerDevice, duration: float) -> None:
@@ -242,11 +243,7 @@ class MultiGpuScheduler:
         (the CPU-access rule of section IV-A, simplified to full-array
         streaming writes).
         """
-        conflicts = [
-            e
-            for e in self.dag.frontier
-            if e.active and e.uses(array) is not None
-        ]
+        conflicts = self.dag.active_users(array)
         for e in conflicts:
             if e.finish_event is not None:
                 self.engine.sync_event(e.finish_event)
@@ -257,11 +254,7 @@ class MultiGpuScheduler:
 
     def read_result(self, array: MultiGpuArray, nbytes: int | None = None):
         """Host read: syncs producers and charges the readback."""
-        writers = [
-            e
-            for e in self.dag.frontier
-            if e.active and e.writes_in_set(array)
-        ]
+        writers = self.dag.active_writers(array)
         for e in writers:
             if e.finish_event is not None:
                 self.engine.sync_event(e.finish_event)

@@ -1,0 +1,192 @@
+"""Frozen copy of the pre-PR-3 frontier-scan dependency inference.
+
+The indexed :class:`repro.core.dag.ComputationDAG` must reproduce these
+Fig. 3 semantics exactly (WAR/WAW set-removal, multi-reader fan-out,
+frontier membership); the equivalence property tests run both over the
+same random access sequences.  Do not optimise this file — the scans
+*are* the specification.
+"""
+
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.element import ComputationalElement
+from repro.memory.array import DeviceArray
+
+
+@dataclass(frozen=True)
+class DependencyEdge:
+    """One inferred data dependency, labelled with the array that caused
+    it (the edge labels of Fig. 2)."""
+
+    parent: ComputationalElement
+    child: ComputationalElement
+    array: DeviceArray
+
+
+class ReferenceDAG:
+    """Incrementally-built computation DAG.
+
+    ``frontier`` holds the *active* elements — those that can still
+    introduce dependencies.  ``vertices``/``edges`` accumulate the full
+    history for introspection (Fig. 2-style rendering, tests, metrics);
+    the scheduler itself only ever consults the frontier.
+    """
+
+    def __init__(self) -> None:
+        self.frontier: list[ComputationalElement] = []
+        self.vertices: list[ComputationalElement] = []
+        self.edges: list[DependencyEdge] = []
+
+    # -- construction ---------------------------------------------------------
+
+    def add(
+        self, element: ComputationalElement
+    ) -> list[ComputationalElement]:
+        """Insert ``element``, inferring its dependencies.
+
+        Returns the (deduplicated, insertion-ordered) parent elements.
+        Dependency-set updates follow Fig. 3 exactly; see the module
+        docstring for the rules.
+        """
+        parents: dict[int, ComputationalElement] = {}
+        edge_arrays: dict[int, DeviceArray] = {}
+
+        for array, kind in element.accesses:
+            if kind.writes:
+                found = self._providers_for_write(array)
+            else:
+                found = self._providers_for_read(array)
+            for provider in found:
+                if provider.element_id not in parents:
+                    parents[provider.element_id] = provider
+                    edge_arrays[provider.element_id] = array
+
+        for parent in parents.values():
+            parent.children_count += 1
+            self.edges.append(
+                DependencyEdge(
+                    parent=parent,
+                    child=element,
+                    array=edge_arrays[parent.element_id],
+                )
+            )
+
+        self.vertices.append(element)
+        self.frontier.append(element)
+        self._prune_frontier()
+        return list(parents.values())
+
+    def _providers_for_read(
+        self, array: DeviceArray
+    ) -> list[ComputationalElement]:
+        """Read dependency: the active last writer(s) of ``array``.
+
+        The writer keeps the argument in its dependency set, so multiple
+        readers all depend on the writer directly and may overlap.
+        """
+        return [
+            e
+            for e in self.frontier
+            if e.active and e.writes_in_set(array)
+        ]
+
+    def _providers_for_write(
+        self, array: DeviceArray
+    ) -> list[ComputationalElement]:
+        """Write dependency: active readers if any (WAR), else the last
+        writer (WAW).  Either way the argument leaves every previous
+        holder's dependency set."""
+        readers = [
+            e
+            for e in self.frontier
+            if e.active and e.reads_only_in_set(array)
+        ]
+        writers = [
+            e
+            for e in self.frontier
+            if e.active and e.writes_in_set(array)
+        ]
+        providers = readers if readers else writers
+        for holder in (*readers, *writers):
+            holder.remove_from_set(array)
+        return providers
+
+    def _prune_frontier(self) -> None:
+        """Drop inactive elements and those with empty dependency sets."""
+        self.frontier = [
+            e
+            for e in self.frontier
+            if e.active and not e.dependency_set_empty
+        ]
+
+    # -- deactivation -----------------------------------------------------------
+
+    def deactivate(self, element: ComputationalElement) -> None:
+        """Remove an element from the frontier (the CPU consumed its
+        result, section IV-B)."""
+        element.active = False
+        self._prune_frontier()
+
+    def deactivate_completed(self) -> None:
+        """Sweep the frontier of elements whose finish event completed.
+
+        Called after host synchronizations: any element the host has
+        (transitively) waited on is complete and no longer needs to be
+        considered for dependencies.  Keeping completed elements around
+        would stay *correct* (waiting on a completed event is a no-op)
+        but wastes scheduling time and holds streams hostage.
+        """
+        for e in self.frontier:
+            if e.finish_event is not None and e.finish_event.complete:
+                e.active = False
+        self._prune_frontier()
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def parents_of(
+        self, element: ComputationalElement
+    ) -> list[ComputationalElement]:
+        return [e.parent for e in self.edges if e.child is element]
+
+    def children_of(
+        self, element: ComputationalElement
+    ) -> list[ComputationalElement]:
+        return [e.child for e in self.edges if e.parent is element]
+
+    def to_networkx(self):
+        """Export the accumulated DAG as a :class:`networkx.DiGraph`.
+
+        Vertex attributes: ``label``; edge attributes: ``array`` (name of
+        the array causing the dependency).  Used by examples and tests;
+        the scheduler never needs it.
+        """
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for v in self.vertices:
+            g.add_node(v.element_id, label=v.label)
+        for e in self.edges:
+            g.add_edge(
+                e.parent.element_id,
+                e.child.element_id,
+                array=e.array.name,
+            )
+        return g
+
+    def is_acyclic(self) -> bool:
+        """The construction can only add edges from old to new vertices,
+        so this always holds; exposed for property tests."""
+        import networkx as nx
+
+        return nx.is_directed_acyclic_graph(self.to_networkx())

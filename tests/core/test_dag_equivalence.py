@@ -1,0 +1,186 @@
+"""Indexed DAG inference ≡ reference frontier-scan semantics.
+
+``repro.core.dag.ComputationDAG`` replaced the Fig. 3 frontier scans
+with per-array writer/reader indexes; ``reference_dag.ReferenceDAG`` is
+the frozen scan implementation.  These property tests replay identical
+randomized programs — const/non-const accesses, explicit deactivations,
+host syncs completing random finish events — through both and require
+identical parent sets (and order), edge lists, frontier contents and
+adjacency queries at every step.
+"""
+
+import random
+
+from reference_dag import ReferenceDAG
+
+from repro.core.dag import ComputationDAG
+from repro.core.element import ComputationalElement
+from repro.memory import AccessKind, DeviceArray
+
+#: random programs checked (the ISSUE floor is 200)
+NUM_PROGRAMS = 250
+
+
+class _FakeEvent:
+    """Stands in for a SimEvent: only ``complete`` is consulted."""
+
+    __slots__ = ("complete",)
+
+    def __init__(self) -> None:
+        self.complete = False
+
+
+def random_program(rng: random.Random):
+    """A random schedule: adds (random access sets), deactivations and
+    host syncs (a random subset of finish events completes)."""
+    n_arrays = rng.randint(2, 6)
+    steps = []
+    n_elems = 0
+    for _ in range(rng.randint(1, 40)):
+        roll = rng.random()
+        if roll < 0.70 or n_elems == 0:
+            width = rng.randint(1, min(4, n_arrays))
+            idxs = rng.sample(range(n_arrays), width)
+            steps.append(
+                ("add", [(i, rng.choice(list(AccessKind))) for i in idxs])
+            )
+            n_elems += 1
+        elif roll < 0.85:
+            steps.append(("deactivate", rng.randrange(n_elems)))
+        else:
+            done = rng.sample(range(n_elems), rng.randint(0, n_elems))
+            steps.append(("sync", done))
+    return n_arrays, steps
+
+
+class _Run:
+    """One DAG implementation driven through a program, with an
+    index-based (implementation-independent) trace of every result."""
+
+    def __init__(self, dag, indexed: bool, n_arrays: int) -> None:
+        self.dag = dag
+        self.indexed = indexed
+        self.arrays = [DeviceArray(4, name=f"a{i}") for i in range(n_arrays)]
+        self.elements: list[ComputationalElement] = []
+        self.events: list[_FakeEvent] = []
+        self.index_of: dict[int, int] = {}
+        self.trace: list = []
+
+    def _ids(self, elems) -> list[int]:
+        return [self.index_of[e.element_id] for e in elems]
+
+    def step(self, step) -> None:
+        kind = step[0]
+        if kind == "add":
+            accesses = [(self.arrays[i], k) for i, k in step[1]]
+            e = ComputationalElement(
+                accesses, label=f"e{len(self.elements)}"
+            )
+            parents = self.dag.add(e)
+            self.index_of[e.element_id] = len(self.elements)
+            self.elements.append(e)
+            event = _FakeEvent()
+            e.finish_event = event
+            self.events.append(event)
+            if self.indexed:
+                self.dag.watch_completion(e)
+            self.trace.append(("parents", self._ids(parents)))
+        elif kind == "deactivate":
+            self.dag.deactivate(self.elements[step[1]])
+        else:
+            for i in step[1]:
+                self.events[i].complete = True
+            self.dag.deactivate_completed()
+        self.trace.append(("frontier", self._ids(self.dag.frontier)))
+        self.trace.append(self._conflict_queries())
+
+    def _conflict_queries(self):
+        """The CPU-access conflict sets the execution contexts consult,
+        computed per array — indexed on the new DAG, scanned on the
+        reference (the pre-refactor ``_conflicting_elements`` body)."""
+        users, writers = [], []
+        for array in self.arrays:
+            if self.indexed:
+                users.append(self._ids(self.dag.active_users(array)))
+                writers.append(self._ids(self.dag.active_writers(array)))
+            else:
+                users.append(
+                    self._ids(
+                        [
+                            e
+                            for e in self.dag.frontier
+                            if e.active and e.uses(array) is not None
+                        ]
+                    )
+                )
+                writers.append(
+                    self._ids(
+                        [
+                            e
+                            for e in self.dag.frontier
+                            if e.active and e.writes_in_set(array)
+                        ]
+                    )
+                )
+        return ("conflicts", users, writers)
+
+    def finish(self) -> None:
+        edges = [
+            (
+                self.index_of[e.parent.element_id],
+                self.index_of[e.child.element_id],
+                e.array.name,
+            )
+            for e in self.dag.edges
+        ]
+        self.trace.append(("edges", edges))
+        self.trace.append(
+            ("children_count", [e.children_count for e in self.elements])
+        )
+        for e in self.elements:
+            self.trace.append(
+                ("adjacency", self._ids(self.dag.parents_of(e)),
+                 self._ids(self.dag.children_of(e)))
+            )
+        self.trace.append(
+            (
+                "dep_sets",
+                [sorted(k.value for k in e.dependency_set.values())
+                 for e in self.elements],
+            )
+        )
+
+
+def run_program(dag_cls, indexed, n_arrays, steps):
+    run = _Run(dag_cls(), indexed, n_arrays)
+    for step in steps:
+        run.step(step)
+    run.finish()
+    return run.trace
+
+
+class TestIndexedDagEquivalence:
+    def test_random_programs_equivalent(self):
+        rng = random.Random(0xDA6)
+        for program in range(NUM_PROGRAMS):
+            n_arrays, steps = random_program(rng)
+            indexed = run_program(ComputationDAG, True, n_arrays, steps)
+            reference = run_program(ReferenceDAG, False, n_arrays, steps)
+            assert indexed == reference, (
+                f"divergence on program {program}: {steps}"
+            )
+
+    def test_known_fig3_sequence(self):
+        """The paper's Fig. 3 walk-through, step by step: read fan-out
+        (A), write-after-read (B), rejoin on the last writer (C)."""
+        n_arrays = 2
+        steps = [
+            ("add", [(0, AccessKind.READ_WRITE)]),      # K1(x)
+            ("add", [(0, AccessKind.READ)]),            # K2(const x)
+            ("add", [(0, AccessKind.READ)]),            # K3(const x)
+            ("add", [(0, AccessKind.READ_WRITE), (1, AccessKind.READ)]),
+            ("sync", [0, 1, 2]),
+            ("add", [(1, AccessKind.READ_WRITE)]),
+        ]
+        assert run_program(ComputationDAG, True, n_arrays, steps) == \
+            run_program(ReferenceDAG, False, n_arrays, steps)

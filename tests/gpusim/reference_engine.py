@@ -1,35 +1,12 @@
-"""Discrete-event simulation engine.
+"""Frozen copy of the pre-PR-3 scan-based discrete-event engine.
 
-The engine owns the virtual clock, the set of streams and the running
-operations.  Host code (the scheduler) submits operations and then asks
-the engine to advance — to a stream sync, to an event, or until all queued
-work drains.  Between host sync points the clock does not move: host
-actions are modelled as instantaneous unless an explicit host overhead is
-charged via :meth:`SimEngine.charge_host_time`.
-
-Rate-based progress: whenever the running set changes, the contention
-model re-prices everyone's progress rate; the clock then jumps straight to
-the earliest completion.  This is exact for piecewise-constant rates.
-
-Every per-step cost is indexed rather than scanned:
-
-* rates are cached and re-priced only when the running set actually
-  changes (``repricings`` counts true repricings; ``steps`` counts engine
-  steps, so the ratio is assertable in benchmarks);
-* the next completion comes from the projected-completion minimum
-  computed at reprice time and invalidated lazily (a host-time cap that
-  advances the clock without completing anything marks it stale).  A
-  projected-completion min-*heap* would degenerate to its root here:
-  the contention model is monotone, so every completion changes the
-  surviving ops' rates and forces a rebuild — consecutive pops can
-  never amortize, and caching the root alone is equivalent and cheaper;
-* startable operations come from a *ready-stream* queue fed by
-  notifications — submission to an idle stream, an event record
-  unblocking a parked head, an operation finishing with work queued
-  behind it — instead of scanning every stream per step;
-* removal from the running set is O(1) (index map + swap-pop), and a
-  busy-stream counter makes ``idle``/``sync_all`` O(1) per check.
+This is the bit-identity oracle for the indexed engine in
+``repro.gpusim.engine``: every step rescans all streams and re-prices
+the full running set, exactly as the engine did before the event-heap
+refactor.  Do not optimise this file — its O(n^2) behaviour *is* the
+specification the golden tests compare against.
 """
+
 
 from __future__ import annotations
 
@@ -55,7 +32,7 @@ from repro.gpusim.timeline import IntervalKind, Timeline, TimelineRecord
 _WORK_EPS = 1e-9
 
 
-class SimEngine:
+class ReferenceSimEngine:
     """Virtual-time executor for one or more :class:`Device` s.
 
     Multi-GPU engines (the paper's section-VI future work) share one
@@ -76,33 +53,9 @@ class SimEngine:
         self._streams: dict[int, SimStream] = {}
         self._stream_ids = itertools.count(DEFAULT_STREAM_ID)
         self._running: list[Operation] = []
-        #: op_id -> position in ``_running`` (O(1) swap-pop removal)
-        self._running_pos: dict[int, int] = {}
-        #: stream ids whose head *may* be startable; validated lazily
-        self._ready_ids: set[int] = set()
-        #: streams with at least one queued or running operation
-        self._busy_streams: int = 0
-        #: cached rate allocation for the current running set
-        self._rates: dict[int, float] = {}
-        self._rates_dirty: bool = True
-        #: projected time-to-next-completion over the running set,
-        #: computed at reprice time and invalidated lazily by capped
-        #: clock advances (see the module docstring for why a full heap
-        #: cannot amortize under the monotone contention model)
-        self._next_dt: float = math.inf
-        self._next_dt_fresh: bool = False
-        #: monotone sequence stamped on ops entering the running set, so
-        #: same-instant completions fire in legacy start order
-        self._start_seq = itertools.count()
         self.default_stream = self.create_stream(label="default")
-        #: count of rate recomputations: grows with *changes* to the
-        #: running set, not with engine steps (engine-efficiency
-        #: introspection, asserted by ``sim-bench``)
+        #: count of rate recomputations (engine-efficiency introspection)
         self.repricings: int = 0
-        #: engine steps taken (instantaneous drains and clock advances)
-        self.steps: int = 0
-        #: additions to / removals from the running set
-        self.running_set_changes: int = 0
 
     # -- stream management --------------------------------------------------
 
@@ -131,8 +84,8 @@ class SimEngine:
 
         Long-lived engines that serve many short-lived contexts (see
         :meth:`repro.core.runtime.GrCUDARuntime.renew_context`) would
-        otherwise accumulate an ever-growing population of dead streams.
-        The default stream cannot be reclaimed.
+        otherwise scan an ever-growing list of dead streams on every
+        scheduling step.  The default stream cannot be reclaimed.
         """
         if stream is self.default_stream:
             raise InvalidStateError("cannot reclaim the default stream")
@@ -142,7 +95,6 @@ class SimEngine:
             )
         stream.destroy()  # raises if busy
         del self._streams[stream.stream_id]
-        self._ready_ids.discard(stream.stream_id)
 
     def reclaim_streams(self, streams: Iterable[SimStream]) -> None:
         """Reclaim several idle streams (see :meth:`reclaim_stream`)."""
@@ -156,12 +108,7 @@ class SimEngine:
         if stream.stream_id not in self._streams:
             raise InvalidStateError(f"stream {stream.label} is foreign")
         op.submit_time = self.clock
-        was_busy = stream.busy
         stream.submit(op)
-        if not was_busy:
-            # The new op is the stream head: the stream went idle->busy.
-            self._busy_streams += 1
-            self._ready_ids.add(stream.stream_id)
         return op
 
     def record_event(
@@ -197,11 +144,14 @@ class SimEngine:
 
     def sync_all(self) -> None:
         """Drain every stream (``cudaDeviceSynchronize``)."""
-        self._run_until(lambda: self._busy_streams == 0, what="device")
+        self._run_until(
+            lambda: all(not s.busy for s in self._streams.values()),
+            what="device",
+        )
 
     @property
     def idle(self) -> bool:
-        return self._busy_streams == 0
+        return all(not s.busy for s in self._streams.values())
 
     # -- core loop -------------------------------------------------------------
 
@@ -220,14 +170,17 @@ class SimEngine:
                 self.clock = target
                 return
 
-    def _reprice(self) -> None:
-        """Re-price the running set and recompute the projected
-        next-completion jump.
+    def _step(self, time_cap: float | None = None) -> bool:
+        """One engine step.  Returns False if no progress is possible.
 
-        Only called when the running set actually changed since the last
-        pricing; rates are piecewise-constant in between, so the cached
-        allocation and projected minimum stay exact.
+        Instantaneous progress (op starts, event records) returns
+        immediately without advancing the clock, so host-side sync
+        predicates are re-checked at the tightest possible points.
         """
+        if self._drain_instantaneous():
+            return True
+        if not self._running:
+            return False
         self.repricings += 1
         rates: dict[int, float] = {}
         if len(self.devices) == 1:
@@ -241,43 +194,14 @@ class SimEngine:
                 rates.update(
                     self.devices[idx].contention.allocate(ops).rates
                 )
-        next_dt = math.inf
+        dt = math.inf
         for op in self._running:
             rate = rates.get(op.op_id, 0.0)
             if rate <= 0:
                 raise SimulationError(
                     f"{op.describe()} allocated non-positive rate {rate}"
                 )
-            next_dt = min(next_dt, op.work_remaining / rate)
-        self._rates = rates
-        self._rates_dirty = False
-        self._next_dt = next_dt
-        self._next_dt_fresh = True
-
-    def _step(self, time_cap: float | None = None) -> bool:
-        """One engine step.  Returns False if no progress is possible.
-
-        Instantaneous progress (op starts, event records) returns
-        immediately without advancing the clock, so host-side sync
-        predicates are re-checked at the tightest possible points.
-        """
-        self.steps += 1
-        if self._drain_instantaneous():
-            return True
-        if not self._running:
-            return False
-        if self._rates_dirty:
-            self._reprice()
-        rates = self._rates
-        if self._next_dt_fresh:
-            dt = self._next_dt
-        else:
-            # A capped advance decremented the outstanding work since the
-            # projection was computed; the running set (and rates) are
-            # unchanged, so a fresh min over the survivors is still exact.
-            dt = min(
-                op.work_remaining / rates[op.op_id] for op in self._running
-            )
+            dt = min(dt, op.work_remaining / rate)
         if time_cap is not None:
             dt = min(dt, time_cap - self.clock)
         if dt < 0 or not math.isfinite(dt):
@@ -290,54 +214,26 @@ class SimEngine:
             if op.work_remaining <= _WORK_EPS * max(1.0, op.work_total):
                 op.work_remaining = 0.0
                 finished.append(op)
-        if finished:
-            # Same-instant completions fire in the order the ops started
-            # (the legacy running-list order), not in swap-pop order.
-            finished.sort(key=lambda op: op.start_seq)
-            for op in finished:
-                self._complete(op)
-        else:
-            self._next_dt_fresh = False
+        for op in finished:
+            self._complete(op)
         return True
 
     def _drain_instantaneous(self) -> bool:
         """Start all ready ops; complete the zero-duration ones, looping
-        until no cascade remains (an event record can unblock waits).
-
-        Only streams whose head *might* have become startable are
-        visited; a popped stream whose head is still blocked is parked
-        on its incomplete wait events and re-queued when they record.
-        """
+        until no cascade remains (an event record can unblock waits)."""
         progressed = False
-        while self._ready_ids:
-            # Creation order (= ascending stream id), matching the
-            # legacy full-scan pass order.
-            batch = sorted(self._ready_ids)
-            self._ready_ids.clear()
-            for sid in batch:
-                stream = self._streams.get(sid)
-                if stream is None:
-                    continue
+        changed = True
+        while changed:
+            changed = False
+            for stream in self._streams.values():
                 op = stream.head_if_ready()
                 if op is None:
-                    self._park_if_blocked(stream)
                     continue
                 self._start(op)
-                progressed = True
+                progressed = changed = True
                 if op.instantaneous:
                     self._complete(op)
         return progressed
-
-    def _park_if_blocked(self, stream: SimStream) -> None:
-        """Register a blocked stream head on its incomplete wait events,
-        so the event records (the only way the head can unblock) re-queue
-        the stream instead of every step re-scanning it."""
-        if stream.running is not None or not stream.pending:
-            return
-        head = stream.pending[0]
-        for event in head.wait_events:
-            if not event.complete:
-                event.add_waiter(stream)
 
     # -- op lifecycle -----------------------------------------------------------
 
@@ -347,36 +243,15 @@ class SimEngine:
         op.state = OpState.RUNNING
         op.start_time = self.clock
         if not op.instantaneous:
-            op.start_seq = next(self._start_seq)
-            self._running_pos[op.op_id] = len(self._running)
             self._running.append(op)
-            self._rates_dirty = True
-            self.running_set_changes += 1
-
-    def _remove_running(self, op: Operation) -> None:
-        pos = self._running_pos.pop(op.op_id, None)
-        if pos is None:
-            return
-        last = self._running.pop()
-        if last is not op:
-            self._running[pos] = last
-            self._running_pos[last.op_id] = pos
-        self._rates_dirty = True
-        self._next_dt_fresh = False
-        self.running_set_changes += 1
 
     def _complete(self, op: Operation) -> None:
         assert op.stream is not None
         op.state = OpState.COMPLETE
         op.end_time = self.clock
-        self._remove_running(op)
-        stream = op.stream
-        stream.finish(op)
-        if stream.pending:
-            # More work queued behind: the new head may be startable.
-            self._ready_ids.add(stream.stream_id)
-        else:
-            self._busy_streams -= 1
+        if op in self._running:
+            self._running.remove(op)
+        op.stream.finish(op)
         self._record(op)
         self._apply_effects(op)
         for callback in op.on_complete:
@@ -386,9 +261,6 @@ class SimEngine:
         if isinstance(op, EventRecordOp):
             assert op.event is not None
             op.event._record(self.clock)
-            for waiter in op.event.pop_waiters():
-                if waiter.stream_id in self._streams:
-                    self._ready_ids.add(waiter.stream_id)
         elif isinstance(op, TransferOp) and op.apply_fn is not None:
             op.apply_fn()
         elif isinstance(op, KernelOp) and op.compute_fn is not None:

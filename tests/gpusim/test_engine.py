@@ -219,6 +219,54 @@ class TestTimelineRecording:
         assert rec.meta["resources"] is k.resources
 
 
+class TestEngineCounters:
+    def test_repricings_bounded_by_running_set_changes(self, engine):
+        for _ in range(6):
+            engine.submit(engine.default_stream, kernel())
+        engine.sync_all()
+        assert engine.running_set_changes == 12  # 6 starts + 6 finishes
+        assert engine.repricings <= engine.running_set_changes + 1
+        assert engine.steps >= engine.repricings
+
+    def test_capped_advances_do_not_reprice_unchanged_set(self, engine):
+        engine.submit(engine.default_stream, kernel())  # 1 ms
+        engine.charge_host_time(1e-5)
+        before = engine.repricings
+        for _ in range(20):
+            engine.charge_host_time(1e-5)  # kernel still running
+        # The running set never changed: rates stay cached.
+        assert engine.repricings == before
+        engine.sync_all()
+
+    def test_idle_tracks_busy_stream_counter(self, engine):
+        streams = [engine.create_stream() for _ in range(3)]
+        assert engine.idle
+        for s in streams:
+            engine.submit(s, kernel())
+        assert not engine.idle
+        engine.sync_all()
+        assert engine.idle
+        engine.reclaim_streams(streams)
+        assert engine.idle
+        engine.submit(engine.default_stream, kernel())
+        engine.sync_all()
+        assert engine.idle
+
+    def test_parked_stream_wakes_on_event_record(self, engine):
+        s1, s2, s3 = (engine.create_stream() for _ in range(3))
+        a = kernel(label="a")
+        engine.submit(s1, a)
+        ev = engine.record_event(s1)
+        engine.wait_event(s2, ev)
+        b = kernel(label="b")
+        engine.submit(s2, b)
+        # Drain s3 first: s2 stays parked on ev the whole time.
+        engine.submit(s3, kernel(label="c"))
+        engine.sync_stream(s3)
+        engine.sync_all()
+        assert b.start_time >= a.end_time
+
+
 class TestWorkConservation:
     def test_contended_kernels_total_time(self, engine):
         # Two full-device kernels of 1 ms each must take exactly 2 ms

@@ -90,6 +90,45 @@ class TestTimeline:
         tl.clear()
         assert len(tl) == 0
 
+    def test_clear_resets_incremental_aggregates(self):
+        tl = Timeline()
+        tl.add(rec(1, 2))
+        tl.add(rec(0, 3, IntervalKind.TRANSFER_HTOD, stream=2, nbytes=8.0))
+        tl.clear()
+        assert tl.start == 0.0 and tl.end == 0.0 and tl.makespan == 0.0
+        assert tl.total_kernel_time() == 0.0
+        assert tl.total_transfer_time() == 0.0
+        assert tl.total_transferred_bytes() == 0.0
+        assert tl.stream_ids() == []
+        assert tl.by_stream(2) == []
+        # And the aggregates resume correctly after the reset.
+        tl.add(rec(4, 6))
+        assert tl.makespan == 2.0
+        assert tl.total_kernel_time() == 2.0
+
+    def test_incremental_aggregates_match_scans(self):
+        tl = Timeline()
+        records = [
+            rec(0, 1),
+            rec(5, 5, IntervalKind.EVENT),
+            rec(0.5, 2, IntervalKind.TRANSFER_HTOD, stream=2, nbytes=16.0),
+            rec(3, 4, IntervalKind.TRANSFER_DTOH, stream=1, nbytes=4.0),
+            rec(2, 3, IntervalKind.TRANSFER_D2D, stream=3, nbytes=2.0),
+        ]
+        for r in records:
+            tl.add(r)
+        assert tl.start == min(r.start for r in records if r.duration > 0)
+        assert tl.end == max(r.end for r in records if r.duration > 0)
+        assert tl.total_kernel_time() == sum(
+            r.duration for r in records if r.kind is IntervalKind.KERNEL
+        )
+        assert tl.total_transfer_time() == sum(
+            r.duration for r in records if r.kind.is_transfer
+        )
+        assert tl.total_transferred_bytes() == 22.0
+        assert tl.by_stream(0) == [records[0], records[1]]
+        assert tl.stream_ids() == [0, 1, 2, 3]
+
 
 class TestMergeIntervals:
     def test_empty(self):

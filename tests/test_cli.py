@@ -44,6 +44,16 @@ class TestParser:
         assert args.admission == "priority"
         assert args.placement == "round-robin"
 
+    def test_sim_bench_defaults(self):
+        args = build_parser().parse_args(["sim-bench"])
+        assert args.bench_out == "BENCH_simulator.json"
+
+    def test_sim_bench_custom_output(self):
+        args = build_parser().parse_args(
+            ["sim-bench", "--bench-out", "/tmp/b.json"]
+        )
+        assert args.bench_out == "/tmp/b.json"
+
     def test_serve_bench_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(
