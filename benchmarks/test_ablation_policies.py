@@ -27,18 +27,19 @@ def run_with_config(name, scale, config, iterations=3):
     bench = create_benchmark(
         name, scale, iterations=iterations, execute=False
     )
-    original = Benchmark._build_runtime
+    original = Benchmark._build_session
 
-    def patched(self, gpu, execution, prefetch, movement=None):
-        from repro.core.runtime import GrCUDARuntime
+    def patched(self, gpu, execution, prefetch, movement=None,
+                gpus=1, placement=None):
+        from repro.session import Session
 
-        return GrCUDARuntime(gpu=gpu, config=config)
+        return Session(gpu=gpu, config=config)
 
-    Benchmark._build_runtime = patched
+    Benchmark._build_session = patched
     try:
         return bench.run("GTX 1660 Super", Mode.PARALLEL)
     finally:
-        Benchmark._build_runtime = original
+        Benchmark._build_session = original
 
 
 class TestParentStreamPolicy:

@@ -10,7 +10,7 @@ block size based on data size and previous executions".
 Run:  python examples/autotuning.py
 """
 
-from repro import GrCUDARuntime
+from repro import Session
 from repro.kernels import LinearCostModel
 
 N = 1 << 22
@@ -26,7 +26,7 @@ COMPUTE_BOUND = LinearCostModel(
 
 
 def main() -> None:
-    rt = GrCUDARuntime(gpu="Tesla P100")
+    rt = Session(gpu="Tesla P100")
     kernel = rt.build_kernel(
         lambda x, n: None, "simulate", "ptr, sint32", COMPUTE_BOUND
     )

@@ -42,10 +42,9 @@ def main() -> None:
     # dependency edges of one iteration, labelled with the array that
     # caused each one (the edge labels of Fig. 2).
     one_iter = create_benchmark("ml", SCALE, iterations=1, execute=False)
-    from repro.core.runtime import GrCUDARuntime  # runtime-owned DAG
-    from repro.core.policies import SchedulerConfig
+    from repro import SchedulerConfig, Session  # session-owned DAG
 
-    rt = GrCUDARuntime(gpu=GPU, config=SchedulerConfig())
+    rt = Session(gpu=GPU, config=SchedulerConfig())
     arrays = {
         name: rt.array(s.shape, dtype=s.dtype, name=name, materialize=False)
         for name, s in one_iter.array_specs().items()

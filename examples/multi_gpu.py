@@ -7,14 +7,16 @@ migration costs at run time to identify the optimal scheduling."
 
 This example runs two workload shapes on 1, 2 and 4 simulated GPUs and
 compares the naive round-robin placement against the locality-aware
-(min-transfer) policy the paper calls for.
+(min-transfer) policy the paper calls for.  The device count is just the
+``gpus=`` argument of ``Session`` — the host program is identical for
+every fleet size.
 
 Run:  python examples/multi_gpu.py
 """
 
+from repro import DevicePlacementPolicy, SchedulerConfig, Session
 from repro.gpusim.timeline import IntervalKind
 from repro.kernels import LinearCostModel
-from repro.multigpu import DevicePlacementPolicy, MultiGpuScheduler
 
 N = 1 << 22
 COST = LinearCostModel(
@@ -26,37 +28,41 @@ COST = LinearCostModel(
 
 def independent_batches(n_gpus: int, policy) -> float:
     """Eight independent pipelines — embarrassingly device-parallel."""
-    sched = MultiGpuScheduler(["1660"] * n_gpus, policy=policy)
-    k = sched.build_kernel(lambda x, n: None, "work", "ptr, sint32", COST)
+    sess = Session(
+        gpus=n_gpus, gpu="1660",
+        config=SchedulerConfig(placement=policy),
+    )
+    k = sess.build_kernel(lambda x, n: None, "work", "ptr, sint32", COST)
     arrays = [
-        sched.array(N, name=f"batch{i}", materialize=False)
+        sess.array(N, name=f"batch{i}", materialize=False)
         for i in range(8)
     ]
     for a in arrays:
-        sched.write_input(a)
+        a.touch_write_full()
     for _ in range(2):
         for a in arrays:
             k(512, 256)(a, N)
-    sched.sync()
-    return sched.elapsed
+    sess.sync()
+    return sess.elapsed()
 
 
 def dependent_chain(policy) -> tuple[float, int]:
     """One 8-kernel chain on one array — placement is all about data
     location; returns (time, peer-to-peer transfer count)."""
-    sched = MultiGpuScheduler(["1660", "1660"], policy=policy)
-    k = sched.build_kernel(lambda x, n: None, "step", "ptr, sint32", COST)
-    a = sched.array(N, name="chain", materialize=False)
-    sched.write_input(a)
+    sess = Session(gpus=2, gpu="1660",
+                   config=SchedulerConfig(placement=policy))
+    k = sess.build_kernel(lambda x, n: None, "step", "ptr, sint32", COST)
+    a = sess.array(N, name="chain", materialize=False)
+    a.touch_write_full()
     for _ in range(8):
         k(512, 256)(a, N)
-    sched.sync()
+    sess.sync()
     d2d = sum(
         1
-        for r in sched.engine.timeline
+        for r in sess.timeline()
         if r.kind is IntervalKind.TRANSFER_D2D
     )
-    return sched.elapsed, d2d
+    return sess.elapsed(), d2d
 
 
 def main() -> None:

@@ -11,7 +11,7 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import GrCUDARuntime
+from repro import Session
 from repro.kernels import LinearCostModel
 from repro.lang import Polyglot
 
@@ -38,9 +38,10 @@ MEMORY_BOUND = LinearCostModel(
 
 
 def main() -> None:
-    # A polyglot runtime on a simulated Tesla P100 (parallel scheduler
-    # is the default — the serial baseline is one config flag away).
-    rt = GrCUDARuntime(gpu="Tesla P100")
+    # A polyglot session on a simulated Tesla P100 (parallel scheduler
+    # is the default — the serial baseline, a multi-GPU fleet, or any
+    # movement/placement policy are one config flag away).
+    rt = Session(gpus=1, gpu="Tesla P100")
     polyglot = Polyglot(rt)
 
     # -- Fig. 4, step A: declare kernels ------------------------------
@@ -73,7 +74,7 @@ def main() -> None:
     print(f"inferred DAG: {rt.dag.num_vertices} vertices,"
           f" {rt.dag.num_edges} dependencies")
     print("\nexecution timeline:")
-    print(rt.timeline.render_ascii(width=90))
+    print(rt.timeline().render_ascii(width=90))
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ from repro import (
     PrefetchPolicy,
     SchedulerConfig,
 )
-from repro.core.runtime import GrCUDARuntime
+from repro import Session
 from repro.workloads import Mode, create_benchmark
 from repro.workloads.base import Benchmark
 
@@ -25,16 +25,15 @@ GPU = "GTX 1660 Super"
 
 def run_config(label: str, config: SchedulerConfig):
     bench = create_benchmark("hits", SCALE, iterations=3, execute=False)
-    original = Benchmark._build_runtime
-    Benchmark._build_runtime = (
-        lambda self, gpu, execution, prefetch, movement=None: GrCUDARuntime(
-            gpu=gpu, config=config
-        )
+    original = Benchmark._build_session
+    Benchmark._build_session = (
+        lambda self, gpu, execution, prefetch, movement=None,
+        gpus=1, placement=None: Session(gpu=gpu, config=config)
     )
     try:
         result = bench.run(GPU, Mode.PARALLEL)
     finally:
-        Benchmark._build_runtime = original
+        Benchmark._build_session = original
     print(
         f"  {label:44s} {result.elapsed * 1e3:8.1f} ms"
         f"   streams={result.stream_count}"

@@ -8,24 +8,35 @@ the full benchmark suite and every experiment of the evaluation section.
 
 Quickstart::
 
-    from repro import GrCUDARuntime
+    from repro import Session
 
-    rt = GrCUDARuntime(gpu="Tesla P100")
-    x = rt.array(1_000_000)
-    square = rt.build_kernel(lambda a, n: np.square(a, out=a),
-                             "square", "ptr, sint32")
+    sess = Session(gpu="Tesla P100")       # gpus=2 for a fleet
+    x = sess.array(1_000_000)
+    square = sess.build_kernel(lambda a, n: np.square(a, out=a),
+                               "square", "ptr, sint32")
     square(256, 256)(x, 1_000_000)
     value = x[0]      # host access; the scheduler syncs just enough
+
+:class:`Session` is the single entry point: ``gpus=1`` runs the paper's
+single-GPU scheduler, ``gpus>1`` the section-VI multi-GPU extension, and
+:mod:`repro.serve` multiplexes many tenants over a pool of sessions —
+all configured through one :class:`SchedulerConfig`.  The legacy
+``GrCUDARuntime`` / ``MultiGpuScheduler`` classes remain as deprecation
+shims.
 """
 
+from repro.session import Session, SessionMetrics
 from repro.core.runtime import GrCUDARuntime
 from repro.core.policies import (
+    AdmissionPolicy,
+    DevicePlacementPolicy,
     ExecutionPolicy,
     NewStreamPolicy,
     ParentStreamPolicy,
     PrefetchPolicy,
     SchedulerConfig,
 )
+from repro.errors import ConfigError
 from repro.gpusim.specs import (
     ALL_GPUS,
     GTX960,
@@ -40,7 +51,12 @@ from repro.memory.coherence import CoherenceEngine, MovementPolicy
 __version__ = "1.0.0"
 
 __all__ = [
+    "Session",
+    "SessionMetrics",
     "GrCUDARuntime",
+    "AdmissionPolicy",
+    "ConfigError",
+    "DevicePlacementPolicy",
     "ExecutionPolicy",
     "NewStreamPolicy",
     "ParentStreamPolicy",

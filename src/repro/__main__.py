@@ -8,7 +8,8 @@ Usage::
     python -m repro all --scales 1
     python -m repro serve-bench --tenants 4 --requests 100 \
         --fleet-size 2 --admission fair-share --placement least-loaded
-    python -m repro movement-bench --gpu "GTX 1660 Super" --iterations 4
+    python -m repro movement-bench --gpu "GTX 1660 Super" \
+        --iterations 4 --fleet-gpus 2
 """
 
 from __future__ import annotations
@@ -53,7 +54,8 @@ EXPERIMENTS = {
     ),
     "movement-bench": (
         movement_bench,
-        "data-movement policy sweep over the benchmark workloads",
+        "data-movement x placement policy grid over the workloads"
+        " (single GPU + fleet)",
     ),
     "sim-bench": (
         sim_bench,
@@ -148,6 +150,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check every request's results against serial execution",
     )
+    movement = parser.add_argument_group(
+        "movement-bench options",
+        "only used by the movement-bench experiment",
+    )
+    movement.add_argument(
+        "--fleet-gpus",
+        type=int,
+        default=2,
+        metavar="N",
+        help="GPUs in the fleet axis of the movement grid"
+        " (default 2; 0 skips the fleet sweep)",
+    )
     simbench = parser.add_argument_group(
         "sim-bench options",
         "only used by the sim-bench experiment",
@@ -166,7 +180,11 @@ def run_experiment(name: str, args: argparse.Namespace) -> None:
     fn, _ = EXPERIMENTS[name]
     kwargs: dict = {"render": True}
     if name == "movement-bench":
-        kwargs.update(gpu=args.gpu, iterations=args.iterations)
+        kwargs.update(
+            gpu=args.gpu,
+            iterations=args.iterations,
+            fleet_gpus=args.fleet_gpus,
+        )
     if name == "sim-bench":
         kwargs.update(gpu=args.gpu, out_path=args.bench_out)
     if name == "serve-bench":

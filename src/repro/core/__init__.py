@@ -25,8 +25,21 @@ from repro.core.context import (
     SerialExecutionContext,
     ParallelExecutionContext,
 )
-from repro.core.runtime import GrCUDARuntime
 from repro.core.race import check_no_races, find_races
+
+
+def __getattr__(name: str):
+    # Imported lazily (PEP 562): the GrCUDARuntime shim subclasses
+    # repro.session.Session, whose import of the context/policy modules
+    # initializes this package — an eager import here would be circular.
+    if name == "GrCUDARuntime":
+        from repro.core.runtime import GrCUDARuntime
+
+        return GrCUDARuntime
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
 
 __all__ = [
     "ComputationalElement",

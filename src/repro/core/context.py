@@ -58,6 +58,36 @@ def annotate_kernel_access_sets(op: KernelOp, launch: KernelLaunch) -> None:
     }
 
 
+def wait_cross_stream_parents(
+    engine: SimEngine,
+    stream: SimStream,
+    parents: list[ComputationalElement],
+) -> None:
+    """Cross-stream dependencies -> event waits; same-stream ones are
+    already ordered by CUDA's FIFO guarantee.  Shared by every
+    DAG-scheduling path (parallel context, multi-GPU context)."""
+    for parent in parents:
+        if (
+            parent.finish_event is not None
+            and parent.stream is not stream
+            and not parent.finish_event.complete
+        ):
+            engine.wait_event(stream, parent.finish_event)
+
+
+def library_call_resources(spec, cost_seconds: float) -> KernelResourceRequest:
+    """Model a stream-aware library call of the declared cost as a
+    full-device computation on ``spec``."""
+    return KernelResourceRequest(
+        flops=cost_seconds * spec.flops_rate(False),
+        fp64=False,
+        dram_bytes=0.0,
+        l2_bytes=0.0,
+        instructions=0.0,
+        threads_total=spec.max_resident_threads,
+    )
+
+
 def kernel_history_recorder(launch: KernelLaunch, sink):
     """An ``on_complete`` callback feeding a
     :class:`KernelExecutionRecord` for ``launch`` into ``sink`` (e.g.
@@ -135,6 +165,12 @@ class ExecutionContext(abc.ABC):
         """Host-side device synchronization."""
         self.engine.sync_all()
         self.dag.deactivate_completed()
+
+    def reclaimable_streams(self) -> tuple[SimStream, ...]:
+        """Streams a retiring context hands back to the engine (see
+        :meth:`repro.session.Session.renew_context`).  The serial
+        context runs on the engine's default stream and owns none."""
+        return ()
 
     # -- shared helpers ------------------------------------------------------
 
@@ -229,6 +265,9 @@ class ParallelExecutionContext(ExecutionContext):
             parent_stream=config.parent_stream,
         )
 
+    def reclaimable_streams(self) -> tuple[SimStream, ...]:
+        return self.streams.streams
+
     # -- kernel scheduling ------------------------------------------------------
 
     def launch(self, launch: KernelLaunch) -> None:
@@ -239,16 +278,7 @@ class ParallelExecutionContext(ExecutionContext):
         element = KernelElement(launch)
         parents = self.dag.add(element)
         stream = self.streams.assign(element, parents)
-
-        # Cross-stream dependencies -> event waits (same-stream ones are
-        # already ordered by CUDA's FIFO guarantee).
-        for parent in parents:
-            if (
-                parent.finish_event is not None
-                and parent.stream is not stream
-                and not parent.finish_event.complete
-            ):
-                self.engine.wait_event(stream, parent.finish_event)
+        wait_cross_stream_parents(self.engine, stream, parents)
 
         # The coherence engine waits on in-flight shared-input
         # migrations, plans the movement the policy calls for (prefetch,
@@ -324,21 +354,9 @@ class ParallelExecutionContext(ExecutionContext):
             return
         parents = self.dag.add(element)
         stream = self.streams.assign(element, parents)
-        for parent in parents:
-            if (
-                parent.finish_event is not None
-                and parent.stream is not stream
-                and not parent.finish_event.complete
-            ):
-                self.engine.wait_event(stream, parent.finish_event)
-        spec = self.device.spec
-        resources = KernelResourceRequest(
-            flops=element.cost_seconds * spec.flops_rate(False),
-            fp64=False,
-            dram_bytes=0.0,
-            l2_bytes=0.0,
-            instructions=0.0,
-            threads_total=spec.max_resident_threads,
+        wait_cross_stream_parents(self.engine, stream, parents)
+        resources = library_call_resources(
+            self.device.spec, element.cost_seconds
         )
         op = KernelOp(
             label=element.label,

@@ -22,6 +22,15 @@ Section IV-C defines the policy space:
   schedules a consumer) or ``BATCHED`` (coalesce adjacent-array copies).
   When unset, it is derived from the prefetch policy so existing
   configurations keep their exact behaviour.
+* **Device-placement policy** — which GPU a computation runs on, for
+  multi-GPU sessions and the serving fleet (round-robin / min-transfer /
+  least-loaded).
+* **Admission policy** — which queued request a *serving* session admits
+  next (FIFO / priority / fair-share).  A serving-only knob: setting it
+  on a plain compute session is a configuration error.
+
+One :class:`SchedulerConfig` holds the complete policy space; device
+count is a :class:`repro.session.Session` argument, never an API choice.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.errors import ConfigError
 from repro.gpusim.specs import GPUSpec
 from repro.memory.coherence import MovementPolicy
 
@@ -36,6 +46,23 @@ from repro.memory.coherence import MovementPolicy
 class ExecutionPolicy(enum.Enum):
     SERIAL = "sync"       # original GrCUDA: serial & synchronous
     PARALLEL = "async"    # this paper: parallel & asynchronous
+
+
+class DevicePlacementPolicy(enum.Enum):
+    """Which GPU runs a computation (multi-GPU sessions and the serving
+    fleet share this vocabulary; see the module docstring)."""
+
+    ROUND_ROBIN = "round-robin"
+    MIN_TRANSFER = "min-transfer"
+    LEAST_LOADED = "least-loaded"
+
+
+class AdmissionPolicy(enum.Enum):
+    """Which queued request a serving session dispatches next."""
+
+    FIFO = "fifo"
+    PRIORITY = "priority"
+    FAIR_SHARE = "fair-share"
 
 
 class NewStreamPolicy(enum.Enum):
@@ -73,9 +100,50 @@ class SchedulerConfig:
     #: from ``prefetch`` (and the scheduler's execution policy), keeping
     #: legacy configurations bit-identical
     movement: MovementPolicy | None = None
+    #: device-placement policy for multi-GPU sessions and the serving
+    #: fleet; None resolves to MIN_TRANSFER for a compute session and
+    #: LEAST_LOADED for a serving fleet (each path's historical default)
+    placement: DevicePlacementPolicy | None = None
+    #: admission-control policy — a *serving-only* knob; non-None on a
+    #: plain compute session is rejected by :meth:`validate`
+    admission: AdmissionPolicy | None = None
     scheduling_overhead_us: float = 10.0
     serial_overhead_us: float = 4.0
     track_history: bool = True
+
+    def validate(self, gpus: int = 1, serving: bool = False) -> None:
+        """Reject configurations that cannot mean anything.
+
+        ``gpus`` is the device count of the session being configured;
+        ``serving`` is True when the config backs a serving fleet (the
+        only context in which admission control exists).
+        """
+        if not isinstance(gpus, int) or isinstance(gpus, bool):
+            raise ConfigError(
+                f"gpus must be an integer, got {type(gpus).__name__}"
+            )
+        if gpus < 1:
+            raise ConfigError(f"gpus must be >= 1, got {gpus}")
+        if self.admission is not None and not serving:
+            raise ConfigError(
+                "admission control is a serving knob: "
+                f"admission={self.admission.value!r} has no meaning on a"
+                " compute session — submit through repro.serve instead"
+            )
+        if self.scheduling_overhead_us < 0 or self.serial_overhead_us < 0:
+            raise ConfigError("scheduler overheads must be >= 0")
+
+    def resolve_placement(
+        self, serving: bool = False
+    ) -> DevicePlacementPolicy:
+        """Pin the placement policy down for one session kind."""
+        if self.placement is not None:
+            return self.placement
+        return (
+            DevicePlacementPolicy.LEAST_LOADED
+            if serving
+            else DevicePlacementPolicy.MIN_TRANSFER
+        )
 
     def resolve_movement(
         self, spec: GPUSpec, serial: bool = False

@@ -1,44 +1,34 @@
-"""The GrCUDA runtime facade — the library's main entry point.
+"""The legacy ``GrCUDARuntime`` facade — a deprecation shim.
 
-Typical use, mirroring the paper's Fig. 4::
+The runtime's real implementation lives in :class:`repro.session.Session`,
+the single entry point across single-GPU, multi-GPU and serving use.
+``GrCUDARuntime`` remains as a thin alias so existing host programs keep
+working::
 
     from repro import GrCUDARuntime
 
-    rt = GrCUDARuntime(gpu="GTX 1660 Super")          # parallel scheduler
+    rt = GrCUDARuntime(gpu="GTX 1660 Super")          # DeprecationWarning
     X = rt.array(N)
     K1 = rt.build_kernel(square_fn, "square", "ptr, sint32")
     K1(num_blocks, num_threads)(X, N)                 # async launch
     result = X[0]                                     # syncs just enough
 
-The runtime wires together one simulated device, one engine, one
-execution context (serial or parallel) and the kernel/array factories.
+New code should write ``Session(gpus=1, ...)`` instead — same surface,
+and the device count becomes configuration rather than a class choice.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import warnings
 
-import numpy as np
-
-from repro.core.context import (
-    ExecutionContext,
-    ParallelExecutionContext,
-    SerialExecutionContext,
-)
-from repro.core.element import LibraryCallElement
-from repro.core.policies import ExecutionPolicy, SchedulerConfig
-from repro.gpusim.device import Device
-from repro.gpusim.engine import SimEngine
-from repro.gpusim.specs import GPUSpec, gpu_by_name
-from repro.gpusim.timeline import Timeline
-from repro.kernels.kernel import Kernel
-from repro.kernels.profile import CostModel
-from repro.kernels.registry import KernelRegistry, build_kernel
-from repro.memory.array import AccessKind, DeviceArray
+from repro.core.policies import SchedulerConfig
+from repro.gpusim.specs import GPUSpec
+from repro.kernels.registry import KernelRegistry
+from repro.session import Session
 
 
-class GrCUDARuntime:
-    """One GPU runtime instance: device + engine + scheduler."""
+class GrCUDARuntime(Session):
+    """One GPU runtime instance (deprecated alias of a 1-GPU Session)."""
 
     def __init__(
         self,
@@ -46,188 +36,13 @@ class GrCUDARuntime:
         config: SchedulerConfig | None = None,
         registry: KernelRegistry | None = None,
     ) -> None:
-        spec = gpu_by_name(gpu) if isinstance(gpu, str) else gpu
-        self.spec = spec
-        self.config = config or SchedulerConfig()
-        self.device = Device(spec)
-        self.engine = SimEngine(self.device)
-        self.registry = registry
-        self.context: ExecutionContext = self._build_context()
-        self._arrays: list[DeviceArray] = []
-        #: contexts retired by :meth:`renew_context` (re-entrancy count)
-        self.context_generation = 0
-
-    def _build_context(self) -> ExecutionContext:
-        if self.config.execution is ExecutionPolicy.SERIAL:
-            return SerialExecutionContext(self.engine, self.config)
-        return ParallelExecutionContext(self.engine, self.config)
-
-    def renew_context(
-        self, op_tags: dict | None = None, drain: bool = True
-    ) -> ExecutionContext:
-        """Replace the execution context with a fresh one (re-entrant use).
-
-        A long-lived runtime serving many independent task graphs (see
-        :mod:`repro.serve`) reuses the device and engine while giving
-        each admitted graph its own DAG, stream manager and kernel
-        history — the isolation a tenant would get from a private
-        runtime, without re-building the device.  By default the old
-        context is drained first and its streams are reclaimed from the
-        engine, so the scheduling loop does not scan ever-growing
-        dead-stream lists; arrays still registered with the runtime are
-        re-attached to the new context.
-
-        ``drain=False`` swaps contexts *without* synchronizing: the old
-        context's submitted work stays in flight and its arrays keep
-        their hooks, so several contexts can coexist on the engine (the
-        serving layer's batch path).  The caller then owns draining the
-        engine and reclaiming the retired contexts' streams.
-
-        ``op_tags`` (e.g. ``{"tenant": "a"}``) are merged into every op
-        the new context submits, keeping shared-engine timeline records
-        attributable.
-        """
-        if drain:
-            self.context.sync()
-            old = self.context
-            if isinstance(old, ParallelExecutionContext):
-                self.engine.reclaim_streams(old.streams.streams)
-        ctx = self._build_context()
-        if op_tags:
-            ctx.op_tags.update(op_tags)
-        if drain:
-            for arr in self._arrays:
-                ctx.attach(arr)
-        self.context = ctx
-        self.context_generation += 1
-        return ctx
-
-    def _dispatch_launch(self, launch) -> None:
-        """Route a kernel launch to the *current* context.
-
-        Kernels keep working across :meth:`renew_context` because they
-        bind this dispatcher rather than one context's ``launch``."""
-        self.context.launch(launch)
-
-    # -- arrays ---------------------------------------------------------------
-
-    def array(
-        self,
-        shape: tuple[int, ...] | int,
-        dtype: Any = np.float32,
-        name: str = "",
-        materialize: bool = True,
-    ) -> DeviceArray:
-        """Allocate a UM-backed device array managed by this runtime.
-
-        ``materialize=False`` declares the geometry without backing host
-        memory — for timing-only sweeps at scales that would not fit in
-        host RAM.  All scheduling and transfer costs stay exact.
-        """
-        arr = DeviceArray(
-            shape,
-            dtype=dtype,
-            device=self.device,
-            name=name,
-            materialize=materialize,
+        warnings.warn(
+            "GrCUDARuntime is deprecated; use repro.Session(gpus=1, ...)"
+            " — one entry point across single-GPU, multi-GPU and serving",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.context.attach(arr)
-        self._arrays.append(arr)
-        return arr
-
-    def adopt_array(self, arr: DeviceArray) -> None:
-        """Track an externally-created array on this runtime's device so
-        :meth:`free_arrays` releases it (used by executors that manage
-        coherence manually, e.g. the serving layer's replay path)."""
-        self._arrays.append(arr)
-
-    def free_arrays(self) -> None:
-        """Release every array allocated through this runtime."""
-        for arr in self._arrays:
-            arr.free()
-        self._arrays.clear()
-
-    # -- kernels --------------------------------------------------------------
-
-    def build_kernel(
-        self,
-        code: Callable[..., None] | str,
-        name: str,
-        signature: str,
-        cost_model: CostModel | None = None,
-    ) -> Kernel:
-        """GrCUDA's ``buildkernel``: bind code + NIDL signature to this
-        runtime's scheduler."""
-        return build_kernel(
-            code,
-            name,
-            signature,
-            cost_model=cost_model,
-            launch_handler=self._dispatch_launch,
-            registry=self.registry,
-        )
-
-    # -- library functions -------------------------------------------------------
-
-    def library_call(
-        self,
-        fn: Callable[[], None],
-        accesses: list[tuple[DeviceArray, AccessKind]],
-        label: str = "library",
-        stream_aware: bool = True,
-        cost_seconds: float = 0.0,
-    ) -> None:
-        """Invoke a pre-registered library function (section IV-A)."""
-        element = LibraryCallElement(
-            fn=fn,
-            accesses=accesses,
-            label=label,
-            stream_aware=stream_aware,
-            cost_seconds=cost_seconds,
-        )
-        ctx = self.context
-        if isinstance(ctx, ParallelExecutionContext):
-            ctx.library_call(element)
-        else:
-            ctx.sync()
-            self.engine.charge_host_time(cost_seconds)
-            fn()
-
-    # -- execution control ---------------------------------------------------------
-
-    def sync(self) -> None:
-        """Wait for all in-flight GPU work (``cudaDeviceSynchronize``)."""
-        self.context.sync()
-
-    @property
-    def clock(self) -> float:
-        """Current virtual time in seconds."""
-        return self.engine.clock
-
-    @property
-    def timeline(self) -> Timeline:
-        return self.engine.timeline
-
-    @property
-    def dag(self):
-        return self.context.dag
-
-    @property
-    def history(self):
-        """Per-kernel execution history (section IV-A); use
-        ``history.recommend_block_size(...)`` for the section-VI
-        block-size heuristic."""
-        return self.context.history
-
-    def elapsed(self) -> float:
-        """Device execution time so far: first scheduling to last
-        completion (the paper's execution-time definition)."""
-        return self.engine.timeline.makespan
-
-    def reset_measurement(self) -> None:
-        """Clear the timeline (e.g. after a warm-up iteration)."""
-        self.sync()
-        self.engine.timeline.clear()
+        super().__init__(gpus=1, gpu=gpu, config=config, registry=registry)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -57,3 +57,9 @@ class GraphError(ReproError):
 
 class PolyglotError(ReproError):
     """Raised when a polyglot DSL expression cannot be evaluated."""
+
+
+class ConfigError(ReproError):
+    """Raised when a :class:`~repro.core.policies.SchedulerConfig` (or a
+    session built from one) is inconsistent — e.g. a non-positive GPU
+    count, or serving-only knobs on a plain compute session."""

@@ -152,12 +152,12 @@ def figure2(
     each kernel's stream plus the dependency edges with the array that
     caused them (Fig. 2's edge labels).
     """
-    from repro.core.runtime import GrCUDARuntime
     from repro.core.policies import SchedulerConfig
+    from repro.session import Session
 
     bench = create_benchmark(benchmark, _mid_scale(benchmark, gpu),
                              iterations=1, execute=False)
-    rt = GrCUDARuntime(gpu=gpu, config=SchedulerConfig())
+    rt = Session(gpu=gpu, config=SchedulerConfig())
     arrays = {
         name: rt.array(
             s.shape, dtype=s.dtype, name=name, materialize=False

@@ -6,21 +6,33 @@ scheduler and prints a comparison table: device makespan, bytes moved by
 engine-issued migrations, bytes left to the page-fault engine, and the
 number of transfer operations (BATCHED coalescing shows up here).
 
+Since the movement policies reach the multi-GPU path through
+``Session(gpus=N)``, the sweep also covers the fleet grid: every
+:class:`~repro.core.policies.DevicePlacementPolicy` × movement policy on
+a two-GPU session, with the ROADMAP dominance relation asserted per
+placement — eager prefetch is at least as fast as page faults on
+makespan (faults serialize migration into the kernels; prefetch overlaps
+it).
+
 Functional invariant, asserted on every sweep: all policies produce
-bit-identical workload results — they only decide *when* and *in how
-many pieces* bytes move, never *which values* are computed.
+bit-identical workload results — they only decide *when*, *where* and
+*in how many pieces* bytes move, never *which values* are computed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.policies import DevicePlacementPolicy
 from repro.gpusim.timeline import Timeline
 from repro.memory.coherence import MovementPolicy
 from repro.workloads import Mode
 from repro.workloads.suite import create_benchmark, default_scales
 
 DEFAULT_BENCHMARKS = ("vec", "b&s", "img", "ml")
+#: makespans are simulated, not measured, so the dominance assertion
+#: needs no statistical slack — only float-comparison headroom
+DOMINANCE_RTOL = 1e-9
 
 
 def timeline_fault_bytes(timeline: Timeline) -> float:
@@ -111,6 +123,127 @@ def sweep_movement_policies(
     return cells
 
 
+def timeline_d2d_bytes(timeline: Timeline) -> float:
+    """Bytes moved device-to-device (fleet peer mirrors)."""
+    from repro.gpusim.timeline import IntervalKind
+
+    return sum(
+        r.nbytes
+        for r in timeline.transfers()
+        if r.kind is IntervalKind.TRANSFER_D2D
+    )
+
+
+@dataclass(frozen=True)
+class FleetMovementCell:
+    """One (workload, placement, movement policy) fleet measurement."""
+
+    benchmark: str
+    scale: int
+    gpus: int
+    placement: DevicePlacementPolicy
+    policy: MovementPolicy
+    elapsed: float
+    moved_bytes: float
+    d2d_bytes: float
+    fault_bytes: float
+    htod_ops: int
+    results: tuple[float, ...]
+
+
+def sweep_fleet_movement(
+    benchmarks=DEFAULT_BENCHMARKS,
+    gpu: str = "GTX 1660 Super",
+    gpus: int = 2,
+    iterations: int = 4,
+    scale_index: int = 0,
+    execute: bool = True,
+) -> list[FleetMovementCell]:
+    """The fleet grid: placement × movement policy on a multi-GPU
+    session, for every workload.
+
+    Asserts, per (workload, placement):
+
+    * all movement policies produce bit-identical results;
+    * the ROADMAP dominance relation — eager prefetch's makespan is no
+      worse than page faults' (faults serialize the same bytes into the
+      kernels, so overlap can only help).
+    """
+    cells: list[FleetMovementCell] = []
+    for name in benchmarks:
+        scales = default_scales(name, gpu)
+        scale = scales[min(scale_index, len(scales) - 1)]
+        reference: tuple[float, ...] | None = None
+        for placement in DevicePlacementPolicy:
+            by_policy: dict[MovementPolicy, FleetMovementCell] = {}
+            for policy in MovementPolicy:
+                bench = create_benchmark(
+                    name, scale, iterations=iterations, execute=execute
+                )
+                run = bench.run(
+                    gpu, Mode.PARALLEL, movement=policy,
+                    gpus=gpus, placement=placement,
+                )
+                cell = FleetMovementCell(
+                    benchmark=name,
+                    scale=scale,
+                    gpus=gpus,
+                    placement=placement,
+                    policy=policy,
+                    elapsed=run.elapsed,
+                    moved_bytes=timeline_moved_bytes(run.timeline),
+                    d2d_bytes=timeline_d2d_bytes(run.timeline),
+                    fault_bytes=timeline_fault_bytes(run.timeline),
+                    htod_ops=timeline_htod_ops(run.timeline),
+                    results=tuple(run.results),
+                )
+                if reference is None:
+                    reference = cell.results
+                elif execute and cell.results != reference:
+                    raise AssertionError(
+                        f"{name}/{placement.value}: {policy.value} results"
+                        " diverged across the fleet grid"
+                    )
+                by_policy[policy] = cell
+                cells.append(cell)
+            eager = by_policy[MovementPolicy.EAGER_PREFETCH]
+            fault = by_policy[MovementPolicy.PAGE_FAULT]
+            if eager.elapsed > fault.elapsed * (1 + DOMINANCE_RTOL):
+                raise AssertionError(
+                    f"{name}/{placement.value}: dominance violated —"
+                    f" eager {eager.elapsed:.6e}s >"
+                    f" fault {fault.elapsed:.6e}s"
+                )
+    return cells
+
+
+def render_fleet_table(cells: list[FleetMovementCell]) -> str:
+    lines = [
+        "Fleet movement grid (placement x movement, "
+        f"{cells[0].gpus if cells else 2} GPUs)",
+        "=================================================",
+        f"{'benchmark':<10} {'placement':<14} {'policy':<16}"
+        f" {'time ms':>10} {'moved MB':>9} {'D2D MB':>8}"
+        f" {'fault MB':>9} {'HtoD ops':>9}",
+    ]
+    for cell in cells:
+        lines.append(
+            f"{cell.benchmark:<10} {cell.placement.value:<14}"
+            f" {cell.policy.value:<16}"
+            f" {cell.elapsed * 1e3:>10.3f}"
+            f" {cell.moved_bytes / 1e6:>9.1f}"
+            f" {cell.d2d_bytes / 1e6:>8.1f}"
+            f" {cell.fault_bytes / 1e6:>9.1f}"
+            f" {cell.htod_ops:>9}"
+        )
+    lines.append("")
+    lines.append(
+        "asserted per placement: results bit-identical across policies,"
+        " eager makespan <= fault makespan"
+    )
+    return "\n".join(lines)
+
+
 def render_movement_table(cells: list[MovementCell]) -> str:
     lines = [
         "Movement-policy sweep (parallel scheduler)",
@@ -140,8 +273,11 @@ def movement_bench(
     scale_index: int = 0,
     execute: bool = True,
     render: bool = False,
-) -> list[MovementCell]:
-    """The ``movement-bench`` experiment entry point."""
+    fleet_gpus: int = 2,
+) -> tuple[list[MovementCell], list[FleetMovementCell]]:
+    """The ``movement-bench`` experiment entry point: the single-GPU
+    movement sweep plus the fleet placement × movement grid
+    (``fleet_gpus=0`` skips the fleet axis)."""
     cells = sweep_movement_policies(
         benchmarks,
         gpu=gpu,
@@ -151,4 +287,17 @@ def movement_bench(
     )
     if render:
         print(render_movement_table(cells))
-    return cells
+    fleet_cells: list[FleetMovementCell] = []
+    if fleet_gpus > 1:
+        fleet_cells = sweep_fleet_movement(
+            benchmarks,
+            gpu=gpu,
+            gpus=fleet_gpus,
+            iterations=iterations,
+            scale_index=scale_index,
+            execute=execute,
+        )
+        if render:
+            print()
+            print(render_fleet_table(fleet_cells))
+    return cells, fleet_cells

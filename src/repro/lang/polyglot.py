@@ -20,7 +20,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.core.runtime import GrCUDARuntime
+from repro.session import Session
 from repro.errors import PolyglotError
 from repro.kernels.profile import CostModel
 from repro.memory.array import DeviceArray
@@ -47,20 +47,25 @@ _DIM_RE = re.compile(r"\[\s*(\d+)\s*\]")
 
 
 class Polyglot:
-    """A polyglot context bound to one :class:`GrCUDARuntime`.
+    """A polyglot context bound to one :class:`~repro.session.Session`.
 
     Mirrors the host-language view of GraalVM's ``polyglot`` module::
 
-        poly = Polyglot(rt)
+        poly = Polyglot(Session(gpus=2))
         X = poly.eval("grcuda", "float[{}]".format(N))
         buildkernel = poly.eval("grcuda", "buildkernel")
         K1 = buildkernel(K1_CODE, "square", "ptr, sint32")
         K1(NUM_BLOCKS, NUM_THREADS)(X, N)
+
+    The DSL program never names a device: the same expressions reach a
+    single GPU or a multi-GPU fleet depending only on the session's
+    configuration (a ``GrCUDARuntime`` is accepted too — it *is* a
+    1-GPU session).
     """
 
     LANGUAGE = "grcuda"
 
-    def __init__(self, runtime: GrCUDARuntime) -> None:
+    def __init__(self, runtime: Session) -> None:
         self.runtime = runtime
         self._builtins: dict[str, Any] = {
             "buildkernel": self._buildkernel,

@@ -52,35 +52,30 @@ class AccessKind(enum.Enum):
 AccessHook = Callable[["DeviceArray", AccessKind, int], None]
 
 
-class DeviceArray:
-    """A unified-memory array visible to both host code and GPU kernels."""
+class HostArraySurface:
+    """The hooked host-access surface shared by the single-GPU
+    :class:`DeviceArray` and the multi-GPU
+    :class:`~repro.multigpu.array.MultiGpuArray`.
 
-    def __init__(
-        self,
-        shape: tuple[int, ...] | int,
-        dtype: Any = np.float32,
-        device: Device | None = None,
-        name: str = "",
-        materialize: bool = True,
-    ) -> None:
-        self._shape = (shape,) if isinstance(shape, int) else tuple(shape)
-        self._dtype = np.dtype(dtype)
-        self.materialized = materialize
-        if materialize:
-            self._data = np.zeros(self._shape, dtype=self._dtype)
-        else:
-            # Timing-only sweeps at paper scales would need tens of GB of
-            # host RAM; a virtual array keeps the declared geometry (all
-            # transfer/coherence costs stay exact) without the buffer.
-            self._data = np.zeros(1, dtype=self._dtype)
-        self.name = name or f"arr{id(self) & 0xFFFF:x}"
-        self.device = device
-        self.state = CoherenceState.SHARED  # fresh UM memory is zeroed
-        self._alloc_handle: int | None = None
-        self._on_cpu_access: AccessHook | None = None
-        self.freed = False
-        if device is not None:
-            self._alloc_handle = device.allocate(self.nbytes)
+    Subclasses provide the storage fields (``_shape``, ``_dtype``,
+    ``_data``, ``materialized``, ``name``, ``freed``) and one method —
+    ``_notify(kind, touched)``, called *before* every host access —
+    which routes the access through the execution context's hook (and
+    defines what an unhooked access means for that array kind).  Keeping
+    the indexing/bulk-copy methods here guarantees the two array types
+    cannot drift apart: a host program behaves identically whatever the
+    session's device count.
+    """
+
+    _shape: tuple[int, ...]
+    _dtype: np.dtype
+    _data: np.ndarray
+    materialized: bool
+    name: str
+    freed: bool
+
+    def _notify(self, kind: AccessKind, touched: int) -> None:
+        raise NotImplementedError
 
     # -- basic properties ---------------------------------------------------
 
@@ -109,6 +104,137 @@ class DeviceArray:
 
     def __len__(self) -> int:
         return self._shape[0] if self._shape else 0
+
+    def _check_alive(self) -> None:
+        if self.freed:
+            raise ValueError(f"array {self.name} was freed")
+
+    # -- host access (hooked) ------------------------------------------------
+
+    def _touched_bytes(self, key: Any) -> int:
+        """Rough byte count an indexing expression touches."""
+        if isinstance(key, (int, np.integer)):
+            rest = 1
+            for s in self._shape[1:]:
+                rest *= s
+            return rest * self.itemsize
+        if isinstance(key, slice) and self._shape:
+            count = len(range(*key.indices(self._shape[0])))
+            rest = 1
+            for s in self._shape[1:]:
+                rest *= s
+            return count * rest * self.itemsize
+        if not self.materialized:
+            return self.nbytes  # conservative for exotic keys
+        try:
+            probe = np.empty(self.shape, dtype=np.bool_)[key]
+        except Exception:
+            return self.nbytes
+        if isinstance(probe, np.ndarray):
+            return int(probe.size) * self.itemsize
+        return self.itemsize
+
+    def _selected_shape(self, key: Any) -> tuple[int, ...]:
+        """Shape of a slice selection on a virtual array (cheap cases)."""
+        if isinstance(key, slice) and self._shape:
+            count = len(range(*key.indices(self._shape[0])))
+            return (count, *self._shape[1:])
+        return (0,)
+
+    def __getitem__(self, key: Any) -> Any:
+        self._check_alive()
+        self._notify(AccessKind.READ, self._touched_bytes(key))
+        if not self.materialized:
+            if isinstance(key, (int, np.integer)):
+                return np.zeros(1, dtype=self.dtype)[0]
+            return np.zeros(self._selected_shape(key), dtype=self.dtype)
+        return self._data[key]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._check_alive()
+        self._notify(AccessKind.WRITE, self._touched_bytes(key))
+        if self.materialized:
+            self._data[key] = value
+
+    def fill(self, value: Any) -> None:
+        """Host-side bulk initialization."""
+        self._check_alive()
+        self._notify(AccessKind.WRITE, self.nbytes)
+        if self.materialized:
+            self._data.fill(value)
+
+    def copy_from_host(self, source: np.ndarray) -> None:
+        """Host-side bulk write from a numpy array (shape-checked)."""
+        self._check_alive()
+        src = np.asarray(source, dtype=self.dtype)
+        if src.shape != self.shape:
+            raise ValueError(
+                f"shape mismatch: array {self.shape}, source {src.shape}"
+            )
+        self._notify(AccessKind.WRITE, self.nbytes)
+        if self.materialized:
+            np.copyto(self._data, src)
+
+    def touch_write_full(self) -> None:
+        """Announce a full-array host overwrite without supplying data.
+
+        Timing-equivalent to :meth:`copy_from_host`; used by timing-only
+        sweeps on virtual arrays where generating gigabytes of input
+        values would be wasted work.
+        """
+        self._check_alive()
+        self._notify(AccessKind.WRITE, self.nbytes)
+
+    def to_numpy(self) -> np.ndarray:
+        """Host-side bulk read; returns a copy."""
+        self._check_alive()
+        self._notify(AccessKind.READ, self.nbytes)
+        if not self.materialized:
+            return np.zeros(self.shape, dtype=self.dtype)
+        return self._data.copy()
+
+    # -- unchecked access for kernels -----------------------------------------
+
+    @property
+    def kernel_view(self) -> np.ndarray:
+        """The raw buffer, for use *inside* kernel compute functions only.
+
+        Kernel compute functions run at simulated-completion time, after
+        the scheduler has already ordered them; routing them through the
+        CPU-access hook would deadlock (the GPU would wait for itself).
+        """
+        return self._data
+
+
+class DeviceArray(HostArraySurface):
+    """A unified-memory array visible to both host code and GPU kernels."""
+
+    def __init__(
+        self,
+        shape: tuple[int, ...] | int,
+        dtype: Any = np.float32,
+        device: Device | None = None,
+        name: str = "",
+        materialize: bool = True,
+    ) -> None:
+        self._shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        self._dtype = np.dtype(dtype)
+        self.materialized = materialize
+        if materialize:
+            self._data = np.zeros(self._shape, dtype=self._dtype)
+        else:
+            # Timing-only sweeps at paper scales would need tens of GB of
+            # host RAM; a virtual array keeps the declared geometry (all
+            # transfer/coherence costs stay exact) without the buffer.
+            self._data = np.zeros(1, dtype=self._dtype)
+        self.name = name or f"arr{id(self) & 0xFFFF:x}"
+        self.device = device
+        self.state = CoherenceState.SHARED  # fresh UM memory is zeroed
+        self._alloc_handle: int | None = None
+        self._on_cpu_access: AccessHook | None = None
+        self.freed = False
+        if device is not None:
+            self._alloc_handle = device.allocate(self.nbytes)
 
     # -- coherence ------------------------------------------------------------
 
@@ -142,113 +268,24 @@ class DeviceArray:
     def set_access_hook(self, hook: AccessHook | None) -> None:
         self._on_cpu_access = hook
 
-    def _touched_bytes(self, key: Any) -> int:
-        """Rough byte count an indexing expression touches."""
-        if isinstance(key, (int, np.integer)):
-            rest = 1
-            for s in self._shape[1:]:
-                rest *= s
-            return rest * self.itemsize
-        if isinstance(key, slice) and self._shape:
-            count = len(range(*key.indices(self._shape[0])))
-            rest = 1
-            for s in self._shape[1:]:
-                rest *= s
-            return count * rest * self.itemsize
-        if not self.materialized:
-            return self.nbytes  # conservative for exotic keys
-        try:
-            probe = np.empty(self.shape, dtype=np.bool_)[key]
-        except Exception:
-            return self.nbytes
-        if isinstance(probe, np.ndarray):
-            return int(probe.size) * self.itemsize
-        return self.itemsize
+    def _notify(self, kind: AccessKind, touched: int) -> None:
+        """Declare an imminent host access to the execution context.
 
-    def _check_alive(self) -> None:
-        if self.freed:
-            raise ValueError(f"array {self.name} was freed")
-
-    def __getitem__(self, key: Any) -> Any:
-        self._check_alive()
+        Without a context attached the access is unmanaged: no timing is
+        charged and no transition applies (standalone arrays are plain
+        buffers; the baselines install their own hooks)."""
         if self._on_cpu_access is not None:
-            self._on_cpu_access(self, AccessKind.READ, self._touched_bytes(key))
-        if not self.materialized:
-            if isinstance(key, (int, np.integer)):
-                return np.zeros(1, dtype=self.dtype)[0]
-            return np.zeros(self._selected_shape(key), dtype=self.dtype)
-        return self._data[key]
-
-    def _selected_shape(self, key: Any) -> tuple[int, ...]:
-        """Shape of a slice selection on a virtual array (cheap cases)."""
-        if isinstance(key, slice) and self._shape:
-            count = len(range(*key.indices(self._shape[0])))
-            return (count, *self._shape[1:])
-        return (0,)
-
-    def __setitem__(self, key: Any, value: Any) -> None:
-        self._check_alive()
-        if self._on_cpu_access is not None:
-            self._on_cpu_access(
-                self, AccessKind.WRITE, self._touched_bytes(key)
-            )
-        if self.materialized:
-            self._data[key] = value
-
-    def fill(self, value: Any) -> None:
-        """Host-side bulk initialization."""
-        self._check_alive()
-        if self._on_cpu_access is not None:
-            self._on_cpu_access(self, AccessKind.WRITE, self.nbytes)
-        if self.materialized:
-            self._data.fill(value)
-
-    def copy_from_host(self, source: np.ndarray) -> None:
-        """Host-side bulk write from a numpy array (shape-checked)."""
-        self._check_alive()
-        src = np.asarray(source, dtype=self.dtype)
-        if src.shape != self.shape:
-            raise ValueError(
-                f"shape mismatch: array {self.shape}, source {src.shape}"
-            )
-        if self._on_cpu_access is not None:
-            self._on_cpu_access(self, AccessKind.WRITE, self.nbytes)
-        if self.materialized:
-            np.copyto(self._data, src)
+            self._on_cpu_access(self, kind, touched)
 
     def touch_write_full(self) -> None:
-        """Announce a full-array host overwrite without supplying data.
-
-        Timing-equivalent to :meth:`copy_from_host`; used by timing-only
-        sweeps on virtual arrays where generating gigabytes of input
-        values would be wasted work.
-        """
         self._check_alive()
         if self._on_cpu_access is not None:
             self._on_cpu_access(self, AccessKind.WRITE, self.nbytes)
         else:
+            # Unlike indexing (host-only convenience on unmanaged
+            # arrays), an *announced* full write exists purely for the
+            # coherence machine: transition even without a context.
             self.mark_cpu_write()
-
-    def to_numpy(self) -> np.ndarray:
-        """Host-side bulk read; returns a copy."""
-        self._check_alive()
-        if self._on_cpu_access is not None:
-            self._on_cpu_access(self, AccessKind.READ, self.nbytes)
-        if not self.materialized:
-            return np.zeros(self.shape, dtype=self.dtype)
-        return self._data.copy()
-
-    # -- unchecked access for kernels -----------------------------------------
-
-    @property
-    def kernel_view(self) -> np.ndarray:
-        """The raw buffer, for use *inside* kernel compute functions only.
-
-        Kernel compute functions run at simulated-completion time, after
-        the scheduler has already ordered them; routing them through the
-        CPU-access hook would deadlock (the GPU would wait for itself).
-        """
-        return self._data
 
     # -- lifecycle ----------------------------------------------------------------
 

@@ -108,6 +108,33 @@ class AcquirePlan:
 
     fault_bytes: float = 0.0
     completion_marks: list[Callable[[], None]] = field(default_factory=list)
+    #: (array, device) replicas this acquire materializes through the
+    #: fault engine — the caller binds the compute op's finish event to
+    #: them via :meth:`CoherenceEngine.register_fault_ordering`, so
+    #: later consumers sourcing from the replica wait for the kernel
+    #: that actually creates it
+    fault_replicas: list[tuple[object, int]] = field(default_factory=list)
+
+
+@dataclass
+class _MultiPlanned:
+    """In-flight overlay over a :class:`MultiGpuArray`'s committed
+    location set.
+
+    ``valid_on`` / ``host_valid`` describe the location set *once
+    everything already submitted completes*; the committed set on the
+    array itself moves only when operations complete on the simulated
+    device.  ``outstanding`` counts in-flight transitions: when the last
+    one commits, committed == planned again and the overlay retires.
+    ``epoch`` guards completion callbacks — a full host overwrite bumps
+    the array's epoch, so transitions planned before it are dead and
+    must not resurrect device replicas when their ops finally land.
+    """
+
+    valid_on: set[int]
+    host_valid: bool
+    epoch: int
+    outstanding: int = 0
 
 
 class CoherenceEngine:
@@ -149,6 +176,11 @@ class CoherenceEngine:
         self._committed_gen: dict[int, int] = {}
         #: in-flight multi-GPU migrations: (id(array), device) -> event
         self._multi_pending: dict[tuple[int, int], "SimEvent"] = {}
+        #: planned overlays over multi-GPU location sets, by ``id(array)``
+        self._multi_planned: dict[int, _MultiPlanned] = {}
+        #: per-array epoch, bumped by full host overwrites: completion
+        #: callbacks planned in an older epoch are dead
+        self._multi_epoch: dict[int, int] = {}
         # -- movement accounting (the movement-bench axis) ---------------
         #: bytes left to the fault engine (charged inside kernels)
         self.fault_bytes_total = 0.0
@@ -254,6 +286,7 @@ class CoherenceEngine:
         """Forget all planned state (only safe on a drained engine)."""
         self._planned.clear()
         self._multi_pending.clear()
+        self._multi_planned.clear()
         self._committed_gen.clear()
 
     # -- access declaration: GPU side ---------------------------------------
@@ -561,7 +594,85 @@ class CoherenceEngine:
         overlay.stream = None
         self._commit(array, mark, overlay.token)
 
-    # -- multi-GPU: device<->device mirroring --------------------------------
+    # -- multi-GPU: planned/committed location sets ---------------------------
+
+    def _multi_plan_of(self, array: "MultiGpuArray") -> _MultiPlanned | None:
+        return self._multi_planned.get(id(array))
+
+    def _multi_overlay(self, array: "MultiGpuArray") -> _MultiPlanned:
+        """Open (or fetch) the planned overlay over ``array``'s committed
+        location set."""
+        plan = self._multi_plan_of(array)
+        if plan is None:
+            plan = _MultiPlanned(
+                valid_on=set(array.valid_on),
+                host_valid=array.host_valid,
+                epoch=self._multi_epoch.get(id(array), 0),
+            )
+            self._multi_planned[id(array)] = plan
+        return plan
+
+    def multi_resident(
+        self, array: "MultiGpuArray", device_index: int
+    ) -> bool:
+        """Will ``device_index`` hold a valid replica once in-flight work
+        completes?  (The planned view placement pricing reads.)"""
+        plan = self._multi_plan_of(array)
+        if plan is not None:
+            return device_index in plan.valid_on
+        return array.resident_on(device_index)
+
+    def multi_host_valid(self, array: "MultiGpuArray") -> bool:
+        plan = self._multi_plan_of(array)
+        if plan is not None:
+            return plan.host_valid
+        return array.host_valid
+
+    def multi_migration_bytes(
+        self, array: "MultiGpuArray", device_index: int
+    ) -> int:
+        """Bytes a computation on ``device_index`` would have to migrate
+        (planned view — in-flight migrations already count as resident)."""
+        return 0 if self.multi_resident(array, device_index) else array.nbytes
+
+    def multi_migration_source(
+        self, array: "MultiGpuArray", device_index: int
+    ) -> int | None:
+        """Cheapest source for making ``device_index`` valid, on the
+        planned view: another device (peer copy), ``-1`` for the host,
+        None if (planned-)resident."""
+        if self.multi_resident(array, device_index):
+            return None
+        plan = self._multi_plan_of(array)
+        valid_on = plan.valid_on if plan is not None else array.valid_on
+        peers = sorted(valid_on)
+        if peers:
+            return peers[0]
+        assert self.multi_host_valid(array), (
+            f"{array.name} lost all planned copies"
+        )
+        return -1
+
+    def _multi_committer(
+        self, array: "MultiGpuArray", mark: Callable[[], None]
+    ) -> Callable[[], None]:
+        """A completion callback applying one committed location-set
+        transition, dead if a host overwrite bumped the epoch, retiring
+        the overlay when the last in-flight transition lands."""
+        token_epoch = self._multi_overlay(array).epoch
+        self._multi_overlay(array).outstanding += 1
+
+        def commit() -> None:
+            if self._multi_epoch.get(id(array), 0) != token_epoch:
+                return  # superseded by a full host overwrite
+            mark()
+            plan = self._multi_plan_of(array)
+            if plan is not None:
+                plan.outstanding -= 1
+                if plan.outstanding <= 0:
+                    del self._multi_planned[id(array)]
+
+        return commit
 
     def acquire_multi(
         self,
@@ -569,17 +680,36 @@ class CoherenceEngine:
         stream: "SimStream",
         device_index: int,
         label: str = "",
+        policy: MovementPolicy | None = None,
     ) -> AcquirePlan:
         """Multi-GPU access declaration: make every read input resident
-        on ``device_index``, sourcing each migration from the cheapest
-        valid copy (peer-to-peer when a device replica exists, host
-        upload otherwise), and ordering behind in-flight migrations of
-        both the destination and the chosen source replica."""
+        on ``device_index`` per the movement policy.
+
+        ``EAGER_PREFETCH`` mirrors each stale input ahead of the kernel,
+        sourcing from the cheapest (planned-)valid copy — peer-to-peer
+        when a device replica exists, host upload otherwise.  ``BATCHED``
+        does the same but coalesces all stale inputs sharing a source
+        into one DMA submission.  ``PAGE_FAULT`` issues *no* mirror: the
+        stale bytes are charged to the faulting kernel itself, exactly
+        like the single-GPU fault path.  In every case the location-set
+        transition is applied when the migrating operation (or, for
+        faults, the kernel — via :meth:`release_multi`) completes; the
+        planned overlay carries the in-flight residency that placement
+        pricing and later acquires read.
+        """
+        policy = policy or self.policy
+        spec = self.engine.devices[device_index].spec
+        if policy is MovementPolicy.PAGE_FAULT and not spec.supports_page_faults:
+            policy = MovementPolicy.EAGER_PREFETCH
         plan = AcquirePlan()
+        #: stale reads grouped by source (BATCHED coalescing unit)
+        stale_by_source: dict[int, list["MultiGpuArray"]] = {}
+        seen: set[int] = set()
         for array, access in accesses:
-            if not access.reads:
+            if not access.reads or id(array) in seen:
                 continue
-            source = array.migration_source(device_index)
+            seen.add(id(array))
+            source = self.multi_migration_source(array, device_index)
             if source is None:
                 # Resident — possibly via a still-in-flight migration
                 # issued by another stream: wait on its event.
@@ -587,69 +717,168 @@ class CoherenceEngine:
                 if pending is not None and not pending.complete:
                     self.engine.wait_event(stream, pending)
                 continue
-            # A peer copy must not start before the source replica is
-            # itself fully materialized (its own migration may still be
-            # in flight on another stream).
+            # A peer copy (or a faulting kernel reading a peer replica)
+            # must not start before the source replica is itself fully
+            # materialized — its migration may be in flight elsewhere.
             if source >= 0:
                 source_pending = self._multi_pending.get((id(array), source))
                 if source_pending is not None and not source_pending.complete:
                     self.engine.wait_event(stream, source_pending)
-            direction = (
-                TransferDirection.HOST_TO_DEVICE
-                if source == -1
-                else TransferDirection.DEVICE_TO_DEVICE
-            )
-            op = TransferOp(
-                label=(
-                    f"{'HtoD' if source == -1 else f'D{source}toD'}"
-                    f"{device_index}:{array.name}"
-                ),
-                direction=direction,
-                nbytes=array.nbytes,
-                kind=TransferKind.PREFETCH,
-            )
-            # Race-detector tokens are per *copy* — (array, device) — so
-            # a peer-to-peer copy reading GPU 0's replica does not
-            # conflict with a kernel also reading that replica, but does
-            # conflict with anything touching the destination replica.
-            src_token = (id(array), "host" if source == -1 else source)
-            dst_token = (id(array), device_index)
-            op.info["reads"] = frozenset({src_token})
-            op.info["writes"] = frozenset({dst_token})
-            op.info["array_names"] = {
-                src_token: f"{array.name}@{src_token[1]}",
-                dst_token: f"{array.name}@gpu{device_index}",
-            }
-            op.info.update(self.op_tags)
-            self.engine.submit(stream, op)
-            self.transfer_ops += 1
-            self.migrated_bytes_total += op.nbytes
-            # The location set prices placement decisions synchronously,
-            # so multi-GPU residency commits at submission; ordering
-            # still flows through the recorded event.
-            array.mark_read(device_index)
-            event = self.engine.record_event(
-                stream, label=f"mig:{array.name}@gpu{device_index}"
-            )
-            self._multi_pending[(id(array), device_index)] = event
+            if policy is MovementPolicy.PAGE_FAULT:
+                # The fault engine migrates on demand, charged to the
+                # kernel; residency commits when the kernel completes.
+                plan.fault_bytes += array.nbytes
+                self.fault_bytes_total += array.nbytes
+                overlay = self._multi_overlay(array)
+                overlay.valid_on.add(device_index)
+                plan.completion_marks.append(
+                    self._multi_committer(
+                        array,
+                        lambda a=array, d=device_index: a.mark_read(d),
+                    )
+                )
+                # The replica exists only once the faulting kernel
+                # completes: consumers that source from it (a peer copy
+                # in a mixed-policy fleet) must order behind the
+                # kernel's finish event, registered by the caller.
+                plan.fault_replicas.append((array, device_index))
+            else:
+                stale_by_source.setdefault(source, []).append(array)
+
+        batched = policy is MovementPolicy.BATCHED
+        for source, arrays in stale_by_source.items():
+            groups = [arrays] if batched else [[a] for a in arrays]
+            if batched:
+                self.coalesced_transfers += max(0, len(arrays) - 1)
+            for group in groups:
+                self._submit_multi_migration(
+                    group, source, device_index, stream
+                )
         return plan
+
+    def _submit_multi_migration(
+        self,
+        arrays: list["MultiGpuArray"],
+        source: int,
+        device_index: int,
+        stream: "SimStream",
+    ) -> None:
+        """One mirror covering ``arrays`` from ``source`` (-1 = host) to
+        ``device_index``: planned overlay at submission, committed
+        location set at completion, ordering event recorded after."""
+        total = sum(a.nbytes for a in arrays)
+        names = ",".join(a.name for a in arrays)
+        direction = (
+            TransferDirection.HOST_TO_DEVICE
+            if source == -1
+            else TransferDirection.DEVICE_TO_DEVICE
+        )
+        op = TransferOp(
+            label=(
+                f"{'HtoD' if source == -1 else f'D{source}toD'}"
+                f"{device_index}:{names}"
+            ),
+            direction=direction,
+            nbytes=total,
+            kind=TransferKind.PREFETCH,
+        )
+        # Race-detector tokens are per *copy* — (array, device) — so a
+        # peer-to-peer copy reading GPU 0's replica does not conflict
+        # with a kernel also reading that replica, but does conflict
+        # with anything touching the destination replica.
+        src_key = "host" if source == -1 else source
+        src_tokens = {(id(a), src_key) for a in arrays}
+        dst_tokens = {(id(a), device_index) for a in arrays}
+        op.info["reads"] = frozenset(src_tokens)
+        op.info["writes"] = frozenset(dst_tokens)
+        op.info["array_names"] = {
+            **{(id(a), src_key): f"{a.name}@{src_key}" for a in arrays},
+            **{
+                (id(a), device_index): f"{a.name}@gpu{device_index}"
+                for a in arrays
+            },
+        }
+        op.info.update(self.op_tags)
+        marks = [
+            self._multi_committer(
+                a, lambda a=a, d=device_index: a.mark_read(d)
+            )
+            for a in arrays
+        ]
+        for array in arrays:
+            self._multi_overlay(array).valid_on.add(device_index)
+
+        def apply_all() -> None:
+            for mark in marks:
+                mark()
+
+        op.apply_fn = apply_all
+        self.engine.submit(stream, op)
+        self.transfer_ops += 1
+        self.migrated_bytes_total += op.nbytes
+        event = self.engine.record_event(
+            stream, label=f"mig:{names}@gpu{device_index}"
+        )
+        for array in arrays:
+            self._multi_pending[(id(array), device_index)] = event
+
+    def register_fault_ordering(
+        self, plan: AcquirePlan, event: "SimEvent"
+    ) -> None:
+        """Bind the finish event of the compute op consuming ``plan`` to
+        the replicas its faults materialize, so later consumers reading
+        those replicas (from any stream or device) wait for the kernel
+        that creates them — exactly like an engine-issued migration's
+        event."""
+        for array, device_index in plan.fault_replicas:
+            self._multi_pending[(id(array), device_index)] = event
 
     def release_multi(
         self,
+        plan: AcquirePlan,
         accesses: list[tuple["MultiGpuArray", AccessKind]],
         device_index: int,
+        op: Operation | None = None,
     ) -> None:
-        """Apply the write transitions of a multi-GPU computation: the
-        writing device becomes the sole valid copy."""
+        """Bind the write transitions of a multi-GPU computation (the
+        writing device becomes the sole valid copy) plus ``plan``'s
+        pending read transitions to ``op``, applying them when the
+        compute op completes; with ``op=None`` they apply immediately
+        (host-synchronized callers)."""
+        marks = list(plan.completion_marks)
+        seen: set[int] = set()
         for array, access in accesses:
-            if access.writes:
-                array.mark_write(device_index)
+            if not access.writes or id(array) in seen:
+                continue
+            seen.add(id(array))
+            overlay = self._multi_overlay(array)
+            overlay.valid_on = {device_index}
+            overlay.host_valid = False
+            marks.append(
+                self._multi_committer(
+                    array, lambda a=array, d=device_index: a.mark_write(d)
+                )
+            )
+        if not marks:
+            return
+        if op is None:
+            for mark in marks:
+                mark()
+            return
+
+        def apply_marks(_op: Operation) -> None:
+            for mark in marks:
+                mark()
+
+        op.on_complete.append(apply_marks)
 
     def cpu_write_full_multi(
         self, array: "MultiGpuArray", mark: bool = True
     ) -> None:
         """Full host overwrite of a multi-GPU array: every device replica
-        dies; in-flight migration bookkeeping for the array is dropped.
+        dies; the planned overlay and in-flight migration bookkeeping for
+        the array are dropped, and the epoch bump kills the committed
+        transitions of anything still in flight.
 
         ``mark=False`` skips the state transition for callers whose data
         path already applied it (``copy_from_host`` marks internally) —
@@ -657,6 +886,10 @@ class CoherenceEngine:
         """
         if mark:
             array.mark_cpu_write()
+        self._multi_epoch[id(array)] = (
+            self._multi_epoch.get(id(array), 0) + 1
+        )
+        self._multi_planned.pop(id(array), None)
         for key in [k for k in self._multi_pending if k[0] == id(array)]:
             del self._multi_pending[key]
 
@@ -669,7 +902,7 @@ class CoherenceEngine:
     ) -> TransferOp | None:
         """Host readback of a multi-GPU array (device-to-host writeback
         from whichever replica is valid)."""
-        if array.host_valid:
+        if self.multi_host_valid(array):
             return None
         op = TransferOp(
             label=f"DtoH:{array.name}",
@@ -678,12 +911,14 @@ class CoherenceEngine:
             kind=TransferKind.WRITEBACK,
         )
         op.info.update(self.op_tags)
+        overlay = self._multi_overlay(array)
+        overlay.host_valid = True
+        op.apply_fn = self._multi_committer(array, array.mark_cpu_read)
         self.engine.submit(stream, op)
         self.transfer_ops += 1
         self.writeback_bytes_total += op.nbytes
         if sync:
             self.engine.sync_stream(stream)
-        array.mark_cpu_read()
         return op
 
     # -- introspection --------------------------------------------------------

@@ -19,14 +19,14 @@ All single-GPU machinery (dependency sets, stream managers per device,
 events, race detection) is reused unchanged.
 """
 
+from repro.core.policies import DevicePlacementPolicy
 from repro.multigpu.array import MultiGpuArray
-from repro.multigpu.scheduler import (
-    DevicePlacementPolicy,
-    MultiGpuScheduler,
-)
+from repro.multigpu.context import MultiGpuExecutionContext
+from repro.multigpu.scheduler import MultiGpuScheduler
 
 __all__ = [
     "MultiGpuArray",
+    "MultiGpuExecutionContext",
     "DevicePlacementPolicy",
     "MultiGpuScheduler",
 ]

@@ -9,15 +9,28 @@ whichever valid copy is cheapest to reach.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
 from repro.gpusim.device import Device
+from repro.memory.array import AccessKind, HostArraySurface
+
+#: CPU-access hook installed by the multi-GPU execution context; called
+#: *before* the numpy access happens (same protocol as ``DeviceArray``).
+MultiAccessHook = Callable[["MultiGpuArray", AccessKind, int], None]
 
 
-class MultiGpuArray:
-    """A unified-memory array visible to the host and several GPUs."""
+class MultiGpuArray(HostArraySurface):
+    """A unified-memory array visible to the host and several GPUs.
+
+    Shares the host surface of
+    :class:`~repro.memory.array.DeviceArray` (hooked indexing, bulk
+    copies, ``kernel_view`` — via
+    :class:`~repro.memory.array.HostArraySurface`) so host programs —
+    and the polyglot DSL — are written once and run unchanged whatever
+    the session's device count.
+    """
 
     def __init__(
         self,
@@ -44,27 +57,8 @@ class MultiGpuArray:
         self._alloc_handles = [
             dev.allocate(self.nbytes) for dev in devices
         ]
-
-    # -- geometry ----------------------------------------------------------
-
-    @property
-    def shape(self) -> tuple[int, ...]:
-        return self._shape
-
-    @property
-    def dtype(self) -> np.dtype:
-        return self._dtype
-
-    @property
-    def size(self) -> int:
-        n = 1
-        for s in self._shape:
-            n *= s
-        return n
-
-    @property
-    def nbytes(self) -> int:
-        return self.size * self._dtype.itemsize
+        self._on_cpu_access: MultiAccessHook | None = None
+        self.freed = False
 
     # -- location queries -----------------------------------------------------
 
@@ -110,21 +104,34 @@ class MultiGpuArray:
         self.host_valid = True
         self.valid_on.clear()
 
-    # -- data ----------------------------------------------------------------------
+    # -- host access (hooked) --------------------------------------------------
 
-    @property
-    def kernel_view(self) -> np.ndarray:
-        return self._data
+    def set_access_hook(self, hook: MultiAccessHook | None) -> None:
+        """Route the array's CPU accesses through an execution context."""
+        self._on_cpu_access = hook
 
-    def copy_from_host(self, source: np.ndarray) -> None:
-        src = np.asarray(source, dtype=self._dtype)
-        if src.shape != self._shape:
-            raise ValueError(
-                f"shape mismatch: array {self._shape}, source {src.shape}"
-            )
-        if self.materialized:
-            np.copyto(self._data, src)
-        self.mark_cpu_write()
+    def _notify(self, kind: AccessKind, touched: int) -> None:
+        """Declare an imminent host access.  With no context attached the
+        location-set transition applies directly (standalone arrays stay
+        coherent — the location set *is* this class's reason to exist)."""
+        if self._on_cpu_access is not None:
+            self._on_cpu_access(self, kind, touched)
+            return
+        if kind.reads:
+            self.mark_cpu_read()
+        if kind.writes:
+            self.mark_cpu_write()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def free(self) -> None:
+        """Release the per-device allocations.  Idempotent."""
+        if self.freed:
+            return
+        for dev, handle in zip(self.devices, self._alloc_handles):
+            dev.free(handle)
+        self._alloc_handles = []
+        self.freed = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = []

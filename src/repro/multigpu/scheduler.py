@@ -1,76 +1,41 @@
-"""The multi-GPU runtime scheduler (section-VI future work).
+"""The legacy ``MultiGpuScheduler`` facade — a deprecation shim.
 
-Extends the single-GPU scheduling loop with one extra decision per
-computation: *which GPU runs it*.  Everything else is reused — the
-dependency-set DAG, per-device stream managers, event synchronization.
+The multi-GPU scheduling loop now lives in
+:class:`repro.multigpu.context.MultiGpuExecutionContext`, selected by
+:class:`repro.session.Session` when ``gpus > 1``; placement policy is a
+:class:`~repro.core.policies.SchedulerConfig` field rather than a
+constructor argument.  This class keeps the old surface working::
 
-Placement policies:
+    sched = MultiGpuScheduler(["1660", "1660"])       # DeprecationWarning
+    a = sched.array(N)
+    k = sched.build_kernel(fn, "k", "ptr, sint32")
+    k(512, 256)(a, N)
+    sched.sync()
 
-* ``ROUND_ROBIN`` — naive; ignores data location;
-* ``MIN_TRANSFER`` — the paper's stated requirement: "compute data
-  location and migration costs at run time".  Each candidate device is
-  priced as (bytes it would have to migrate) plus a load-balance tiebreak
-  on outstanding work.
-* ``LEAST_LOADED`` — ignores data location and picks the device with
-  the least outstanding (estimated) work; the classic serving-fleet
-  dispatch rule that :mod:`repro.serve` builds on.
+New code should write
+``Session(gpus=2, config=SchedulerConfig(placement=...))`` instead.
 """
 
 from __future__ import annotations
 
-import enum
+import warnings
+from dataclasses import replace
 from typing import Any, Callable
 
-from repro.core.dag import ComputationDAG
-from repro.core.element import ComputationalElement
-from repro.core.policies import SchedulerConfig
-from repro.core.streams import StreamManager
-from repro.gpusim.device import Device
-from repro.gpusim.engine import SimEngine
-from repro.gpusim.ops import KernelOp
-from repro.gpusim.specs import GPUSpec, gpu_by_name
-from repro.gpusim.stream import SimStream
-from repro.kernels.kernel import Kernel, KernelLaunch
-from repro.kernels.registry import build_kernel
+from repro.core.policies import DevicePlacementPolicy, SchedulerConfig
+from repro.gpusim.specs import GPUSpec
+from repro.memory.array import AccessKind
+from repro.kernels.kernel import Kernel
 from repro.kernels.profile import CostModel
-from repro.memory.coherence import CoherenceEngine
 from repro.multigpu.array import MultiGpuArray
+from repro.multigpu.context import MultiGpuExecutionContext
 
-
-class DevicePlacementPolicy(enum.Enum):
-    ROUND_ROBIN = "round-robin"
-    MIN_TRANSFER = "min-transfer"
-    LEAST_LOADED = "least-loaded"
-
-
-class _PerDevice:
-    """Per-GPU scheduling state."""
-
-    def __init__(self, index: int, engine: SimEngine,
-                 config: SchedulerConfig) -> None:
-        self.index = index
-        self._engine = engine
-        # StreamManager creates streams on device 0 by default; a custom
-        # factory pins this manager's streams to this device.
-        self.streams = StreamManager(
-            engine,
-            new_stream=config.new_stream,
-            parent_stream=config.parent_stream,
-            stream_factory=self._make_stream,
-        )
-        self._label_counter = 0
-        self.outstanding_work: float = 0.0
-
-    def _make_stream(self) -> SimStream:
-        self._label_counter += 1
-        return self._engine.create_stream(
-            label=f"gpu{self.index}-{self._label_counter}",
-            device_index=self.index,
-        )
+__all__ = ["DevicePlacementPolicy", "MultiGpuScheduler"]
 
 
 class MultiGpuScheduler:
-    """A GrCUDA-style runtime scheduling across several GPUs."""
+    """A GrCUDA-style runtime scheduling across several GPUs
+    (deprecated alias of a multi-GPU Session)."""
 
     def __init__(
         self,
@@ -78,28 +43,59 @@ class MultiGpuScheduler:
         policy: DevicePlacementPolicy = DevicePlacementPolicy.MIN_TRANSFER,
         config: SchedulerConfig | None = None,
     ) -> None:
+        warnings.warn(
+            "MultiGpuScheduler is deprecated; use repro.Session(gpus=N,"
+            " config=SchedulerConfig(placement=...)) — one entry point"
+            " across single-GPU, multi-GPU and serving",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Imported here: repro.session imports this package's array
+        # module, which initializes the package, which imports this shim.
+        from repro.session import Session
+
         if not gpus:
             raise ValueError("need at least one GPU")
-        specs = [
-            gpu_by_name(g) if isinstance(g, str) else g for g in gpus
-        ]
-        self.devices = [Device(s) for s in specs]
-        self.engine = SimEngine(self.devices)
+        config = replace(config or SchedulerConfig(), placement=policy)
+        # _force_multi: a one-element GPU list historically still ran
+        # the placement scheduler (and allocated MultiGpuArrays).
+        self.session = Session(
+            gpus=len(gpus), gpu=gpus, config=config, _force_multi=True
+        )
         self.policy = policy
-        self.config = config or SchedulerConfig()
-        self.dag = ComputationDAG()
-        self._per_device = [
-            _PerDevice(i, self.engine, self.config)
-            for i in range(len(self.devices))
-        ]
-        self._rr_next = 0
-        self._arrays: list[MultiGpuArray] = []
-        #: element id -> device index (placement decisions, for tests)
-        self.placements: dict[int, int] = {}
-        #: all host<->device and peer-to-peer movement flows through here
-        self.coherence = CoherenceEngine(self.engine)
 
-    # -- allocation -------------------------------------------------------
+    # -- session delegation -------------------------------------------------
+
+    @property
+    def config(self) -> SchedulerConfig:
+        return self.session.config
+
+    @property
+    def engine(self):
+        return self.session.engine
+
+    @property
+    def devices(self):
+        return self.session.devices
+
+    @property
+    def context(self) -> MultiGpuExecutionContext:
+        ctx = self.session.context
+        assert isinstance(ctx, MultiGpuExecutionContext)
+        return ctx
+
+    @property
+    def dag(self):
+        return self.session.dag
+
+    @property
+    def coherence(self):
+        return self.context.coherence
+
+    @property
+    def placements(self) -> dict[int, int]:
+        """element id -> device index (placement decisions, for tests)."""
+        return self.context.placements
 
     def array(
         self,
@@ -109,14 +105,10 @@ class MultiGpuScheduler:
         materialize: bool = True,
     ) -> MultiGpuArray:
         """Allocate an array visible to every GPU (UM address space)."""
-        arr = MultiGpuArray(
-            shape,
-            dtype=dtype,
-            devices=tuple(self.devices),
-            name=name,
-            materialize=materialize,
+        arr = self.session.array(
+            shape, dtype=dtype, name=name, materialize=materialize
         )
-        self._arrays.append(arr)
+        assert isinstance(arr, MultiGpuArray)
         return arr
 
     def build_kernel(
@@ -126,155 +118,35 @@ class MultiGpuScheduler:
         signature: str,
         cost_model: CostModel | None = None,
     ) -> Kernel:
-        return build_kernel(
-            code, name, signature,
-            cost_model=cost_model, launch_handler=self.launch,
-        )
-
-    # -- placement ----------------------------------------------------------
-
-    def _placement_cost(
-        self, device_index: int, launch: KernelLaunch
-    ) -> tuple[float, float]:
-        """(migration bytes, outstanding work) — lexicographic cost."""
-        migration = 0.0
-        for array, access in launch.array_args:
-            assert isinstance(array, MultiGpuArray)
-            if access.reads:
-                migration += array.migration_bytes(device_index)
-        return migration, self._per_device[device_index].outstanding_work
-
-    def _choose_device(self, launch: KernelLaunch) -> int:
-        if self.policy is DevicePlacementPolicy.ROUND_ROBIN:
-            choice = self._rr_next
-            self._rr_next = (self._rr_next + 1) % len(self.devices)
-            return choice
-        if self.policy is DevicePlacementPolicy.LEAST_LOADED:
-            return min(
-                range(len(self.devices)),
-                key=lambda i: (self._per_device[i].outstanding_work, i),
-            )
-        return min(
-            range(len(self.devices)),
-            key=lambda i: self._placement_cost(i, launch),
-        )
-
-    # -- scheduling ------------------------------------------------------------
-
-    def launch(self, launch: KernelLaunch) -> None:
-        """Handler for kernel invocations (same flow as single-GPU,
-        plus the device decision and peer-to-peer migrations)."""
-        self.engine.charge_host_time(
-            self.config.scheduling_overhead_us * 1e-6
-        )
-        accesses = [
-            (a, k) for a, k in launch.array_args
-        ]
-        element = ComputationalElement(accesses, label=launch.label)
-        parents = self.dag.add(element)
-
-        device_index = self._choose_device(launch)
-        self.placements[element.element_id] = device_index
-        per_dev = self._per_device[device_index]
-        stream = per_dev.streams.assign(element, parents)
-
-        for parent in parents:
-            if (
-                parent.finish_event is not None
-                and parent.stream is not stream
-                and not parent.finish_event.complete
-            ):
-                self.engine.wait_event(stream, parent.finish_event)
-
-        self.coherence.acquire_multi(
-            list(launch.array_args), stream, device_index,
-            label=launch.label,
-        )
-        self.coherence.release_multi(
-            list(launch.array_args), device_index
-        )
-
-        resources = launch.resources()
-        op = KernelOp(
-            label=launch.label,
-            resources=resources,
-            compute_fn=launch.execute,
-        )
-        # Race-detector tokens are per *copy* — (array, device) — so a
-        # peer-to-peer copy reading GPU 0's replica does not conflict
-        # with a kernel also reading GPU 0's replica, but does conflict
-        # with anything touching the destination replica.
-        op.info["reads"] = frozenset(
-            (id(a), device_index) for a, k in launch.array_args if k.reads
-        )
-        op.info["writes"] = frozenset(
-            (id(a), device_index) for a, k in launch.array_args if k.writes
-        )
-        op.info["array_names"] = {
-            (id(a), device_index): f"{a.name}@gpu{device_index}"
-            for a, _ in launch.array_args
-        }
-        op.info["device"] = device_index
-        self.engine.submit(stream, op)
-        duration_estimate = self.devices[
-            device_index
-        ].contention.kernel_duration(op)
-        per_dev.outstanding_work += duration_estimate
-        op.on_complete.append(
-            lambda _op, pd=per_dev, d=duration_estimate: self._retire(pd, d)
-        )
-        element.finish_event = self.engine.record_event(
-            stream, label=f"done:{launch.label}@gpu{device_index}"
-        )
-        self.dag.watch_completion(element)
-
-    @staticmethod
-    def _retire(per_dev: _PerDevice, duration: float) -> None:
-        per_dev.outstanding_work = max(
-            0.0, per_dev.outstanding_work - duration
+        return self.session.build_kernel(
+            code, name, signature, cost_model=cost_model
         )
 
     # -- host interaction ------------------------------------------------------
 
     def write_input(self, array: MultiGpuArray, data=None) -> None:
-        """Host write: invalidates all device copies.
-
-        Synchronizes any in-flight computation touching the array first
-        (the CPU-access rule of section IV-A, simplified to full-array
-        streaming writes).
-        """
-        conflicts = self.dag.active_users(array)
-        for e in conflicts:
-            if e.finish_event is not None:
-                self.engine.sync_event(e.finish_event)
+        """Host write: invalidates all device copies (via the array's
+        CPU-access hook, which synchronizes conflicting work first)."""
         if data is not None:
-            array.copy_from_host(data)  # marks the host write itself
-        self.coherence.cpu_write_full_multi(array, mark=data is None)
-        self.dag.deactivate_completed()
+            array.copy_from_host(data)
+        else:
+            array.touch_write_full()
 
     def read_result(self, array: MultiGpuArray, nbytes: int | None = None):
-        """Host read: syncs producers and charges the readback."""
-        writers = self.dag.active_writers(array)
-        for e in writers:
-            if e.finish_event is not None:
-                self.engine.sync_event(e.finish_event)
-        self.coherence.cpu_read_multi(
-            array, self.engine.default_stream, nbytes=nbytes
-        )
-        self.dag.deactivate_completed()
+        """Host read: syncs producers and charges the readback (partial
+        when ``nbytes`` bounds it), returning the live buffer — the
+        legacy contract."""
+        touched = min(nbytes or array.nbytes, array.nbytes)
+        array._notify(AccessKind.READ, touched)
         return array.kernel_view
 
     def sync(self) -> None:
-        self.engine.sync_all()
-        self.dag.deactivate_completed()
+        self.session.sync()
 
     @property
     def elapsed(self) -> float:
-        return self.engine.timeline.makespan
+        return self.session.elapsed()
 
     def device_kernel_counts(self) -> list[int]:
         """Kernels executed per GPU (load-balance introspection)."""
-        counts = [0] * len(self.devices)
-        for rec in self.engine.timeline.kernels():
-            counts[rec.meta.get("device", 0)] += 1
-        return counts
+        return self.context.device_kernel_counts()

@@ -5,8 +5,8 @@ computation DAG.  This package makes the jump to shared infrastructure:
 a :class:`SchedulerService` accepts task-graph submissions from many
 logical tenants, admission-controls them (FIFO / priority / fair-share),
 and dispatches them onto a :class:`GpuFleet` — a pool of long-lived
-:class:`~repro.core.runtime.GrCUDARuntime` instances placed per the
-multi-GPU policies (round-robin / min-transfer / least-loaded) — with
+:class:`~repro.session.Session` instances placed per the multi-GPU
+policies (round-robin / min-transfer / least-loaded) — with
 request batching, a reusable-capture cache and service-level metrics
 (p50/p95/p99 latency, throughput, fleet utilization).
 
@@ -25,7 +25,7 @@ Quickstart::
     print(report.render())
 """
 
-from repro.multigpu.scheduler import DevicePlacementPolicy
+from repro.core.policies import DevicePlacementPolicy
 from repro.serve.admission import (
     AdmissionPolicy,
     AdmissionQueue,

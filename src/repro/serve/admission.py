@@ -23,19 +23,24 @@ tenants).
 from __future__ import annotations
 
 import abc
-import enum
 import heapq
 import itertools
 from collections import defaultdict, deque
 from typing import Callable
 
+# The policy enum lives with the rest of the policy space so one
+# SchedulerConfig can carry it; re-exported here for compatibility.
+from repro.core.policies import AdmissionPolicy
 from repro.serve.request import GraphRequest
 
-
-class AdmissionPolicy(enum.Enum):
-    FIFO = "fifo"
-    PRIORITY = "priority"
-    FAIR_SHARE = "fair-share"
+__all__ = [
+    "AdmissionPolicy",
+    "AdmissionQueue",
+    "FairShareQueue",
+    "FifoQueue",
+    "PriorityQueue",
+    "make_queue",
+]
 
 
 def make_queue(policy: AdmissionPolicy) -> "AdmissionQueue":

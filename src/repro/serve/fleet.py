@@ -1,10 +1,10 @@
 """The simulated GPU fleet behind the serving layer.
 
-A :class:`GpuFleet` is a pool of :class:`~repro.core.runtime.GrCUDARuntime`
-instances — one long-lived runtime (device + engine) per GPU — plus the
-placement decision: *which GPU serves the next admitted request*.
-Placement reuses the multi-GPU scheduler's policy vocabulary
-(:class:`repro.multigpu.scheduler.DevicePlacementPolicy`):
+A :class:`GpuFleet` is a pool of :class:`~repro.session.Session`
+instances — one long-lived single-GPU session (device + engine) per
+fleet slot — plus the placement decision: *which GPU serves the next
+admitted request*.  Placement reuses the runtime's policy vocabulary
+(:class:`repro.core.policies.DevicePlacementPolicy`):
 
 * ``ROUND_ROBIN`` — cycle through the fleet;
 * ``LEAST_LOADED`` — the device that becomes available earliest (its
@@ -22,22 +22,24 @@ reusable replay-stream pool for capture-cache fast paths.
 
 from __future__ import annotations
 
-from repro.core.policies import SchedulerConfig
-from repro.core.runtime import GrCUDARuntime
+from repro.core.policies import DevicePlacementPolicy, SchedulerConfig
 from repro.gpusim.specs import GPUSpec, gpu_by_name
 from repro.gpusim.stream import SimStream
 from repro.kernels.kernel import Kernel
-from repro.multigpu.scheduler import DevicePlacementPolicy
 from repro.serve.request import GraphRequest
+from repro.session import Session
 
 
 class FleetDevice:
-    """One GPU of the fleet: a long-lived runtime plus serving state."""
+    """One GPU of the fleet: a long-lived session plus serving state."""
 
     def __init__(self, index: int, spec: GPUSpec,
                  config: SchedulerConfig | None = None) -> None:
         self.index = index
-        self.runtime = GrCUDARuntime(gpu=spec, config=config)
+        # serving=True: the shared SchedulerConfig may carry serving
+        # knobs (admission) that a plain compute session must reject.
+        self.session = Session(gpus=1, gpu=spec, config=config,
+                               serving=True)
         #: kernel cache: KernelDecl.identity -> built Kernel
         self._kernels: dict[tuple, Kernel] = {}
         #: topology keys this device has served (MIN_TRANSFER warmth)
@@ -48,19 +50,24 @@ class FleetDevice:
         self.kernels_launched = 0
 
     @property
+    def runtime(self) -> Session:
+        """Deprecated alias: the fleet is a pool of Sessions now."""
+        return self.session
+
+    @property
     def engine(self):
-        return self.runtime.engine
+        return self.session.engine
 
     @property
     def clock(self) -> float:
         """Virtual time at which this device would start new work."""
-        return self.runtime.engine.clock
+        return self.session.engine.clock
 
     def kernel_for(self, decl) -> Kernel:
         """Build-or-reuse the kernel for ``decl`` on this device."""
         kernel = self._kernels.get(decl.identity)
         if kernel is None:
-            kernel = self.runtime.build_kernel(
+            kernel = self.session.build_kernel(
                 decl.fn, decl.name, decl.signature, cost_model=decl.cost
             )
             self._kernels[decl.identity] = kernel
@@ -80,7 +87,7 @@ class FleetDevice:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<FleetDevice {self.index} {self.runtime.spec.name}"
+            f"<FleetDevice {self.index} {self.session.spec.name}"
             f" served={self.requests_served}>"
         )
 

@@ -25,7 +25,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.core.policies import ExecutionPolicy, SchedulerConfig
-from repro.core.runtime import GrCUDARuntime
+from repro.session import Session
 from repro.gpusim.specs import GPUSpec
 from repro.kernels.profile import CostModel
 from repro.kernels.signature import parse_signature
@@ -230,9 +230,10 @@ def execute_serial(
     """Reference execution: the graph alone on a private serial runtime.
 
     This is the ground truth the serving layer's results are validated
-    against — one tenant, one runtime, original-GrCUDA serial scheduling.
+    against — one tenant, one session, original-GrCUDA serial scheduling.
     """
-    rt = GrCUDARuntime(
+    rt = Session(
+        gpus=1,
         gpu=gpu,
         config=SchedulerConfig(execution=ExecutionPolicy.SERIAL),
     )

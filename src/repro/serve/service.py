@@ -7,9 +7,12 @@ scheduler to shared-infrastructure dispatch: many logical tenants submit
 :class:`~repro.serve.fleet.GpuFleet` placement policy decides *where*;
 and each admitted graph executes with full per-request isolation — its
 own execution context (DAG, stream manager, history) on a long-lived
-per-device runtime, via
-:meth:`~repro.core.runtime.GrCUDARuntime.renew_context`-style re-entrant
-context use.
+per-device :class:`~repro.session.Session`, via
+:meth:`~repro.session.Session.renew_context`-style re-entrant context
+use.  Admission and placement may live directly in the fleet-wide
+:class:`~repro.core.policies.SchedulerConfig` (the unified-session
+spelling) or be set on :class:`ServeConfig` (the legacy spelling);
+explicit ``ServeConfig`` values win.
 
 Two optimizations ride the dispatch path:
 
@@ -37,7 +40,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.policies import SchedulerConfig
+from repro.core.policies import (
+    AdmissionPolicy,
+    DevicePlacementPolicy,
+    SchedulerConfig,
+)
 from repro.gpusim.ops import KernelOp
 from repro.core.context import (
     annotate_kernel_access_sets,
@@ -50,8 +57,7 @@ from repro.kernels.profile import combine_resources
 from repro.memory.array import AccessKind, DeviceArray
 from repro.memory.coherence import CoherenceEngine
 from repro.metrics.service import ServiceMetrics, compute_service_metrics
-from repro.multigpu.scheduler import DevicePlacementPolicy
-from repro.serve.admission import AdmissionPolicy, make_queue
+from repro.serve.admission import make_queue
 from repro.serve.capture import CaptureCache, CapturePlan
 from repro.serve.fleet import FleetDevice, GpuFleet
 from repro.serve.request import GraphRequest, GraphResult, TaskGraph
@@ -60,10 +66,17 @@ from repro.serve.tenant import TenantState
 
 @dataclass
 class ServeConfig:
-    """Configuration of one :class:`SchedulerService` instance."""
+    """Configuration of one :class:`SchedulerService` instance.
 
-    admission: AdmissionPolicy = AdmissionPolicy.FIFO
-    placement: DevicePlacementPolicy = DevicePlacementPolicy.LEAST_LOADED
+    ``admission`` and ``placement`` left as None inherit from the
+    per-device ``scheduler`` config (falling back to FIFO admission and
+    least-loaded placement, each path's historical default), so a single
+    :class:`~repro.core.policies.SchedulerConfig` can describe a whole
+    serving deployment.
+    """
+
+    admission: AdmissionPolicy | None = None
+    placement: DevicePlacementPolicy | None = None
     #: coalesce topology-identical requests whose arrivals lie within
     #: this many virtual seconds of the batch head (0 disables batching)
     batch_window: float = 500e-6
@@ -77,6 +90,13 @@ class ServeConfig:
     replay_overhead_us: float = 3.0
     #: per-device runtime/scheduler configuration
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+
+    def __post_init__(self) -> None:
+        self.scheduler.validate(serving=True)
+        if self.admission is None:
+            self.admission = self.scheduler.admission or AdmissionPolicy.FIFO
+        if self.placement is None:
+            self.placement = self.scheduler.resolve_placement(serving=True)
 
     @property
     def batching(self) -> bool:
@@ -102,7 +122,7 @@ class ServiceReport:
             f"admission={self.config.admission.value}"
             f"  placement={self.fleet.policy.value}"
             f"  fleet={len(self.fleet)}x"
-            f" {self.fleet.devices[0].runtime.spec.name}",
+            f" {self.fleet.devices[0].session.spec.name}",
             f"requests={m.completed}  tenants={m.tenants}"
             f"  makespan={m.makespan * 1e3:.3f} ms"
             f"  throughput={m.throughput_rps:.1f} req/s",
@@ -325,7 +345,7 @@ class SchedulerService:
                     device.engine.reclaim_streams(streams.streams)
             else:
                 tenant.absorb_history(sub.history)
-        device.runtime.free_arrays()
+        device.session.free_arrays()
         device.requests_served += len(submissions)
 
     # -- inference (context) path ---------------------------------------------
@@ -339,7 +359,7 @@ class SchedulerService:
     ) -> _Submission:
         """Serve one request through a fresh execution context: the full
         dependency-inference scheduling path of the paper."""
-        rt = device.runtime
+        rt = device.session
         graph = request.graph
         ctx = rt.renew_context(
             op_tags={
@@ -384,7 +404,7 @@ class SchedulerService:
         """Serve one request by replaying the cached capture plan:
         pre-assigned streams, pre-computed event waits, no per-launch
         dependency inference."""
-        rt = device.runtime
+        rt = device.session
         engine = device.engine
         graph = request.graph
         spec = rt.spec

@@ -13,7 +13,7 @@ Each logical tenant of the serving layer owns:
 
 The DAG needs no tenant-level object: every *request* executes in a
 fresh execution context (see
-:meth:`repro.core.runtime.GrCUDARuntime.renew_context`), so DAG
+:meth:`repro.session.Session.renew_context`), so DAG
 isolation is per request — strictly stronger than per tenant.
 """
 

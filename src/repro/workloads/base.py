@@ -26,8 +26,13 @@ import numpy as np
 
 from repro.core.dag import ComputationDAG
 from repro.core.element import ComputationalElement
-from repro.core.policies import ExecutionPolicy, PrefetchPolicy, SchedulerConfig
-from repro.core.runtime import GrCUDARuntime
+from repro.core.policies import (
+    DevicePlacementPolicy,
+    ExecutionPolicy,
+    PrefetchPolicy,
+    SchedulerConfig,
+)
+from repro.session import Session
 from repro.gpusim.device import Device
 from repro.gpusim.engine import SimEngine
 from repro.gpusim.specs import GPUSpec, gpu_by_name
@@ -248,20 +253,35 @@ class Benchmark(abc.ABC):
         mode: Mode = Mode.PARALLEL,
         prefetch: PrefetchPolicy = PrefetchPolicy.AUTO,
         movement: MovementPolicy | None = None,
+        gpus: int = 1,
+        placement: DevicePlacementPolicy | None = None,
     ) -> RunResult:
         """Execute the benchmark once under ``mode`` on ``gpu``.
 
         ``movement`` selects the coherence engine's data-movement policy
         explicitly (the movement-bench axis); None keeps the legacy
-        derivation from ``prefetch``.
+        derivation from ``prefetch``.  ``gpus``/``placement`` run the
+        GrCUDA modes on a multi-GPU session — the declaration is device
+        -count agnostic, so nothing else changes (the baseline modes are
+        single-GPU by construction: their static plans encode one
+        device's streams).
         """
+        if gpus > 1 and mode not in (Mode.SERIAL, Mode.PARALLEL):
+            raise ValueError(
+                f"{mode.value} is a single-GPU baseline; multi-GPU"
+                " execution flows through the GrCUDA modes"
+            )
         if mode is Mode.SERIAL:
+            # gpus/placement pass through: a serial multi-GPU request is
+            # rejected by Session's config validation, not ignored here.
             return self._run_grcuda(
-                gpu, ExecutionPolicy.SERIAL, prefetch, movement
+                gpu, ExecutionPolicy.SERIAL, prefetch, movement,
+                gpus=gpus, placement=placement,
             )
         if mode is Mode.PARALLEL:
             return self._run_grcuda(
-                gpu, ExecutionPolicy.PARALLEL, prefetch, movement
+                gpu, ExecutionPolicy.PARALLEL, prefetch, movement,
+                gpus=gpus, placement=placement,
             )
         if mode in (Mode.GRAPH_MANUAL, Mode.GRAPH_CAPTURE):
             return self._run_graph(gpu, mode)
@@ -269,17 +289,23 @@ class Benchmark(abc.ABC):
 
     # -- GrCUDA modes -------------------------------------------------------------
 
-    def _build_runtime(
+    def _build_session(
         self,
         gpu: str | GPUSpec,
         execution: ExecutionPolicy,
         prefetch: PrefetchPolicy,
         movement: MovementPolicy | None = None,
-    ) -> GrCUDARuntime:
-        return GrCUDARuntime(
+        gpus: int = 1,
+        placement: DevicePlacementPolicy | None = None,
+    ) -> Session:
+        return Session(
+            gpus=gpus,
             gpu=gpu,
             config=SchedulerConfig(
-                execution=execution, prefetch=prefetch, movement=movement
+                execution=execution,
+                prefetch=prefetch,
+                movement=movement,
+                placement=placement,
             ),
         )
 
@@ -289,8 +315,13 @@ class Benchmark(abc.ABC):
         execution: ExecutionPolicy,
         prefetch: PrefetchPolicy,
         movement: MovementPolicy | None = None,
+        gpus: int = 1,
+        placement: DevicePlacementPolicy | None = None,
     ) -> RunResult:
-        rt = self._build_runtime(gpu, execution, prefetch, movement)
+        rt = self._build_session(
+            gpu, execution, prefetch, movement,
+            gpus=gpus, placement=placement,
+        )
         arrays = {
             name: rt.array(
                 spec.shape,
@@ -317,6 +348,7 @@ class Benchmark(abc.ABC):
                 kernels[inv.kernel](inv.grid, inv.block)(*args)
             results.append(self.read_result(arrays))
         rt.sync()
+        timeline = rt.timeline()
         return RunResult(
             benchmark=self.name,
             mode=(
@@ -325,12 +357,12 @@ class Benchmark(abc.ABC):
                 else Mode.PARALLEL
             ),
             gpu=rt.spec.name,
-            elapsed=rt.timeline.makespan,
+            elapsed=timeline.makespan,
             host_clock=rt.clock,
             results=results,
-            timeline=rt.timeline,
+            timeline=timeline,
             stream_count=len(
-                {r.stream_id for r in rt.timeline.kernels()}
+                {r.stream_id for r in timeline.kernels()}
             ),
             iterations=self.iterations,
         )

@@ -167,7 +167,7 @@ class TestWorkloadSuiteGolden:
 
         res_new = run()
         monkeypatch.setattr(
-            "repro.core.runtime.SimEngine", ReferenceSimEngine
+            "repro.session.SimEngine", ReferenceSimEngine
         )
         monkeypatch.setattr(
             "repro.workloads.base.SimEngine", ReferenceSimEngine
@@ -185,7 +185,7 @@ class TestWorkloadSuiteGolden:
 
         res_new = run()
         monkeypatch.setattr(
-            "repro.core.runtime.SimEngine", ReferenceSimEngine
+            "repro.session.SimEngine", ReferenceSimEngine
         )
         monkeypatch.setattr(
             "repro.workloads.base.SimEngine", ReferenceSimEngine
@@ -218,7 +218,7 @@ class TestServingReplayGolden:
 
         res_new = run()
         monkeypatch.setattr(
-            "repro.core.runtime.SimEngine", ReferenceSimEngine
+            "repro.session.SimEngine", ReferenceSimEngine
         )
         res_ref = run()
         assert res_new == res_ref

@@ -44,6 +44,16 @@ class TestParser:
         assert args.admission == "priority"
         assert args.placement == "round-robin"
 
+    def test_movement_bench_defaults(self):
+        args = build_parser().parse_args(["movement-bench"])
+        assert args.fleet_gpus == 2
+
+    def test_movement_bench_fleet_flag(self):
+        args = build_parser().parse_args(
+            ["movement-bench", "--fleet-gpus", "0"]
+        )
+        assert args.fleet_gpus == 0
+
     def test_sim_bench_defaults(self):
         args = build_parser().parse_args(["sim-bench"])
         assert args.bench_out == "BENCH_simulator.json"
