@@ -30,7 +30,7 @@ def run_with_config(name, scale, config, iterations=3):
     original = Benchmark._build_session
 
     def patched(self, gpu, execution, prefetch, movement=None,
-                gpus=1, placement=None):
+                gpus=1, placement=None, **session_knobs):
         from repro.session import Session
 
         return Session(gpu=gpu, config=config)

@@ -53,10 +53,12 @@ def run_serving(
     batch_window=500e-6,
     capture_cache=True,
     requests=REQUESTS,
+    fleet_topology=None,
 ):
     graphs = mixed_workload_graphs(requests, seed=SEED)
     service = SchedulerService(
         fleet_size=FLEET,
+        fleet_topology=fleet_topology,
         config=ServeConfig(
             admission=admission,
             placement=placement,
@@ -131,3 +133,31 @@ def test_placement_policies_all_serve():
         assert all(b > 0 for b in report.metrics.device_busy), (
             f"{placement}: a device sat idle"
         )
+
+
+def test_heterogeneous_fleet_throughput(benchmark):
+    """The ``--fleet 2,2,1,1`` shape: multi-GPU slots serve the mixed
+    load correctly and every slot carries traffic."""
+    report, submitted = benchmark.pedantic(
+        run_serving,
+        kwargs={"requests": 60, "fleet_topology": [2, 2, 1, 1]},
+        rounds=1,
+        iterations=1,
+    )
+    m = report.metrics
+    print(
+        f"\nheterogeneous [2,2,1,1]: {m.throughput_rps:.0f} req/s,"
+        f" p99 {m.latency.p99 * 1e3:.2f} ms,"
+        f" util {m.mean_utilization * 100:.0f}%"
+    )
+    assert report.fleet.topology == [2, 2, 1, 1]
+    assert m.completed == 60
+    assert all(b > 0 for b in m.device_busy)
+    by_id = {r.request_id: r for r in report.results}
+    for request_id, graph in submitted:
+        reference = execute_serial(graph)
+        result = by_id[request_id]
+        for name, expected in reference.items():
+            assert np.array_equal(result.outputs[name], expected), (
+                f"request {request_id} ({graph.name}) diverged on {name}"
+            )

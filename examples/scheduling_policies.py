@@ -28,7 +28,7 @@ def run_config(label: str, config: SchedulerConfig):
     original = Benchmark._build_session
     Benchmark._build_session = (
         lambda self, gpu, execution, prefetch, movement=None,
-        gpus=1, placement=None: Session(gpu=gpu, config=config)
+        gpus=1, placement=None, **knobs: Session(gpu=gpu, config=config)
     )
     try:
         result = bench.run(GPU, Mode.PARALLEL)

@@ -73,6 +73,15 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {text!r}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -131,7 +140,36 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=2,
         metavar="N",
-        help="simulated GPUs in the fleet (default 2)",
+        help="fleet slots, one GPU each (default 2; see --fleet for"
+        " multi-GPU slots)",
+    )
+    serving.add_argument(
+        "--fleet",
+        default=None,
+        metavar="SPEC",
+        help="fleet topology as GPUs-per-slot, e.g. '2,2,1,1'"
+        " (overrides --fleet-size; each slot is a multi-GPU session)",
+    )
+    serving.add_argument(
+        "--traffic",
+        choices=["uniform", "skewed"],
+        default="uniform",
+        help="serving traffic mix (default uniform)",
+    )
+    serving.add_argument(
+        "--movement-window",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="cross-acquire BATCHED coalescing window for the fleet"
+        " sessions (default 0 = per-acquire)",
+    )
+    serving.add_argument(
+        "--serve-out",
+        default=None,
+        metavar="PATH",
+        help="write the serving report summary as JSON (e.g."
+        " BENCH_serving.json)",
     )
     serving.add_argument(
         "--admission",
@@ -162,6 +200,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="GPUs in the fleet axis of the movement grid"
         " (default 2; 0 skips the fleet sweep)",
     )
+    movement.add_argument(
+        "--window",
+        type=_nonnegative_int,
+        default=4,
+        metavar="N",
+        help="cross-acquire BATCHED coalescing window for the windowed"
+        " grid cells (default 4; 0 skips them)",
+    )
+    movement.add_argument(
+        "--no-serving-axes",
+        action="store_true",
+        help="skip the serving execution x admission grid",
+    )
     simbench = parser.add_argument_group(
         "sim-bench options",
         "only used by the sim-bench experiment",
@@ -184,6 +235,8 @@ def run_experiment(name: str, args: argparse.Namespace) -> None:
             gpu=args.gpu,
             iterations=args.iterations,
             fleet_gpus=args.fleet_gpus,
+            window=args.window,
+            serving_axes=not args.no_serving_axes,
         )
     if name == "sim-bench":
         kwargs.update(gpu=args.gpu, out_path=args.bench_out)
@@ -192,10 +245,14 @@ def run_experiment(name: str, args: argparse.Namespace) -> None:
             tenants=args.tenants,
             requests=args.requests,
             fleet_size=args.fleet_size,
+            fleet=args.fleet,
             admission=args.admission,
             placement=args.placement,
             gpu=args.gpu,
+            traffic=args.traffic,
+            movement_window=args.movement_window,
             validate=args.validate,
+            bench_out=args.serve_out,
         )
     if name in _SCALED:
         kwargs["scales_per_gpu"] = args.scales

@@ -139,7 +139,10 @@ class ExecutionContext(abc.ABC):
         #: all data movement flows through here (shares ``op_tags`` by
         #: reference so tenant tags reach transfer ops too)
         self.coherence = CoherenceEngine(
-            engine, policy=self.movement, op_tags=self.op_tags
+            engine,
+            policy=self.movement,
+            op_tags=self.op_tags,
+            window=config.movement_window,
         )
         self.kernel_count = 0
         self.cpu_access_fast_path_count = 0
@@ -169,8 +172,9 @@ class ExecutionContext(abc.ABC):
     def reclaimable_streams(self) -> tuple[SimStream, ...]:
         """Streams a retiring context hands back to the engine (see
         :meth:`repro.session.Session.renew_context`).  The serial
-        context runs on the engine's default stream and owns none."""
-        return ()
+        context runs on the engine's default stream and owns only what
+        its coherence engine created (window-coalescing streams)."""
+        return self.coherence.take_owned_streams()
 
     # -- shared helpers ------------------------------------------------------
 
@@ -266,7 +270,7 @@ class ParallelExecutionContext(ExecutionContext):
         )
 
     def reclaimable_streams(self) -> tuple[SimStream, ...]:
-        return self.streams.streams
+        return self.streams.streams + self.coherence.take_owned_streams()
 
     # -- kernel scheduling ------------------------------------------------------
 

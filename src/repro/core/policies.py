@@ -100,6 +100,13 @@ class SchedulerConfig:
     #: from ``prefetch`` (and the scheduler's execution policy), keeping
     #: legacy configurations bit-identical
     movement: MovementPolicy | None = None
+    #: submission-window size for cross-acquire BATCHED coalescing: the
+    #: stale inputs of up to this many adjacent launches merge into one
+    #: transfer on a dedicated stream, flushed on sync / window-full /
+    #: policy boundaries.  0 (the default) coalesces per acquire —
+    #: bit-identical to the pre-window BATCHED behaviour.  Ignored by
+    #: the other movement policies.
+    movement_window: int = 0
     #: device-placement policy for multi-GPU sessions and the serving
     #: fleet; None resolves to MIN_TRANSFER for a compute session and
     #: LEAST_LOADED for a serving fleet (each path's historical default)
@@ -132,6 +139,15 @@ class SchedulerConfig:
             )
         if self.scheduling_overhead_us < 0 or self.serial_overhead_us < 0:
             raise ConfigError("scheduler overheads must be >= 0")
+        if (
+            not isinstance(self.movement_window, int)
+            or isinstance(self.movement_window, bool)
+            or self.movement_window < 0
+        ):
+            raise ConfigError(
+                "movement_window must be a non-negative integer, got"
+                f" {self.movement_window!r}"
+            )
 
     def resolve_placement(
         self, serving: bool = False

@@ -94,6 +94,13 @@ class SimEngine:
         #: monotone sequence stamped on ops entering the running set, so
         #: same-instant completions fire in legacy start order
         self._start_seq = itertools.count()
+        #: callbacks fired at the top of every host synchronization
+        #: (sync_event / sync_stream / sync_all), keyed so a registrant
+        #: can deregister itself.  The coherence engine's submission
+        #: -window coalescer uses this to flush deferred transfers before
+        #: the host blocks — otherwise a kernel parked on a window event
+        #: that never records would deadlock the sync.
+        self._pre_sync_hooks: dict[int, Callable[[], None]] = {}
         self.default_stream = self.create_stream(label="default")
         #: count of rate recomputations: grows with *changes* to the
         #: running set, not with engine steps (engine-efficiency
@@ -187,16 +194,34 @@ class SimEngine:
 
     # -- synchronization ----------------------------------------------------
 
+    def add_pre_sync_hook(self, key: int, fn: Callable[[], None]) -> None:
+        """Register ``fn`` to run at the top of every host sync (keyed so
+        the registrant can deregister; re-registering a key replaces)."""
+        self._pre_sync_hooks[key] = fn
+
+    def remove_pre_sync_hook(self, key: int) -> None:
+        self._pre_sync_hooks.pop(key, None)
+
+    def _fire_pre_sync_hooks(self) -> None:
+        if self._pre_sync_hooks:
+            # Hooks may deregister themselves (a flushed window removes
+            # its hook), so iterate over a snapshot.
+            for fn in list(self._pre_sync_hooks.values()):
+                fn()
+
     def sync_event(self, event: SimEvent) -> None:
         """Block the host until ``event`` completes."""
+        self._fire_pre_sync_hooks()
         self._run_until(lambda: event.complete, what=f"event {event.label}")
 
     def sync_stream(self, stream: SimStream) -> None:
         """Block the host until everything queued on ``stream`` completes."""
+        self._fire_pre_sync_hooks()
         self._run_until(lambda: not stream.busy, what=f"stream {stream.label}")
 
     def sync_all(self) -> None:
         """Drain every stream (``cudaDeviceSynchronize``)."""
+        self._fire_pre_sync_hooks()
         self._run_until(lambda: self._busy_streams == 0, what="device")
 
     @property

@@ -4,15 +4,25 @@
 :class:`~repro.memory.coherence.MovementPolicy` on the parallel
 scheduler and prints a comparison table: device makespan, bytes moved by
 engine-issued migrations, bytes left to the page-fault engine, and the
-number of transfer operations (BATCHED coalescing shows up here).
+number of transfer operations (BATCHED coalescing shows up here).  The
+BATCHED policy runs twice — per-acquire (``window=0``) and with the
+cross-acquire submission window — and the grid *asserts* the op-count
+dominance chain per workload:
+
+    ``batched+window HtoD ops <= batched HtoD ops <= eager HtoD ops``
 
 Since the movement policies reach the multi-GPU path through
 ``Session(gpus=N)``, the sweep also covers the fleet grid: every
 :class:`~repro.core.policies.DevicePlacementPolicy` × movement policy on
-a two-GPU session, with the ROADMAP dominance relation asserted per
+a two-GPU session, with the ROADMAP dominance relations asserted per
 placement — eager prefetch is at least as fast as page faults on
 makespan (faults serialize migration into the kernels; prefetch overlaps
-it).
+it), and the same HtoD-op-count chain as the single-GPU sweep.
+
+A third grid covers the *serving* axes: execution policy {serial,
+parallel} × admission {fifo, priority, fair-share} over both serving
+traffic mixes (:data:`repro.serve.workloads.TRAFFIC_MIXES`), asserting
+every request's outputs against private serial execution.
 
 Functional invariant, asserted on every sweep: all policies produce
 bit-identical workload results — they only decide *when*, *where* and
@@ -23,7 +33,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.policies import DevicePlacementPolicy
+import numpy as np
+
+from repro.core.policies import (
+    AdmissionPolicy,
+    DevicePlacementPolicy,
+    ExecutionPolicy,
+    SchedulerConfig,
+)
 from repro.gpusim.timeline import Timeline
 from repro.memory.coherence import MovementPolicy
 from repro.workloads import Mode
@@ -33,6 +50,8 @@ DEFAULT_BENCHMARKS = ("vec", "b&s", "img", "ml")
 #: makespans are simulated, not measured, so the dominance assertion
 #: needs no statistical slack — only float-comparison headroom
 DOMINANCE_RTOL = 1e-9
+#: cross-acquire coalescing window the windowed-BATCHED cells run with
+DEFAULT_WINDOW = 4
 
 
 def timeline_fault_bytes(timeline: Timeline) -> float:
@@ -66,6 +85,40 @@ def timeline_htod_ops(timeline: Timeline) -> int:
     )
 
 
+def _policy_variants(
+    window: int,
+) -> list[tuple[str, MovementPolicy, int]]:
+    """(label, policy, movement_window) cells one sweep runs: the three
+    policies per-acquire, plus windowed BATCHED when ``window > 0``."""
+    variants = [(p.value, p, 0) for p in MovementPolicy]
+    if window > 0:
+        variants.append(
+            (f"batched+w{window}", MovementPolicy.BATCHED, window)
+        )
+    return variants
+
+
+def _assert_htod_dominance(
+    scope: str, by_label: dict[str, int], window: int
+) -> None:
+    """The op-count chain: windowed batched <= batched <= eager."""
+    eager = by_label[MovementPolicy.EAGER_PREFETCH.value]
+    batched = by_label[MovementPolicy.BATCHED.value]
+    if batched > eager:
+        raise AssertionError(
+            f"{scope}: batched issued {batched} HtoD ops >"
+            f" eager's {eager} — coalescing must never add submissions"
+        )
+    if window > 0:
+        windowed = by_label[f"batched+w{window}"]
+        if windowed > batched:
+            raise AssertionError(
+                f"{scope}: batched+w{window} issued {windowed} HtoD ops"
+                f" > per-acquire batched's {batched} — the submission"
+                " window must never split transfers"
+            )
+
+
 @dataclass(frozen=True)
 class MovementCell:
     """One (workload, movement policy) measurement."""
@@ -78,6 +131,10 @@ class MovementCell:
     fault_bytes: float
     htod_ops: int
     results: tuple[float, ...]
+    #: display label (distinguishes windowed BATCHED from per-acquire)
+    label: str = ""
+    #: cross-acquire coalescing window the cell ran with (0 = per-acquire)
+    window: int = 0
 
 
 def sweep_movement_policies(
@@ -86,22 +143,28 @@ def sweep_movement_policies(
     iterations: int = 4,
     scale_index: int = 0,
     execute: bool = True,
+    window: int = DEFAULT_WINDOW,
 ) -> list[MovementCell]:
     """Run ``benchmarks`` under every movement policy on ``gpu``.
 
     Raises if any policy's results diverge from the page-fault
-    baseline's — the policies must be functionally indistinguishable.
+    baseline's — the policies must be functionally indistinguishable —
+    or if the HtoD op-count dominance chain is violated.
     """
     cells: list[MovementCell] = []
     for name in benchmarks:
         scales = default_scales(name, gpu)
         scale = scales[min(scale_index, len(scales) - 1)]
         reference: tuple[float, ...] | None = None
-        for policy in MovementPolicy:
+        htod_by_label: dict[str, int] = {}
+        for label, policy, cell_window in _policy_variants(window):
             bench = create_benchmark(
                 name, scale, iterations=iterations, execute=execute
             )
-            run = bench.run(gpu, Mode.PARALLEL, movement=policy)
+            run = bench.run(
+                gpu, Mode.PARALLEL, movement=policy,
+                movement_window=cell_window,
+            )
             cell = MovementCell(
                 benchmark=name,
                 scale=scale,
@@ -111,15 +174,19 @@ def sweep_movement_policies(
                 fault_bytes=timeline_fault_bytes(run.timeline),
                 htod_ops=timeline_htod_ops(run.timeline),
                 results=tuple(run.results),
+                label=label,
+                window=cell_window,
             )
             if reference is None:
                 reference = cell.results
             elif execute and cell.results != reference:
                 raise AssertionError(
-                    f"{name}: {policy.value} results diverged from"
+                    f"{name}: {label} results diverged from"
                     f" {MovementPolicy.PAGE_FAULT.value}"
                 )
+            htod_by_label[label] = cell.htod_ops
             cells.append(cell)
+        _assert_htod_dominance(name, htod_by_label, window)
     return cells
 
 
@@ -149,6 +216,8 @@ class FleetMovementCell:
     fault_bytes: float
     htod_ops: int
     results: tuple[float, ...]
+    label: str = ""
+    window: int = 0
 
 
 def sweep_fleet_movement(
@@ -158,6 +227,7 @@ def sweep_fleet_movement(
     iterations: int = 4,
     scale_index: int = 0,
     execute: bool = True,
+    window: int = DEFAULT_WINDOW,
 ) -> list[FleetMovementCell]:
     """The fleet grid: placement × movement policy on a multi-GPU
     session, for every workload.
@@ -167,7 +237,8 @@ def sweep_fleet_movement(
     * all movement policies produce bit-identical results;
     * the ROADMAP dominance relation — eager prefetch's makespan is no
       worse than page faults' (faults serialize the same bytes into the
-      kernels, so overlap can only help).
+      kernels, so overlap can only help);
+    * the HtoD op-count chain — windowed batched <= batched <= eager.
     """
     cells: list[FleetMovementCell] = []
     for name in benchmarks:
@@ -175,14 +246,15 @@ def sweep_fleet_movement(
         scale = scales[min(scale_index, len(scales) - 1)]
         reference: tuple[float, ...] | None = None
         for placement in DevicePlacementPolicy:
-            by_policy: dict[MovementPolicy, FleetMovementCell] = {}
-            for policy in MovementPolicy:
+            by_label: dict[str, FleetMovementCell] = {}
+            for label, policy, cell_window in _policy_variants(window):
                 bench = create_benchmark(
                     name, scale, iterations=iterations, execute=execute
                 )
                 run = bench.run(
                     gpu, Mode.PARALLEL, movement=policy,
                     gpus=gpus, placement=placement,
+                    movement_window=cell_window,
                 )
                 cell = FleetMovementCell(
                     benchmark=name,
@@ -196,25 +268,149 @@ def sweep_fleet_movement(
                     fault_bytes=timeline_fault_bytes(run.timeline),
                     htod_ops=timeline_htod_ops(run.timeline),
                     results=tuple(run.results),
+                    label=label,
+                    window=cell_window,
                 )
                 if reference is None:
                     reference = cell.results
                 elif execute and cell.results != reference:
                     raise AssertionError(
-                        f"{name}/{placement.value}: {policy.value} results"
+                        f"{name}/{placement.value}: {label} results"
                         " diverged across the fleet grid"
                     )
-                by_policy[policy] = cell
+                by_label[label] = cell
                 cells.append(cell)
-            eager = by_policy[MovementPolicy.EAGER_PREFETCH]
-            fault = by_policy[MovementPolicy.PAGE_FAULT]
+            eager = by_label[MovementPolicy.EAGER_PREFETCH.value]
+            fault = by_label[MovementPolicy.PAGE_FAULT.value]
             if eager.elapsed > fault.elapsed * (1 + DOMINANCE_RTOL):
                 raise AssertionError(
                     f"{name}/{placement.value}: dominance violated —"
                     f" eager {eager.elapsed:.6e}s >"
                     f" fault {fault.elapsed:.6e}s"
                 )
+            _assert_htod_dominance(
+                f"{name}/{placement.value}",
+                {lbl: c.htod_ops for lbl, c in by_label.items()},
+                window,
+            )
     return cells
+
+
+@dataclass(frozen=True)
+class ServingAxisCell:
+    """One (traffic mix, execution policy, admission policy) serving
+    measurement — every request validated against serial execution."""
+
+    mix: str
+    execution: ExecutionPolicy
+    admission: AdmissionPolicy
+    requests: int
+    makespan: float
+    throughput_rps: float
+    p50: float
+    p99: float
+    batches: int
+    capture_hits: int
+
+
+def sweep_serving_axes(
+    requests: int = 12,
+    tenants: int = 3,
+    fleet_size: int = 2,
+    gpu: str = "GTX 1660 Super",
+    mixes: tuple[str, ...] = ("uniform", "skewed"),
+    seed: int = 11,
+) -> list[ServingAxisCell]:
+    """The serving grid: execution {serial, parallel} × admission
+    {fifo, priority, fair-share} over the named traffic mixes.
+
+    Every cell's per-request outputs are asserted equal to executing the
+    same graph alone on a private serial runtime — scheduling and
+    admission order must never change results.
+    """
+    from repro.serve import SchedulerService, ServeConfig, execute_serial
+    from repro.serve.workloads import traffic_mix_graphs
+
+    cells: list[ServingAxisCell] = []
+    for mix in mixes:
+        graphs = traffic_mix_graphs(requests, mix=mix, seed=seed)
+        references = [execute_serial(g, gpu=gpu) for g in graphs]
+        for execution in (ExecutionPolicy.SERIAL, ExecutionPolicy.PARALLEL):
+            for admission in AdmissionPolicy:
+                service = SchedulerService(
+                    fleet_size=fleet_size,
+                    gpu=gpu,
+                    config=ServeConfig(
+                        admission=admission,
+                        scheduler=SchedulerConfig(execution=execution),
+                    ),
+                )
+                for t in range(tenants):
+                    service.register_tenant(
+                        f"tenant{t}", priority=tenants - 1 - t
+                    )
+                submitted = []
+                for i, graph in enumerate(graphs):
+                    submitted.append(
+                        service.submit(
+                            f"tenant{i % tenants}",
+                            graph,
+                            arrival_time=i * 1e-4,
+                        )
+                    )
+                report = service.run()
+                by_id = {r.request_id: r for r in report.results}
+                for request_id, reference in zip(submitted, references):
+                    got = by_id[request_id].outputs
+                    for out_name, expected in reference.items():
+                        if not np.array_equal(got[out_name], expected):
+                            raise AssertionError(
+                                f"{mix}/{execution.value}/"
+                                f"{admission.value}: request"
+                                f" {request_id} output {out_name!r}"
+                                " diverges from serial execution"
+                            )
+                m = report.metrics
+                cells.append(
+                    ServingAxisCell(
+                        mix=mix,
+                        execution=execution,
+                        admission=admission,
+                        requests=m.completed,
+                        makespan=m.makespan,
+                        throughput_rps=m.throughput_rps,
+                        p50=m.latency.p50,
+                        p99=m.latency.p99,
+                        batches=m.batches,
+                        capture_hits=m.capture_hits,
+                    )
+                )
+    return cells
+
+
+def render_serving_table(cells: list[ServingAxisCell]) -> str:
+    lines = [
+        "Serving axes grid (execution x admission, per traffic mix)",
+        "==========================================================",
+        f"{'mix':<9} {'execution':<10} {'admission':<11} {'req':>4}"
+        f" {'makespan ms':>12} {'req/s':>9} {'p50 ms':>8} {'p99 ms':>8}"
+        f" {'batches':>8} {'hits':>5}",
+    ]
+    for cell in cells:
+        lines.append(
+            f"{cell.mix:<9} {cell.execution.value:<10}"
+            f" {cell.admission.value:<11} {cell.requests:>4}"
+            f" {cell.makespan * 1e3:>12.3f}"
+            f" {cell.throughput_rps:>9.1f}"
+            f" {cell.p50 * 1e3:>8.3f} {cell.p99 * 1e3:>8.3f}"
+            f" {cell.batches:>8} {cell.capture_hits:>5}"
+        )
+    lines.append("")
+    lines.append(
+        "asserted per cell: every request's outputs equal private"
+        " serial execution"
+    )
+    return "\n".join(lines)
 
 
 def render_fleet_table(cells: list[FleetMovementCell]) -> str:
@@ -229,7 +425,7 @@ def render_fleet_table(cells: list[FleetMovementCell]) -> str:
     for cell in cells:
         lines.append(
             f"{cell.benchmark:<10} {cell.placement.value:<14}"
-            f" {cell.policy.value:<16}"
+            f" {cell.label or cell.policy.value:<16}"
             f" {cell.elapsed * 1e3:>10.3f}"
             f" {cell.moved_bytes / 1e6:>9.1f}"
             f" {cell.d2d_bytes / 1e6:>8.1f}"
@@ -239,7 +435,8 @@ def render_fleet_table(cells: list[FleetMovementCell]) -> str:
     lines.append("")
     lines.append(
         "asserted per placement: results bit-identical across policies,"
-        " eager makespan <= fault makespan"
+        " eager makespan <= fault makespan,"
+        " batched+window <= batched <= eager HtoD ops"
     )
     return "\n".join(lines)
 
@@ -253,7 +450,7 @@ def render_movement_table(cells: list[MovementCell]) -> str:
     ]
     for cell in cells:
         lines.append(
-            f"{cell.benchmark:<10} {cell.policy.value:<16}"
+            f"{cell.benchmark:<10} {cell.label or cell.policy.value:<16}"
             f" {cell.elapsed * 1e3:>10.3f}"
             f" {cell.moved_bytes / 1e6:>10.1f}"
             f" {cell.fault_bytes / 1e6:>10.1f}"
@@ -261,7 +458,8 @@ def render_movement_table(cells: list[MovementCell]) -> str:
         )
     lines.append("")
     lines.append(
-        "results are bit-identical across policies (asserted per sweep)"
+        "results are bit-identical across policies (asserted per sweep);"
+        " batched+window <= batched <= eager HtoD ops (asserted)"
     )
     return "\n".join(lines)
 
@@ -274,16 +472,23 @@ def movement_bench(
     execute: bool = True,
     render: bool = False,
     fleet_gpus: int = 2,
-) -> tuple[list[MovementCell], list[FleetMovementCell]]:
+    window: int = DEFAULT_WINDOW,
+    serving_axes: bool = True,
+    serving_requests: int = 12,
+) -> tuple[
+    list[MovementCell], list[FleetMovementCell], list[ServingAxisCell]
+]:
     """The ``movement-bench`` experiment entry point: the single-GPU
-    movement sweep plus the fleet placement × movement grid
-    (``fleet_gpus=0`` skips the fleet axis)."""
+    movement sweep, the fleet placement × movement grid (``fleet_gpus=0``
+    skips it) and the serving execution × admission grid over both
+    traffic mixes (``serving_axes=False`` skips it)."""
     cells = sweep_movement_policies(
         benchmarks,
         gpu=gpu,
         iterations=iterations,
         scale_index=scale_index,
         execute=execute,
+        window=window,
     )
     if render:
         print(render_movement_table(cells))
@@ -296,8 +501,17 @@ def movement_bench(
             iterations=iterations,
             scale_index=scale_index,
             execute=execute,
+            window=window,
         )
         if render:
             print()
             print(render_fleet_table(fleet_cells))
-    return cells, fleet_cells
+    serving_cells: list[ServingAxisCell] = []
+    if serving_axes:
+        serving_cells = sweep_serving_axes(
+            requests=serving_requests, gpu=gpu
+        )
+        if render:
+            print()
+            print(render_serving_table(serving_cells))
+    return cells, fleet_cells, serving_cells

@@ -6,17 +6,27 @@ suite's workloads at serving scales) against a simulated GPU fleet, and
 the report carries the service-level indicators a serving system is
 judged on: p50/p95/p99 latency, sustained throughput, fleet utilization,
 batching and capture-cache effectiveness.
+
+The fleet is a **topology spec** — ``fleet="2,2,1,1"`` builds four
+slots holding 2, 2, 1 and 1 GPUs: each slot is a real multi-GPU
+session, so admitted graphs span the slot's devices under the in-slot
+placement policy while the service-level policy picks slots.
+``bench_out`` writes the headline numbers to a JSON file (the CI
+``serve-smoke`` artifact).
 """
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 
 from repro.multigpu.scheduler import DevicePlacementPolicy
 from repro.serve.admission import AdmissionPolicy
+from repro.serve.fleet import parse_fleet_spec
 from repro.serve.request import execute_serial
 from repro.serve.service import SchedulerService, ServeConfig, ServiceReport
-from repro.serve.workloads import mixed_workload_graphs
+from repro.serve.workloads import traffic_mix_graphs
 
 
 def _coerce(value, enum_cls):
@@ -31,10 +41,50 @@ def _coerce(value, enum_cls):
     )
 
 
+def report_summary(report: ServiceReport) -> dict:
+    """The headline numbers of one serving run as JSON-ready data."""
+    m = report.metrics
+    models = report.fleet.gpu_models()
+    return {
+        "fleet": report.fleet.topology,
+        "total_gpus": report.fleet.total_gpus,
+        "gpu": models[0] if len(models) == 1 else " + ".join(models),
+        "slot_models": [
+            [spec.name for spec in slot.session.specs]
+            for slot in report.fleet.slots
+        ],
+        "admission": report.config.admission.value,
+        "placement": report.fleet.policy.value,
+        "movement_window": report.config.scheduler.movement_window,
+        "requests": m.completed,
+        "tenants": m.tenants,
+        "makespan_s": m.makespan,
+        "throughput_rps": m.throughput_rps,
+        "latency_ms": {
+            "p50": m.latency.p50 * 1e3,
+            "p95": m.latency.p95 * 1e3,
+            "p99": m.latency.p99 * 1e3,
+            "worst": m.latency.worst * 1e3,
+        },
+        "queue_wait_ms": {
+            "p50": m.queue_wait.p50 * 1e3,
+            "p95": m.queue_wait.p95 * 1e3,
+        },
+        "slot_utilization": list(m.device_utilization),
+        "mean_utilization": m.mean_utilization,
+        "batches": m.batches,
+        "batched_requests": m.batched_requests,
+        "capture_hits": m.capture_hits,
+        "capture_misses": m.capture_misses,
+        "kernels_per_slot": report.fleet.kernel_counts(),
+    }
+
+
 def serve_bench(
     tenants: int = 4,
     requests: int = 100,
     fleet_size: int = 2,
+    fleet: str | list[int] | None = None,
     admission: AdmissionPolicy | str = AdmissionPolicy.FAIR_SHARE,
     placement: DevicePlacementPolicy | str = (
         DevicePlacementPolicy.LEAST_LOADED
@@ -42,31 +92,56 @@ def serve_bench(
     gpu: str = "GTX 1660 Super",
     seed: int = 7,
     mean_interarrival_us: float = 120.0,
+    traffic: str = "uniform",
+    movement_window: int = 0,
     validate: bool = False,
     render: bool = False,
+    bench_out: str | None = None,
 ) -> ServiceReport:
     """Run one serving benchmark and return its report.
 
-    ``validate=True`` re-executes every request's graph alone on a
-    private serial runtime and asserts numerical equality — slow, but
-    the ground-truth check the acceptance tests rely on.
+    ``fleet`` is a topology spec — ``"2,2,1,1"`` or ``[2, 2, 1, 1]``
+    GPUs per slot — overriding the flat ``fleet_size`` (which builds
+    1-GPU slots); ``traffic`` names a serving mix from
+    :data:`repro.serve.workloads.TRAFFIC_MIXES`; ``movement_window``
+    sizes the coherence engine's cross-acquire BATCHED coalescing
+    window.  ``validate=True`` re-executes every request's graph alone
+    on a private serial runtime and asserts numerical equality — slow,
+    but the ground-truth check the acceptance tests rely on.
     """
     if tenants <= 0 or requests <= 0 or fleet_size <= 0:
         raise ValueError("tenants, requests and fleet_size must be positive")
     admission = _coerce(admission, AdmissionPolicy)
     placement = _coerce(placement, DevicePlacementPolicy)
+    # An unknown traffic mix raises inside traffic_mix_graphs below.
+    if isinstance(fleet, str):
+        fleet = parse_fleet_spec(fleet)
 
+    from repro.core.policies import SchedulerConfig
+    from repro.memory.coherence import MovementPolicy
+
+    # The window only has meaning under BATCHED movement: asking for a
+    # coalescing window implies the policy, otherwise the knob would be
+    # a silent no-op under the default eager prefetcher.
+    movement = MovementPolicy.BATCHED if movement_window > 0 else None
     service = SchedulerService(
         fleet_size=fleet_size,
+        fleet_topology=fleet,
         gpu=gpu,
-        config=ServeConfig(admission=admission, placement=placement),
+        config=ServeConfig(
+            admission=admission,
+            placement=placement,
+            scheduler=SchedulerConfig(
+                movement=movement, movement_window=movement_window
+            ),
+        ),
     )
     # Tenants with descending priorities: under the priority policy
     # tenant0 is the premium client, the rest queue behind it.
     for t in range(tenants):
         service.register_tenant(f"tenant{t}", priority=tenants - 1 - t)
 
-    graphs = mixed_workload_graphs(requests, seed=seed)
+    graphs = traffic_mix_graphs(requests, mix=traffic, seed=seed)
     rng = np.random.default_rng(seed)
     arrival = 0.0
     submitted = []
@@ -98,6 +173,14 @@ def serve_bench(
                         f" {name!r} diverges from serial execution"
                     )
 
+    if bench_out:
+        summary = report_summary(report)
+        summary["traffic"] = traffic
+        summary["validated"] = bool(validate)
+        with open(bench_out, "w") as fh:
+            json.dump(summary, fh, indent=2)
+            fh.write("\n")
+
     if render:
         print(report.render())
         if validate:
@@ -105,4 +188,6 @@ def serve_bench(
                 f"\nvalidated: all {len(submitted)} requests match"
                 " serial single-runtime execution"
             )
+        if bench_out:
+            print(f"wrote {bench_out}")
     return report

@@ -34,10 +34,19 @@ Movement policies
     prefetching mode.  On pre-Pascal devices the copy is a synchronous
     eager transfer; the fault path does not exist there.
 ``BATCHED``
-    Like ``EAGER_PREFETCH``, but the stale inputs of one acquire are
-    coalesced into a single transfer operation (adjacent-array copies
-    ride one DMA submission), trading per-op overhead for transfer
-    granularity.
+    Like ``EAGER_PREFETCH``, but stale inputs are coalesced into a
+    single transfer operation (adjacent-array copies ride one DMA
+    submission), trading per-op overhead for transfer granularity.
+    With ``window=0`` (the default) coalescing is per *acquire*: one
+    merged transfer per computation.  With ``window=N > 0`` the engine
+    runs a **submission-window coalescer**: the stale inputs of up to
+    ``N`` adjacent acquires are deferred onto one dedicated transfer
+    stream and merged into a single DMA submission, flushed when the
+    window fills, when the host synchronizes (engine pre-sync hooks),
+    on a CPU access, or at a policy boundary (an acquire under a
+    different policy or transfer kind).  Consumers park on the window's
+    pre-created event, so correctness is unchanged — only the number of
+    transfer submissions shrinks.
 
 All three are functionally identical — values live in one numpy buffer;
 the policies only decide *when* and *in how many pieces* the simulator
@@ -57,12 +66,13 @@ from repro.gpusim.ops import (
     TransferKind,
     TransferOp,
 )
+from repro.gpusim.stream import SimEvent
 from repro.memory.array import AccessKind, DeviceArray
 from repro.memory.pages import PAGE_SIZE_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gpusim.engine import SimEngine
-    from repro.gpusim.stream import SimEvent, SimStream
+    from repro.gpusim.stream import SimStream
     from repro.multigpu.array import MultiGpuArray
 
 
@@ -117,6 +127,25 @@ class AcquirePlan:
 
 
 @dataclass
+class _WindowGroup:
+    """One pending coalescing group of the submission-window coalescer.
+
+    Single-GPU windows use one group (host -> device 0); multi-GPU
+    windows keep one group per (source, destination) pair — that is the
+    unit one merged DMA submission can cover.  ``event`` is created
+    *before* any consumer submits (consumers park on it) and recorded on
+    the window stream right after the merged transfer at flush time.
+    ``source_events`` order the flush behind in-flight materializations
+    of the source replicas (multi-GPU peer sources only).
+    """
+
+    arrays: list = field(default_factory=list)
+    event: "SimEvent | None" = None
+    kind: "TransferKind | None" = None
+    source_events: list = field(default_factory=list)
+
+
+@dataclass
 class _MultiPlanned:
     """In-flight overlay over a :class:`MultiGpuArray`'s committed
     location set.
@@ -161,9 +190,14 @@ class CoherenceEngine:
         engine: "SimEngine",
         policy: MovementPolicy = MovementPolicy.EAGER_PREFETCH,
         op_tags: dict | None = None,
+        window: int = 0,
     ) -> None:
         self.engine = engine
         self.policy = policy
+        #: submission-window size for cross-acquire BATCHED coalescing:
+        #: 0 flushes per acquire (classic BATCHED); N > 0 merges the
+        #: stale inputs of up to N adjacent acquires into one transfer
+        self.window = int(window)
         #: extra key/values stamped on every transfer op this engine
         #: submits (shared by reference with the owning executor, e.g.
         #: the tenant tags of ``repro.serve``)
@@ -192,6 +226,18 @@ class CoherenceEngine:
         self.transfer_ops = 0
         #: transfers saved by BATCHED coalescing
         self.coalesced_transfers = 0
+        # -- submission-window coalescer state --------------------------
+        #: pending groups: (source, dest) -> _WindowGroup.  Single-GPU
+        #: deferrals live under the ``_SINGLE_GROUP`` sentinel (-2, -2),
+        #: which no multi-GPU (source, dest) pair can collide with; dict
+        #: order is flush order (a group sourcing from another group's
+        #: destination replica is necessarily inserted after it, so
+        #: insertion order is safe).
+        self._win_groups: dict[tuple[int, int], _WindowGroup] = {}
+        #: acquires deferred into the open window (window-full trigger)
+        self._win_acquires = 0
+        #: dedicated per-destination transfer streams (lazily created)
+        self._win_streams: dict[int, "SimStream"] = {}
 
     # -- planned-state queries ------------------------------------------------
 
@@ -288,6 +334,9 @@ class CoherenceEngine:
         self._multi_pending.clear()
         self._multi_planned.clear()
         self._committed_gen.clear()
+        self._win_groups.clear()
+        self._win_acquires = 0
+        self.engine.remove_pre_sync_hook(id(self))
 
     # -- access declaration: GPU side ---------------------------------------
 
@@ -319,6 +368,11 @@ class CoherenceEngine:
                 if supports_faults
                 else TransferKind.EAGER
             )
+        # Policy boundary: an acquire that moves data some other way
+        # closes the open coalescing window first, keeping mixed-policy
+        # executors (e.g. the hand-tuned baseline) deterministic.
+        if self._win_groups and policy is not MovementPolicy.BATCHED:
+            self.flush_window()
 
         plan = AcquirePlan()
         self._wait_pending(
@@ -337,6 +391,8 @@ class CoherenceEngine:
         if stale:
             if policy is MovementPolicy.PAGE_FAULT:
                 self._plan_faults(stale, plan)
+            elif policy is MovementPolicy.BATCHED and self.window > 0:
+                self._defer_batched(stale, stream, kind)
             elif policy is MovementPolicy.BATCHED:
                 self._submit_batched(stale, stream, label, kind)
             else:
@@ -450,6 +506,141 @@ class CoherenceEngine:
             plan.event = event
             plan.stream = stream
 
+    # -- submission-window coalescer -----------------------------------------
+
+    #: group key of single-GPU (host -> primary device) deferrals; multi
+    #: -GPU groups use real (source, destination) index pairs, which are
+    #: always >= -1, so this key can never collide
+    _SINGLE_GROUP = (-2, -2)
+
+    def _window_stream(self, device_index: int) -> "SimStream":
+        """The dedicated transfer stream merged windows flush on (one
+        per destination device, created lazily, reclaimed with the
+        owning executor via :meth:`take_owned_streams`)."""
+        stream = self._win_streams.get(device_index)
+        if stream is None:
+            stream = self.engine.create_stream(
+                label=f"coalesce-g{device_index}",
+                device_index=device_index,
+            )
+            self._win_streams[device_index] = stream
+        return stream
+
+    def take_owned_streams(self) -> tuple["SimStream", ...]:
+        """Streams this engine created for itself (the window
+        coalescer's transfer streams).  A retiring executor hands them
+        back to the engine alongside its context streams, so long-lived
+        serving engines do not accumulate dead coalescing streams."""
+        streams = tuple(self._win_streams.values())
+        self._win_streams = {}
+        return streams
+
+    def _open_group(
+        self, key: tuple[int, int], kind: "TransferKind"
+    ) -> _WindowGroup:
+        group = self._win_groups.get(key)
+        if group is not None:
+            return group
+        if not self._win_groups:
+            # First deferral of this window: make sure any host sync
+            # flushes us (a consumer parked on an unrecorded window
+            # event would otherwise deadlock the sync).
+            self.engine.add_pre_sync_hook(id(self), self.flush_window)
+        group = _WindowGroup(
+            event=SimEvent(label=f"coalesce:{key[0]}to{key[1]}"),
+            kind=kind,
+        )
+        self._win_groups[key] = group
+        return group
+
+    def _defer_batched(
+        self,
+        stale: list[DeviceArray],
+        stream: "SimStream",
+        kind: "TransferKind",
+    ) -> None:
+        """Defer one acquire's stale inputs into the open submission
+        window instead of submitting their transfer now.  The consumer
+        parks on the window's pre-created event; the merged transfer is
+        submitted at flush time on the dedicated window stream."""
+        group = self._win_groups.get(self._SINGLE_GROUP)
+        if group is not None and group.kind is not kind:
+            self.flush_window()  # transfer-kind boundary
+        group = self._open_group(self._SINGLE_GROUP, kind)
+        win_stream = self._window_stream(0)
+        for array in stale:
+            self._overlay(
+                array,
+                device_valid=True,
+                event=group.event,
+                stream=win_stream,
+            )
+            group.arrays.append(array)
+        self.engine.wait_event(stream, group.event)
+        self._note_deferred_acquire()
+
+    def _note_deferred_acquire(self) -> None:
+        self._win_acquires += 1
+        if self._win_acquires >= self.window:
+            self.flush_window()
+
+    def flush_window(self) -> None:
+        """Flush every pending coalescing group: one merged transfer per
+        (source, destination) pair on its window stream, followed by the
+        group's event record so parked consumers unblock.
+
+        Idempotent; called on window-full, at policy boundaries, before
+        CPU accesses, and from the engine's pre-sync hooks on every host
+        synchronization.
+        """
+        if not self._win_groups:
+            return
+        groups = self._win_groups
+        self._win_groups = {}
+        self._win_acquires = 0
+        self.engine.remove_pre_sync_hook(id(self))
+        for (source, dest), group in groups.items():
+            assert group.event is not None and group.kind is not None
+            if (source, dest) == self._SINGLE_GROUP:
+                self._flush_single_group(group)
+            else:
+                self._flush_multi_group(group, source, dest)
+
+    def _flush_single_group(self, group: _WindowGroup) -> None:
+        win_stream = self._window_stream(0)
+        arrays = group.arrays
+        total = sum(a.nbytes for a in arrays)
+        names = ",".join(a.name for a in arrays)
+        self._submit_migration(
+            TransferOp(
+                label=f"HtoD:window[{names}]",
+                direction=TransferDirection.HOST_TO_DEVICE,
+                nbytes=total,
+                kind=group.kind,
+            ),
+            arrays,
+            win_stream,
+        )
+        self.coalesced_transfers += max(0, len(arrays) - 1)
+        self.engine.record_event(win_stream, event=group.event)
+        for array in arrays:
+            plan = self._plan_of(array)
+            if plan is not None:
+                plan.event = group.event
+                plan.stream = win_stream
+
+    def _flush_multi_group(
+        self, group: _WindowGroup, source: int, dest: int
+    ) -> None:
+        win_stream = self._window_stream(dest)
+        for ev in group.source_events:
+            if not ev.complete:
+                self.engine.wait_event(win_stream, ev)
+        self.coalesced_transfers += max(0, len(group.arrays) - 1)
+        self._submit_multi_migration(
+            group.arrays, source, dest, win_stream, event=group.event
+        )
+
     def _submit_migration(
         self,
         op: TransferOp,
@@ -518,6 +709,7 @@ class CoherenceEngine:
         with ``sync=True`` (the default) the migration is drained and
         transitions commit before returning.
         """
+        self.flush_window()  # host access closes the coalescing window
         if kind is AccessKind.WRITE and touched >= array.nbytes:
             self.invalidate_device_copy(array)
             return None
@@ -701,9 +893,15 @@ class CoherenceEngine:
         spec = self.engine.devices[device_index].spec
         if policy is MovementPolicy.PAGE_FAULT and not spec.supports_page_faults:
             policy = MovementPolicy.EAGER_PREFETCH
+        if self._win_groups and policy is not MovementPolicy.BATCHED:
+            self.flush_window()  # policy boundary (see ``acquire``)
+        windowed = policy is MovementPolicy.BATCHED and self.window > 0
         plan = AcquirePlan()
         #: stale reads grouped by source (BATCHED coalescing unit)
         stale_by_source: dict[int, list["MultiGpuArray"]] = {}
+        #: (array, source, in-flight source event) tuples deferred into
+        #: the submission window instead of migrating now
+        deferred: list[tuple["MultiGpuArray", int, "SimEvent | None"]] = []
         seen: set[int] = set()
         for array, access in accesses:
             if not access.reads or id(array) in seen:
@@ -720,10 +918,19 @@ class CoherenceEngine:
             # A peer copy (or a faulting kernel reading a peer replica)
             # must not start before the source replica is itself fully
             # materialized — its migration may be in flight elsewhere.
+            source_pending = None
             if source >= 0:
                 source_pending = self._multi_pending.get((id(array), source))
-                if source_pending is not None and not source_pending.complete:
-                    self.engine.wait_event(stream, source_pending)
+                if source_pending is not None and source_pending.complete:
+                    source_pending = None
+            if windowed:
+                # The merged transfer (not the consumer) orders behind
+                # the source replica; the consumer parks on the window
+                # event instead.
+                deferred.append((array, source, source_pending))
+                continue
+            if source_pending is not None:
+                self.engine.wait_event(stream, source_pending)
             if policy is MovementPolicy.PAGE_FAULT:
                 # The fault engine migrates on demand, charged to the
                 # kernel; residency commits when the kernel completes.
@@ -745,6 +952,8 @@ class CoherenceEngine:
             else:
                 stale_by_source.setdefault(source, []).append(array)
 
+        if deferred:
+            self._defer_multi(deferred, device_index, stream)
         batched = policy is MovementPolicy.BATCHED
         for source, arrays in stale_by_source.items():
             groups = [arrays] if batched else [[a] for a in arrays]
@@ -756,16 +965,59 @@ class CoherenceEngine:
                 )
         return plan
 
+    def _defer_multi(
+        self,
+        deferred: list[tuple["MultiGpuArray", int, "SimEvent | None"]],
+        device_index: int,
+        stream: "SimStream",
+    ) -> None:
+        """Defer one multi-GPU acquire's stale reads into the submission
+        window: arrays join the (source, destination) group they can
+        share a DMA submission with, the planned overlay and pending-
+        migration map advance as if the mirror were already in flight,
+        and the consumer parks on the group's pre-created event.
+
+        A deferral whose *source* replica is itself pending in the open
+        window flushes first: two groups each sourcing a replica the
+        other creates would otherwise wait on each other's unrecorded
+        events (the window streams deadlock).  After the flush every
+        source event's record is already submitted, so wait chains stay
+        acyclic by construction."""
+        events: dict[int, "SimEvent"] = {}
+        for array, source, source_pending in deferred:
+            if source_pending is not None and any(
+                g.event is source_pending
+                for g in self._win_groups.values()
+            ):
+                self.flush_window()
+            group = self._open_group(
+                (source, device_index), TransferKind.PREFETCH
+            )
+            group.arrays.append(array)
+            if source_pending is not None:
+                group.source_events.append(source_pending)
+            self._multi_overlay(array).valid_on.add(device_index)
+            assert group.event is not None
+            self._multi_pending[(id(array), device_index)] = group.event
+            events[group.event.event_id] = group.event
+        for event in events.values():
+            self.engine.wait_event(stream, event)
+        self._note_deferred_acquire()
+
     def _submit_multi_migration(
         self,
         arrays: list["MultiGpuArray"],
         source: int,
         device_index: int,
         stream: "SimStream",
+        event: "SimEvent | None" = None,
     ) -> None:
         """One mirror covering ``arrays`` from ``source`` (-1 = host) to
         ``device_index``: planned overlay at submission, committed
-        location set at completion, ordering event recorded after."""
+        location set at completion, ordering event recorded after.
+        ``event`` records a pre-created event (the submission-window
+        flush path, whose consumers already park on it) instead of a
+        fresh one."""
         total = sum(a.nbytes for a in arrays)
         names = ",".join(a.name for a in arrays)
         direction = (
@@ -817,7 +1069,7 @@ class CoherenceEngine:
         self.transfer_ops += 1
         self.migrated_bytes_total += op.nbytes
         event = self.engine.record_event(
-            stream, label=f"mig:{names}@gpu{device_index}"
+            stream, event=event, label=f"mig:{names}@gpu{device_index}"
         )
         for array in arrays:
             self._multi_pending[(id(array), device_index)] = event
@@ -884,6 +1136,7 @@ class CoherenceEngine:
         path already applied it (``copy_from_host`` marks internally) —
         one transition per write, pending cleanup always.
         """
+        self.flush_window()
         if mark:
             array.mark_cpu_write()
         self._multi_epoch[id(array)] = (
@@ -902,6 +1155,7 @@ class CoherenceEngine:
     ) -> TransferOp | None:
         """Host readback of a multi-GPU array (device-to-host writeback
         from whichever replica is valid)."""
+        self.flush_window()
         if self.multi_host_valid(array):
             return None
         op = TransferOp(

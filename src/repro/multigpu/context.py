@@ -315,10 +315,13 @@ class MultiGpuExecutionContext(ExecutionContext):
     # -- introspection --------------------------------------------------------
 
     def reclaimable_streams(self) -> tuple[SimStream, ...]:
-        return tuple(
-            s
-            for per_dev in self._per_device
-            for s in per_dev.streams.streams
+        return (
+            tuple(
+                s
+                for per_dev in self._per_device
+                for s in per_dev.streams.streams
+            )
+            + self.coherence.take_owned_streams()
         )
 
     def device_kernel_counts(self) -> list[int]:

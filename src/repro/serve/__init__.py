@@ -4,11 +4,14 @@ The paper's scheduler extracts parallelism from *one* host program's
 computation DAG.  This package makes the jump to shared infrastructure:
 a :class:`SchedulerService` accepts task-graph submissions from many
 logical tenants, admission-controls them (FIFO / priority / fair-share),
-and dispatches them onto a :class:`GpuFleet` — a pool of long-lived
-:class:`~repro.session.Session` instances placed per the multi-GPU
-policies (round-robin / min-transfer / least-loaded) — with
-request batching, a reusable-capture cache and service-level metrics
-(p50/p95/p99 latency, throughput, fleet utilization).
+and dispatches them onto a :class:`GpuFleet` — a *topology spec* of
+serving slots (e.g. ``[2, 2, 1, 1]`` GPUs per slot), each a long-lived
+multi- or single-GPU :class:`~repro.session.Session`, placed per the
+shared policy vocabulary (round-robin / min-transfer / least-loaded at
+the service level, composing with the in-slot device placement) — with
+request batching, a per-(topology, slot-shape) capture cache and
+service-level metrics (p50/p95/p99 latency, throughput, fleet
+utilization).
 
 Quickstart::
 
@@ -35,7 +38,12 @@ from repro.serve.admission import (
     make_queue,
 )
 from repro.serve.capture import CaptureCache, CapturePlan, derive_plan
-from repro.serve.fleet import FleetDevice, GpuFleet
+from repro.serve.fleet import (
+    FleetDevice,
+    FleetSlot,
+    GpuFleet,
+    parse_fleet_spec,
+)
 from repro.serve.request import (
     ArrayDecl,
     GraphRequest,
@@ -62,7 +70,9 @@ __all__ = [
     "FairShareQueue",
     "FifoQueue",
     "FleetDevice",
+    "FleetSlot",
     "GpuFleet",
+    "parse_fleet_spec",
     "GraphRequest",
     "GraphResult",
     "KernelDecl",

@@ -10,10 +10,13 @@ plan: kernels are submitted straight onto pre-assigned streams with
 pre-computed event waits, skipping per-launch dependency computation —
 the CUDA-Graphs amortization, applied fleet-wide.
 
-The plan is topology-pure (stream indices + wait edges), so one cache
-entry serves every device and every tenant; correctness is
-unchanged because the plan derives from the same dependency-set analysis
-the runtime scheduler performs.
+The plan itself is topology-pure (stream indices + wait edges), so it
+serves every tenant; cache entries are keyed per **(graph topology,
+slot shape)** — a multi-GPU fleet slot replays plan stream ``i`` on
+slot device ``i % gpus``, so slots of different shapes (device count or
+model mix) must not share an entry even though the wait edges coincide.
+Correctness is unchanged because the plan derives from the same
+dependency-set analysis the runtime scheduler performs.
 """
 
 from __future__ import annotations
@@ -41,7 +44,7 @@ class CapturePlan:
 
 
 class CaptureCache:
-    """Topology-keyed cache of :class:`CapturePlan` s."""
+    """(topology, slot shape)-keyed cache of :class:`CapturePlan` s."""
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
@@ -55,13 +58,17 @@ class CaptureCache:
     def __len__(self) -> int:
         return len(self._plans)
 
-    def lookup(self, graph: TaskGraph) -> CapturePlan | None:
-        """The cached plan for ``graph``'s topology, counting a hit; on a
+    def lookup(
+        self, graph: TaskGraph, shape_key: tuple | None = None
+    ) -> CapturePlan | None:
+        """The cached plan for ``graph``'s topology on a slot of
+        ``shape_key`` (see :attr:`repro.serve.fleet.FleetSlot.shape_key`;
+        None means a shape-agnostic single entry), counting a hit; on a
         miss the plan is derived, cached and returned as None so the
         caller takes the capture (context) path once."""
         if not self.enabled:
             return None
-        key = graph.topology_key()
+        key = (graph.topology_key(), shape_key)
         plan = self._plans.get(key)
         if plan is not None:
             self.hits += 1

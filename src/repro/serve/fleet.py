@@ -1,26 +1,37 @@
 """The simulated GPU fleet behind the serving layer.
 
 A :class:`GpuFleet` is a pool of :class:`~repro.session.Session`
-instances — one long-lived single-GPU session (device + engine) per
-fleet slot — plus the placement decision: *which GPU serves the next
-admitted request*.  Placement reuses the runtime's policy vocabulary
-(:class:`repro.core.policies.DevicePlacementPolicy`):
+instances — one long-lived session per fleet *slot* — plus the
+service-level placement decision: *which slot serves the next admitted
+request*.  Since PR 5 a slot is no longer pinned to one GPU: the fleet
+takes a **topology spec** (e.g. ``[2, 2, 1, 1]`` GPUs per slot), each
+slot is a real ``Session(gpus=k)``, and a single admitted graph spans
+the slot's devices under the session's in-slot
+:class:`~repro.core.policies.DevicePlacementPolicy` — the paper's
+multi-GPU scheduler, now reachable from the serving path.
 
-* ``ROUND_ROBIN`` — cycle through the fleet;
-* ``LEAST_LOADED`` — the device that becomes available earliest (its
-  engine's virtual clock is the time it would start new work);
-* ``MIN_TRANSFER`` — the serving analogue of "compute data location and
-  migration costs at run time": a device that has already served this
-  graph topology is *warm* (kernels built, capture plan exercised, no
-  setup bytes to move) and is preferred; cold devices are priced at the
-  graph's full UM footprint, tie-broken by availability.
+Placement therefore composes across two levels:
 
-Each device keeps a per-fleet kernel cache (kernels bind the runtime's
-context *dispatcher*, so they survive per-request context renewal) and a
-reusable replay-stream pool for capture-cache fast paths.
+* **service-level** (this module): which *slot* gets the request —
+  ``ROUND_ROBIN`` cycles the fleet; ``LEAST_LOADED`` picks the slot
+  that becomes available earliest (ties resolve in slot-id order, so
+  serving replays are reproducible); ``MIN_TRANSFER`` prefers a slot
+  that has already served this graph topology (*warm*: kernels built,
+  capture plan exercised), pricing cold slots at the graph's full UM
+  footprint and tie-breaking on availability then slot id.
+* **in-slot** (:mod:`repro.multigpu.context`): which GPU of the slot
+  runs each kernel, configured through the shared
+  :class:`~repro.core.policies.SchedulerConfig` ``placement`` knob
+  (defaulting to the paper's MIN_TRANSFER pricing).
+
+Each slot keeps a per-fleet kernel cache (kernels bind the session's
+context *dispatcher*, so they survive per-request context renewal) and
+reusable per-device replay-stream pools for capture-cache fast paths.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 from repro.core.policies import DevicePlacementPolicy, SchedulerConfig
 from repro.gpusim.specs import GPUSpec, gpu_by_name
@@ -29,23 +40,103 @@ from repro.kernels.kernel import Kernel
 from repro.serve.request import GraphRequest
 from repro.session import Session
 
+#: what one entry of a fleet topology spec may be (see
+#: :func:`normalize_slot_spec`)
+SlotSpec = "int | str | GPUSpec | Sequence[str | GPUSpec] | tuple"
 
-class FleetDevice:
-    """One GPU of the fleet: a long-lived session plus serving state."""
 
-    def __init__(self, index: int, spec: GPUSpec,
-                 config: SchedulerConfig | None = None) -> None:
+def parse_fleet_spec(text: str) -> list[int]:
+    """Parse a CLI fleet spec like ``"2,2,1,1"`` into GPUs-per-slot.
+
+    Raises :class:`ValueError` on empty specs or non-positive counts.
+    """
+    try:
+        counts = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise ValueError(
+            f"fleet spec {text!r} must be comma-separated integers"
+            " (GPUs per slot), e.g. '2,2,1,1'"
+        ) from None
+    if not counts or any(c <= 0 for c in counts):
+        raise ValueError(
+            f"fleet spec {text!r} needs at least one positive GPU count"
+        )
+    return counts
+
+
+def normalize_slot_spec(
+    entry: "SlotSpec", default_gpu: str | GPUSpec
+) -> list[GPUSpec]:
+    """One topology entry -> the slot's GPU list.
+
+    Accepted forms: an ``int`` (that many ``default_gpu`` s), a GPU name
+    or :class:`GPUSpec` (a 1-GPU slot), a ``(count, model)`` pair, or a
+    sequence of names/specs (a heterogeneous slot).
+    """
+    if isinstance(entry, bool):
+        raise ValueError("a slot spec cannot be a bool")
+    if isinstance(entry, int):
+        if entry <= 0:
+            raise ValueError(f"a slot needs >= 1 GPU, got {entry}")
+        model = (
+            gpu_by_name(default_gpu)
+            if isinstance(default_gpu, str)
+            else default_gpu
+        )
+        return [model] * entry
+    if isinstance(entry, (str, GPUSpec)):
+        return [gpu_by_name(entry) if isinstance(entry, str) else entry]
+    entries = list(entry)
+    if (
+        len(entries) == 2
+        and isinstance(entries[0], int)
+        and isinstance(entries[1], (str, GPUSpec))
+    ):
+        count, model = entries
+        if count <= 0:
+            raise ValueError(f"a slot needs >= 1 GPU, got {count}")
+        spec = gpu_by_name(model) if isinstance(model, str) else model
+        return [spec] * count
+    if not entries:
+        raise ValueError("a slot spec cannot be empty")
+    for e in entries:
+        if not isinstance(e, (str, GPUSpec)):
+            raise ValueError(
+                "a heterogeneous slot spec must list GPU names or"
+                f" specs, got {e!r} — use an int (or a (count, model)"
+                " pair) per slot for GPU counts"
+            )
+    return [
+        gpu_by_name(e) if isinstance(e, str) else e for e in entries
+    ]
+
+
+class FleetSlot:
+    """One serving slot of the fleet: a long-lived (possibly multi-GPU)
+    session plus serving state."""
+
+    def __init__(
+        self,
+        index: int,
+        specs: list[GPUSpec],
+        config: SchedulerConfig | None = None,
+    ) -> None:
         self.index = index
+        self.gpus = len(specs)
         # serving=True: the shared SchedulerConfig may carry serving
         # knobs (admission) that a plain compute session must reject.
-        self.session = Session(gpus=1, gpu=spec, config=config,
-                               serving=True)
+        self.session = Session(
+            gpus=len(specs),
+            gpu=specs if len(specs) > 1 else specs[0],
+            config=config,
+            serving=True,
+        )
         #: kernel cache: KernelDecl.identity -> built Kernel
         self._kernels: dict[tuple, Kernel] = {}
-        #: topology keys this device has served (MIN_TRANSFER warmth)
+        #: topology keys this slot has served (MIN_TRANSFER warmth)
         self.warm_topologies: set[tuple] = set()
-        #: replay stream pool (capture fast path)
-        self._replay_streams: list[SimStream] = []
+        #: replay stream pools, one per slot device (capture fast path)
+        self._replay_pools: dict[int, list[SimStream]] = {}
         self.requests_served = 0
         self.kernels_launched = 0
 
@@ -60,11 +151,19 @@ class FleetDevice:
 
     @property
     def clock(self) -> float:
-        """Virtual time at which this device would start new work."""
+        """Virtual time at which this slot would start new work."""
         return self.session.engine.clock
 
+    @property
+    def shape_key(self) -> tuple:
+        """Hashable slot shape: device count + models.  Capture plans
+        are keyed per (graph topology, slot shape) — a 2-GPU slot's
+        replay schedule assigns devices, so a 1-GPU slot cannot share
+        it."""
+        return (self.gpus, tuple(s.name for s in self.session.specs))
+
     def kernel_for(self, decl) -> Kernel:
-        """Build-or-reuse the kernel for ``decl`` on this device."""
+        """Build-or-reuse the kernel for ``decl`` on this slot."""
         kernel = self._kernels.get(decl.identity)
         if kernel is None:
             kernel = self.session.build_kernel(
@@ -73,40 +172,65 @@ class FleetDevice:
             self._kernels[decl.identity] = kernel
         return kernel
 
-    def lease_replay_streams(self, count: int) -> list[SimStream]:
-        """``count`` idle streams from the replay pool, growing it on
-        demand.  Pool streams are only used between engine syncs, so
-        reuse is safe."""
-        while len(self._replay_streams) < count:
-            self._replay_streams.append(
-                self.engine.create_stream(
-                    label=f"replay{self.index}-{len(self._replay_streams)}"
+    def replay_streams(
+        self, stream_count: int, member: int = 0
+    ) -> list[SimStream]:
+        """The replay streams for one batch member: plan stream ``i``
+        maps to slot device ``i % gpus`` (the deterministic round-robin
+        the replay path shares with plan derivation), drawn from
+        per-device pools that grow on demand.  Members get disjoint
+        stream slices so they space-share instead of serializing behind
+        shared FIFOs; pool streams are only used between engine syncs,
+        so cross-batch reuse is safe."""
+        per_member = -(-stream_count // self.gpus)  # ceil
+        out: list[SimStream] = []
+        next_on_device: dict[int, int] = {}
+        for i in range(stream_count):
+            device_index = i % self.gpus
+            ordinal = next_on_device.get(device_index, 0)
+            next_on_device[device_index] = ordinal + 1
+            slot_index = member * per_member + ordinal
+            pool = self._replay_pools.setdefault(device_index, [])
+            while len(pool) <= slot_index:
+                pool.append(
+                    self.engine.create_stream(
+                        label=(
+                            f"replay{self.index}-g{device_index}"
+                            f"-{len(pool)}"
+                        ),
+                        device_index=device_index,
+                    )
                 )
-            )
-        return self._replay_streams[:count]
+            out.append(pool[slot_index])
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"<FleetDevice {self.index} {self.session.spec.name}"
-            f" served={self.requests_served}>"
+            f"<FleetSlot {self.index} {self.gpus}x"
+            f" {self.session.spec.name} served={self.requests_served}>"
         )
 
 
+#: Backwards-compatible name: a 1-GPU slot is what used to be a
+#: ``FleetDevice``.
+FleetDevice = FleetSlot
+
+
 class GpuFleet:
-    """A pool of simulated GPUs with a placement policy."""
+    """A fleet of serving slots with a service-level placement policy."""
 
     def __init__(
         self,
-        gpus: list[str | GPUSpec],
+        slots: "Sequence[SlotSpec]",
         policy: DevicePlacementPolicy = DevicePlacementPolicy.LEAST_LOADED,
         config: SchedulerConfig | None = None,
+        gpu: str | GPUSpec = "GTX 1660 Super",
     ) -> None:
-        if not gpus:
-            raise ValueError("a fleet needs at least one GPU")
-        specs = [gpu_by_name(g) if isinstance(g, str) else g for g in gpus]
-        self.devices = [
-            FleetDevice(i, spec, config=config)
-            for i, spec in enumerate(specs)
+        if not slots:
+            raise ValueError("a fleet needs at least one slot")
+        self.slots = [
+            FleetSlot(i, normalize_slot_spec(entry, gpu), config=config)
+            for i, entry in enumerate(slots)
         ]
         self.policy = policy
         self._rr_next = 0
@@ -118,34 +242,76 @@ class GpuFleet:
         gpu: str | GPUSpec = "GTX 1660 Super",
         policy: DevicePlacementPolicy = DevicePlacementPolicy.LEAST_LOADED,
         config: SchedulerConfig | None = None,
+        gpus_per_slot: int = 1,
     ) -> "GpuFleet":
-        """Factory: a homogeneous fleet of ``size`` × ``gpu``."""
+        """Factory: a homogeneous fleet of ``size`` slots, each with
+        ``gpus_per_slot`` × ``gpu``."""
         if size <= 0:
             raise ValueError("fleet size must be positive")
-        return cls([gpu] * size, policy=policy, config=config)
+        return cls(
+            [gpus_per_slot] * size, policy=policy, config=config, gpu=gpu
+        )
+
+    @property
+    def devices(self) -> list[FleetSlot]:
+        """Deprecated alias for :attr:`slots` (pre-topology name)."""
+        return self.slots
+
+    @property
+    def topology(self) -> list[int]:
+        """GPUs per slot, e.g. ``[2, 2, 1, 1]``."""
+        return [slot.gpus for slot in self.slots]
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(slot.gpus for slot in self.slots)
+
+    def gpu_models(self) -> list[str]:
+        """Distinct GPU model names across the whole fleet, sorted."""
+        return sorted(
+            {
+                spec.name
+                for slot in self.slots
+                for spec in slot.session.specs
+            }
+        )
+
+    def describe(self) -> str:
+        """Human-readable topology: ``[2,2,1,1]x GTX 1660 Super`` for a
+        homogeneous fleet, all models listed for a mixed one."""
+        shape = f"[{','.join(str(g) for g in self.topology)}]"
+        models = self.gpu_models()
+        if len(models) == 1:
+            return f"{shape}x {models[0]}"
+        return f"{shape}x mixed({' + '.join(models)})"
 
     def __len__(self) -> int:
-        return len(self.devices)
+        return len(self.slots)
 
     # -- placement ---------------------------------------------------------
 
-    def choose(self, request: GraphRequest) -> FleetDevice:
-        """Pick the device that serves ``request`` per the policy."""
+    def choose(self, request: GraphRequest) -> FleetSlot:
+        """Pick the slot that serves ``request`` per the policy.
+
+        Every policy's key ends in the slot id, so equal-cost slots
+        resolve in stable slot-id order and serving runs replay
+        deterministically.
+        """
         if self.policy is DevicePlacementPolicy.ROUND_ROBIN:
-            device = self.devices[self._rr_next]
-            self._rr_next = (self._rr_next + 1) % len(self.devices)
-            return device
+            slot = self.slots[self._rr_next]
+            self._rr_next = (self._rr_next + 1) % len(self.slots)
+            return slot
         if self.policy is DevicePlacementPolicy.LEAST_LOADED:
-            return min(self.devices, key=lambda d: (d.clock, d.index))
+            return min(self.slots, key=lambda s: (s.clock, s.index))
         # MIN_TRANSFER: migration cost first, availability tie-break.
         key = request.topology_key
         return min(
-            self.devices,
-            key=lambda d: (
-                0 if key in d.warm_topologies
+            self.slots,
+            key=lambda s: (
+                0 if key in s.warm_topologies
                 else request.graph.total_bytes,
-                d.clock,
-                d.index,
+                s.clock,
+                s.index,
             ),
         )
 
@@ -153,15 +319,18 @@ class GpuFleet:
 
     @property
     def makespan(self) -> float:
-        """Virtual time by which every device has drained."""
-        return max(d.clock for d in self.devices)
+        """Virtual time by which every slot has drained."""
+        return max(s.clock for s in self.slots)
 
     def kernel_counts(self) -> list[int]:
-        return [d.kernels_launched for d in self.devices]
+        return [s.kernels_launched for s in self.slots]
 
 
 __all__ = [
     "FleetDevice",
+    "FleetSlot",
     "GpuFleet",
     "DevicePlacementPolicy",
+    "normalize_slot_spec",
+    "parse_fleet_spec",
 ]

@@ -4,15 +4,20 @@
 scheduler to shared-infrastructure dispatch: many logical tenants submit
 :class:`~repro.serve.request.TaskGraph` s; an admission-control queue
 (FIFO / priority / fair-share) decides *who* goes next; the
-:class:`~repro.serve.fleet.GpuFleet` placement policy decides *where*;
-and each admitted graph executes with full per-request isolation — its
-own execution context (DAG, stream manager, history) on a long-lived
-per-device :class:`~repro.session.Session`, via
-:meth:`~repro.session.Session.renew_context`-style re-entrant context
-use.  Admission and placement may live directly in the fleet-wide
-:class:`~repro.core.policies.SchedulerConfig` (the unified-session
-spelling) or be set on :class:`ServeConfig` (the legacy spelling);
-explicit ``ServeConfig`` values win.
+:class:`~repro.serve.fleet.GpuFleet` placement policy decides *where*
+— which fleet *slot*, each a long-lived (possibly multi-GPU)
+:class:`~repro.session.Session` — and the slot's own in-slot
+:class:`~repro.core.policies.DevicePlacementPolicy` decides which of
+its GPUs runs each kernel, so a single admitted graph spans devices.
+Each admitted graph executes with full per-request isolation — its own
+execution context (DAG, stream manager, history) on the slot's session,
+via :meth:`~repro.session.Session.renew_context`-style re-entrant
+context use.  Admission and placement may live directly in the
+fleet-wide :class:`~repro.core.policies.SchedulerConfig` (the
+unified-session spelling) or be set on :class:`ServeConfig` (the legacy
+spelling); explicit ``ServeConfig`` values win.  ``ServeConfig``
+placement picks slots; the scheduler config's ``placement`` governs the
+in-slot device decision (defaulting to the paper's MIN_TRANSFER).
 
 Two optimizations ride the dispatch path:
 
@@ -25,7 +30,10 @@ Two optimizations ride the dispatch path:
   dependency-inference path while a replayable multi-stream plan is
   recorded through :mod:`repro.graphs.capture`; later requests replay the
   plan, skipping per-launch dependency computation (the CUDA-Graphs
-  amortization, shared across tenants and devices).
+  amortization, shared across tenants).  Plans are keyed per
+  (graph topology, slot shape): a multi-GPU slot's replay assigns plan
+  streams round-robin over its devices, so slots of different shapes
+  derive separate plans.
 
 Correctness invariant, enforced by the integration tests: every
 request's numerical outputs are identical to executing its graph alone
@@ -57,9 +65,10 @@ from repro.kernels.profile import combine_resources
 from repro.memory.array import AccessKind, DeviceArray
 from repro.memory.coherence import CoherenceEngine
 from repro.metrics.service import ServiceMetrics, compute_service_metrics
+from repro.multigpu.array import MultiGpuArray
 from repro.serve.admission import make_queue
 from repro.serve.capture import CaptureCache, CapturePlan
-from repro.serve.fleet import FleetDevice, GpuFleet
+from repro.serve.fleet import FleetSlot, GpuFleet, parse_fleet_spec
 from repro.serve.request import GraphRequest, GraphResult, TaskGraph
 from repro.serve.tenant import TenantState
 
@@ -121,8 +130,7 @@ class ServiceReport:
             "========================",
             f"admission={self.config.admission.value}"
             f"  placement={self.fleet.policy.value}"
-            f"  fleet={len(self.fleet)}x"
-            f" {self.fleet.devices[0].session.spec.name}",
+            f"  fleet={self.fleet.describe()}",
             f"requests={m.completed}  tenants={m.tenants}"
             f"  makespan={m.makespan * 1e3:.3f} ms"
             f"  throughput={m.throughput_rps:.1f} req/s",
@@ -160,19 +168,19 @@ class _Submission:
     def __init__(
         self,
         request: GraphRequest,
-        device: FleetDevice,
+        slot: FleetSlot,
         start_time: float,
         batch_id: int,
         batch_size: int,
         replayed: bool,
     ) -> None:
         self.request = request
-        self.device = device
+        self.slot = slot
         self.start_time = start_time
         self.batch_id = batch_id
         self.batch_size = batch_size
         self.replayed = replayed
-        self.arrays: dict[str, DeviceArray] = {}
+        self.arrays: dict[str, DeviceArray | MultiGpuArray] = {}
         self.context = None            # context path only
         self.coherence: CoherenceEngine | None = None   # replay path
         self.history: list[KernelExecutionRecord] = []  # replay path
@@ -187,16 +195,27 @@ class SchedulerService:
         fleet: GpuFleet | None = None,
         *,
         fleet_size: int = 2,
+        fleet_topology: str | list[int] | None = None,
         gpu: str = "GTX 1660 Super",
         config: ServeConfig | None = None,
     ) -> None:
         self.config = config or ServeConfig()
-        self.fleet = fleet or GpuFleet.build(
-            fleet_size,
-            gpu=gpu,
-            policy=self.config.placement,
-            config=self.config.scheduler,
-        )
+        if fleet is None:
+            if fleet_topology is not None:
+                topology = (
+                    parse_fleet_spec(fleet_topology)
+                    if isinstance(fleet_topology, str)
+                    else list(fleet_topology)
+                )
+            else:
+                topology = [1] * fleet_size
+            fleet = GpuFleet(
+                topology,
+                gpu=gpu,
+                policy=self.config.placement,
+                config=self.config.scheduler,
+            )
+        self.fleet = fleet
         self.queue = make_queue(self.config.admission)
         self.cache = CaptureCache(enabled=self.config.capture_cache)
         self.tenants: dict[str, TenantState] = {}
@@ -261,8 +280,8 @@ class SchedulerService:
                         self.config.batch_max - 1,
                     )
                 )
-            device = self.fleet.choose(head)
-            self._execute_batch(device, batch)
+            slot = self.fleet.choose(head)
+            self._execute_batch(slot, batch)
         return self.report()
 
     def report(self) -> ServiceReport:
@@ -271,7 +290,7 @@ class SchedulerService:
         self._build_tenant_timelines()
         metrics = compute_service_metrics(
             self.results,
-            [d.engine.timeline for d in self.fleet.devices],
+            [s.engine.timeline for s in self.fleet.slots],
             batches=self._batches,
             capture_hits=self.cache.hits,
             capture_misses=self.cache.misses,
@@ -287,13 +306,13 @@ class SchedulerService:
     # -- batch execution ---------------------------------------------------
 
     def _execute_batch(
-        self, device: FleetDevice, batch: list[GraphRequest]
+        self, slot: FleetSlot, batch: list[GraphRequest]
     ) -> None:
-        engine = device.engine
+        engine = slot.engine
         batch_id = next(self._batch_ids)
         self._batches += 1
 
-        # The device idles until the last coalesced arrival: a batch
+        # The slot idles until the last coalesced arrival: a batch
         # cannot causally start before its members exist (the classic
         # batching latency trade).
         start_floor = max(r.arrival_time for r in batch)
@@ -301,7 +320,7 @@ class SchedulerService:
             engine.charge_host_time(start_floor - engine.clock)
         engine.charge_host_time(self.config.dispatch_overhead_us * 1e-6)
 
-        plan = self.cache.lookup(batch[0].graph)
+        plan = self.cache.lookup(batch[0].graph, slot.shape_key)
         # Counter granularity is per *request*: every batch member rides
         # the head's lookup outcome.  (A disabled cache counts nothing.)
         if plan is not None:
@@ -310,10 +329,10 @@ class SchedulerService:
             self.cache.misses += len(batch) - 1
         submissions = [
             self._submit_replay(
-                device, r, plan, batch_id, len(batch), slot=i
+                slot, r, plan, batch_id, len(batch), member=i
             )
             if plan is not None
-            else self._submit_context(device, r, batch_id, len(batch))
+            else self._submit_context(slot, r, batch_id, len(batch))
             for i, r in enumerate(batch)
         ]
         if plan is not None:
@@ -324,13 +343,15 @@ class SchedulerService:
             self._finalize(sub)
 
         engine.sync_all()
-        self._reclaim_batch(device, submissions)
-        device.warm_topologies.add(batch[0].topology_key)
+        self._reclaim_batch(slot, submissions)
+        slot.warm_topologies.add(batch[0].topology_key)
 
     def _reclaim_batch(
-        self, device: FleetDevice, submissions: list[_Submission]
+        self, slot: FleetSlot, submissions: list[_Submission]
     ) -> None:
-        """Absorb histories, free arrays and reclaim context streams."""
+        """Absorb histories, free arrays and reclaim per-request
+        streams (context stream managers and coherence-owned coalescing
+        streams alike), so a long-lived slot engine stays bounded."""
         for sub in submissions:
             tenant = self.tenants[sub.request.tenant]
             if sub.context is not None:
@@ -338,28 +359,30 @@ class SchedulerService:
                     tenant.absorb_history(
                         sub.context.history.executions(name)
                     )
-                # Serial contexts run on the engine's default stream and
-                # own no stream manager.
-                streams = getattr(sub.context, "streams", None)
-                if streams is not None:
-                    device.engine.reclaim_streams(streams.streams)
+                slot.engine.reclaim_streams(
+                    sub.context.reclaimable_streams()
+                )
             else:
                 tenant.absorb_history(sub.history)
-        device.session.free_arrays()
-        device.requests_served += len(submissions)
+                assert sub.coherence is not None
+                slot.engine.reclaim_streams(sub.coherence.take_owned_streams())
+        slot.session.free_arrays()
+        slot.requests_served += len(submissions)
 
     # -- inference (context) path ---------------------------------------------
 
     def _submit_context(
         self,
-        device: FleetDevice,
+        slot: FleetSlot,
         request: GraphRequest,
         batch_id: int,
         batch_size: int,
     ) -> _Submission:
         """Serve one request through a fresh execution context: the full
-        dependency-inference scheduling path of the paper."""
-        rt = device.session
+        dependency-inference scheduling path of the paper (single-GPU
+        slots) or the multi-GPU device-placement scheduler (slots with
+        ``gpus > 1`` — the graph transparently spans the slot)."""
+        rt = slot.session
         graph = request.graph
         ctx = rt.renew_context(
             op_tags={
@@ -369,7 +392,7 @@ class SchedulerService:
             drain=False,
         )
         sub = _Submission(
-            request, device, device.engine.clock, batch_id, batch_size,
+            request, slot, slot.engine.clock, batch_id, batch_size,
             replayed=False,
         )
         sub.context = ctx
@@ -381,71 +404,85 @@ class SchedulerService:
             if decl.init is not None:
                 sub.arrays[name].copy_from_host(decl.init)
         for launch in graph.launches:
-            kernel = device.kernel_for(graph.kernel_by_name(launch.kernel))
+            kernel = slot.kernel_for(graph.kernel_by_name(launch.kernel))
             args = tuple(
                 sub.arrays[a] if isinstance(a, str) else a
                 for a in launch.args
             )
             kernel(launch.grid, launch.block)(*args)
-            device.kernels_launched += 1
+            slot.kernels_launched += 1
         return sub
 
     # -- capture-replay path -------------------------------------------------
 
     def _submit_replay(
         self,
-        device: FleetDevice,
+        slot: FleetSlot,
         request: GraphRequest,
         plan: CapturePlan,
         batch_id: int,
         batch_size: int,
-        slot: int = 0,
+        member: int = 0,
     ) -> _Submission:
         """Serve one request by replaying the cached capture plan:
         pre-assigned streams, pre-computed event waits, no per-launch
-        dependency inference."""
-        rt = device.session
-        engine = device.engine
+        dependency inference.  On a multi-GPU slot, plan stream ``i``
+        runs on slot device ``i % gpus`` (the deterministic mapping the
+        plan was keyed under), and data movement flows through the
+        coherence engine's multi-GPU location-set overlay."""
+        rt = slot.session
+        engine = slot.engine
         graph = request.graph
-        spec = rt.spec
         tags = {
             "tenant": request.tenant,
             "request": request.request_id,
             "replay": True,
         }
         sub = _Submission(
-            request, device, engine.clock, batch_id, batch_size,
+            request, slot, engine.clock, batch_id, batch_size,
             replayed=True,
         )
         # Replay bypasses execution contexts, so the request gets its
         # own coherence engine: shared-input migration hazards, movement
-        # policy and state transitions all live there (no more manual
-        # coherence management on this path).
+        # policy, cross-acquire coalescing windows and state transitions
+        # all live there (no manual coherence management on this path).
         coherence = CoherenceEngine(
             engine,
-            policy=self.config.scheduler.resolve_movement(spec),
+            policy=self.config.scheduler.resolve_movement(rt.spec),
             op_tags=tags,
+            window=self.config.scheduler.movement_window,
         )
         sub.coherence = coherence
         # Each batch member replays on its own stream slice so members
         # space-share instead of serializing behind shared FIFOs.
-        pool = device.lease_replay_streams(
-            plan.stream_count * batch_size
-        )
-        streams = pool[
-            slot * plan.stream_count:(slot + 1) * plan.stream_count
-        ]
+        streams = slot.replay_streams(plan.stream_count, member=member)
         engine.charge_host_time(self.config.replay_overhead_us * 1e-6)
 
+        multi = slot.gpus > 1
         for name, decl in graph.arrays.items():
-            arr = DeviceArray(
-                decl.shape, dtype=decl.dtype, device=rt.device, name=name
-            )
+            arr: DeviceArray | MultiGpuArray
+            if multi:
+                arr = MultiGpuArray(
+                    decl.shape,
+                    dtype=decl.dtype,
+                    devices=rt.devices,
+                    name=name,
+                )
+            else:
+                arr = DeviceArray(
+                    decl.shape, dtype=decl.dtype, device=rt.device,
+                    name=name,
+                )
             rt.adopt_array(arr)  # freed with the batch
             if decl.init is not None:
+                # No hook installed: copy_from_host applies the host
+                # -write transition itself; declare it to the engine so
+                # planned overlays and pending migrations reset too.
                 arr.copy_from_host(decl.init)
-                # No hook installed: declare the write to the engine.
-                coherence.cpu_access(arr, AccessKind.WRITE, arr.nbytes)
+                if multi:
+                    coherence.cpu_write_full_multi(arr, mark=False)
+                else:
+                    coherence.cpu_access(arr, AccessKind.WRITE, arr.nbytes)
             sub.arrays[name] = arr
 
         events: dict[int, object] = {}
@@ -454,7 +491,7 @@ class SchedulerService:
             for w in step.waits:
                 engine.wait_event(stream, events[w])
 
-            kernel = device.kernel_for(
+            kernel = slot.kernel_for(
                 graph.kernel_by_name(launch_decl.kernel)
             )
             bound = kernel.bind_args(
@@ -471,9 +508,16 @@ class SchedulerService:
                 array_args=bound.array_args,
                 scalar_args=bound.scalar_args,
             )
-            acq = coherence.acquire(
-                list(launch.array_args), stream, label=launch.label
-            )
+            accesses = list(launch.array_args)
+            device_index = step.stream % slot.gpus
+            if multi:
+                acq = coherence.acquire_multi(
+                    accesses, stream, device_index, label=launch.label
+                )
+            else:
+                acq = coherence.acquire(
+                    accesses, stream, label=launch.label
+                )
             resources = launch.resources()
             if acq.fault_bytes > 0:
                 resources = combine_resources(resources, acq.fault_bytes)
@@ -482,18 +526,40 @@ class SchedulerService:
                 resources=resources,
                 compute_fn=launch.execute,
             )
-            annotate_kernel_access_sets(op, launch)
+            if multi:
+                # Race-detector tokens are per (array, device) copy,
+                # exactly like the multi-GPU execution context.
+                op.info["reads"] = frozenset(
+                    (id(a), device_index) for a, k in accesses if k.reads
+                )
+                op.info["writes"] = frozenset(
+                    (id(a), device_index) for a, k in accesses if k.writes
+                )
+                op.info["array_names"] = {
+                    (id(a), device_index): f"{a.name}@gpu{device_index}"
+                    for a, _ in accesses
+                }
+                op.info["device"] = device_index
+            else:
+                annotate_kernel_access_sets(op, launch)
             op.info.update(tags)
             op.on_complete.append(
                 kernel_history_recorder(launch, sub.history.append)
             )
-            coherence.release(acq, op)
+            if multi:
+                coherence.release_multi(acq, accesses, device_index, op)
+            else:
+                coherence.release(acq, op)
             engine.submit(stream, op)
-            device.kernels_launched += 1
-            if step.record_event:
-                events[step.index] = engine.record_event(
+            slot.kernels_launched += 1
+            finish_event = None
+            if step.record_event or acq.fault_replicas:
+                finish_event = engine.record_event(
                     stream, label=f"replay:{launch.label}"
                 )
+                coherence.register_fault_ordering(acq, finish_event)
+            if step.record_event:
+                events[step.index] = finish_event
         return sub
 
     # -- completion -----------------------------------------------------------
@@ -501,7 +567,7 @@ class SchedulerService:
     def _finalize(self, sub: _Submission) -> None:
         """Read the request's outputs (synchronizing just enough) and
         record its result."""
-        engine = sub.device.engine
+        engine = sub.slot.engine
         graph = sub.request.graph
         outputs: dict[str, np.ndarray] = {}
         for name in graph.outputs:
@@ -515,10 +581,15 @@ class SchedulerService:
                 # readback to the request's coherence engine, mirroring
                 # the hook's behaviour on the context path.
                 assert sub.coherence is not None
-                sub.coherence.cpu_access(
-                    arr, AccessKind.READ, arr.nbytes,
-                    stream=engine.default_stream,
-                )
+                if isinstance(arr, MultiGpuArray):
+                    sub.coherence.cpu_read_multi(
+                        arr, engine.default_stream
+                    )
+                else:
+                    sub.coherence.cpu_access(
+                        arr, AccessKind.READ, arr.nbytes,
+                        stream=engine.default_stream,
+                    )
                 outputs[name] = (
                     arr.kernel_view.copy()
                     if arr.materialized
@@ -533,7 +604,7 @@ class SchedulerService:
             arrival_time=sub.request.arrival_time,
             start_time=sub.start_time,
             finish_time=finish,
-            device_index=sub.device.index,
+            device_index=sub.slot.index,
             batch_id=sub.batch_id,
             batch_size=sub.batch_size,
             replayed=sub.replayed,
@@ -547,8 +618,8 @@ class SchedulerService:
         """Rebuild each tenant's private timeline from the tenant tags
         stamped on every op (idempotent)."""
         per_tenant: dict[str, list] = {t: [] for t in self.tenants}
-        for device in self.fleet.devices:
-            for record in device.engine.timeline:
+        for slot in self.fleet.slots:
+            for record in slot.engine.timeline:
                 name = record.meta.get("tenant")
                 if name in per_tenant:
                     per_tenant[name].append(record)

@@ -78,6 +78,35 @@ SERVING_SCALES: dict[str, int] = {
     "ml": 4_000,
 }
 
+#: The two serving traffic mixes the benchmark grids sweep: ``uniform``
+#: cycles every workload evenly (cold-cache heavy — three topologies
+#: alternate); ``skewed`` leans on one hot topology (batching/capture
+#: -cache heavy), the classic production shape where one model
+#: dominates traffic.
+TRAFFIC_MIXES: dict[str, tuple[str, ...]] = {
+    "uniform": ("vec", "b&s", "ml"),
+    "skewed": ("vec", "vec", "vec", "vec", "b&s", "ml"),
+}
+
+
+def traffic_mix_graphs(
+    count: int,
+    mix: str = "uniform",
+    seed: int = 7,
+    scales: dict[str, int] | None = None,
+) -> list[TaskGraph]:
+    """``count`` task graphs drawn from one named traffic mix."""
+    try:
+        names = TRAFFIC_MIXES[mix]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic mix {mix!r}; choose from"
+            f" {sorted(TRAFFIC_MIXES)}"
+        ) from None
+    return mixed_workload_graphs(
+        count, seed=seed, workloads=list(names), scales=scales
+    )
+
 
 def mixed_workload_graphs(
     count: int,

@@ -255,12 +255,15 @@ class Benchmark(abc.ABC):
         movement: MovementPolicy | None = None,
         gpus: int = 1,
         placement: DevicePlacementPolicy | None = None,
+        movement_window: int = 0,
     ) -> RunResult:
         """Execute the benchmark once under ``mode`` on ``gpu``.
 
         ``movement`` selects the coherence engine's data-movement policy
         explicitly (the movement-bench axis); None keeps the legacy
-        derivation from ``prefetch``.  ``gpus``/``placement`` run the
+        derivation from ``prefetch``; ``movement_window`` sizes the
+        cross-acquire BATCHED coalescing window (0 = per-acquire).
+        ``gpus``/``placement`` run the
         GrCUDA modes on a multi-GPU session — the declaration is device
         -count agnostic, so nothing else changes (the baseline modes are
         single-GPU by construction: their static plans encode one
@@ -277,11 +280,13 @@ class Benchmark(abc.ABC):
             return self._run_grcuda(
                 gpu, ExecutionPolicy.SERIAL, prefetch, movement,
                 gpus=gpus, placement=placement,
+                movement_window=movement_window,
             )
         if mode is Mode.PARALLEL:
             return self._run_grcuda(
                 gpu, ExecutionPolicy.PARALLEL, prefetch, movement,
                 gpus=gpus, placement=placement,
+                movement_window=movement_window,
             )
         if mode in (Mode.GRAPH_MANUAL, Mode.GRAPH_CAPTURE):
             return self._run_graph(gpu, mode)
@@ -297,6 +302,7 @@ class Benchmark(abc.ABC):
         movement: MovementPolicy | None = None,
         gpus: int = 1,
         placement: DevicePlacementPolicy | None = None,
+        movement_window: int = 0,
     ) -> Session:
         return Session(
             gpus=gpus,
@@ -306,6 +312,7 @@ class Benchmark(abc.ABC):
                 prefetch=prefetch,
                 movement=movement,
                 placement=placement,
+                movement_window=movement_window,
             ),
         )
 
@@ -317,10 +324,12 @@ class Benchmark(abc.ABC):
         movement: MovementPolicy | None = None,
         gpus: int = 1,
         placement: DevicePlacementPolicy | None = None,
+        movement_window: int = 0,
     ) -> RunResult:
         rt = self._build_session(
             gpu, execution, prefetch, movement,
             gpus=gpus, placement=placement,
+            movement_window=movement_window,
         )
         arrays = {
             name: rt.array(

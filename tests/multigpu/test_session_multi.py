@@ -190,9 +190,12 @@ class TestFleetMovementHarness:
         cells = sweep_fleet_movement(
             benchmarks=("vec",), iterations=2, execute=False
         )
-        # placements x movement policies, one workload
-        assert len(cells) == 3 * len(MovementPolicy)
-        by_key = {(c.placement, c.policy): c for c in cells}
+        # placements x (movement policies + windowed BATCHED), one
+        # workload
+        assert len(cells) == 3 * (len(MovementPolicy) + 1)
+        by_key = {
+            (c.placement, c.policy): c for c in cells if c.window == 0
+        }
         for placement in DevicePlacementPolicy:
             eager = by_key[(placement, MovementPolicy.EAGER_PREFETCH)]
             fault = by_key[(placement, MovementPolicy.PAGE_FAULT)]

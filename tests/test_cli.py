@@ -26,8 +26,27 @@ class TestParser:
         assert args.tenants == 4
         assert args.requests == 100
         assert args.fleet_size == 2
+        assert args.fleet is None
         assert args.admission == "fair-share"
         assert args.placement == "least-loaded"
+        assert args.traffic == "uniform"
+        assert args.movement_window == 0
+        assert args.serve_out is None
+
+    def test_serve_bench_fleet_topology_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve-bench",
+                "--fleet", "2,2,1,1",
+                "--traffic", "skewed",
+                "--movement-window", "4",
+                "--serve-out", "BENCH_serving.json",
+            ]
+        )
+        assert args.fleet == "2,2,1,1"
+        assert args.traffic == "skewed"
+        assert args.movement_window == 4
+        assert args.serve_out == "BENCH_serving.json"
 
     def test_serve_bench_flags(self):
         args = build_parser().parse_args(
@@ -47,6 +66,8 @@ class TestParser:
     def test_movement_bench_defaults(self):
         args = build_parser().parse_args(["movement-bench"])
         assert args.fleet_gpus == 2
+        assert args.window == 4
+        assert not args.no_serving_axes
 
     def test_movement_bench_fleet_flag(self):
         args = build_parser().parse_args(
@@ -68,6 +89,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(
                 ["serve-bench", "--admission", "lottery"]
+            )
+
+    def test_serve_bench_rejects_unknown_traffic_mix(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve-bench", "--traffic", "tsunami"]
             )
 
 
@@ -106,3 +133,29 @@ class TestExecution:
         assert f"admission={admission}" in out
         assert "throughput" in out
         assert "tenant3" in out  # every tenant reported
+
+    def test_serve_bench_heterogeneous_fleet_writes_json(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        out_path = tmp_path / "BENCH_serving.json"
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--requests", "8",
+                    "--tenants", "2",
+                    "--fleet", "2,1",
+                    "--serve-out", str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fleet=[2,1]x" in out
+        data = json.loads(out_path.read_text())
+        assert data["fleet"] == [2, 1]
+        assert data["total_gpus"] == 3
+        assert data["requests"] == 8
+        assert data["latency_ms"]["p99"] > 0
