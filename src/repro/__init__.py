@@ -47,6 +47,15 @@ from repro.gpusim.specs import (
 )
 from repro.memory.array import AccessKind, DeviceArray
 from repro.memory.coherence import CoherenceEngine, MovementPolicy
+from repro.obs import (
+    NULL_TRACER,
+    CounterRegistry,
+    Tracer,
+    current_tracer,
+    set_default_tracer,
+    use_tracer,
+    write_chrome_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -72,5 +81,12 @@ __all__ = [
     "DeviceArray",
     "CoherenceEngine",
     "MovementPolicy",
+    "NULL_TRACER",
+    "CounterRegistry",
+    "Tracer",
+    "current_tracer",
+    "set_default_tracer",
+    "use_tracer",
+    "write_chrome_trace",
     "__version__",
 ]

@@ -10,6 +10,7 @@ Usage::
         --fleet-size 2 --admission fair-share --placement least-loaded
     python -m repro movement-bench --gpu "GTX 1660 Super" \
         --iterations 4 --fleet-gpus 2
+    python -m repro trace serve-bench --trace-out trace.json
 """
 
 from __future__ import annotations
@@ -63,6 +64,17 @@ EXPERIMENTS = {
     ),
 }
 
+#: experiments that can run under the span tracer (the ``trace``
+#: meta-experiment delegates to one of these with tracing forced on)
+TRACEABLE = ("serve-bench", "sim-bench", "movement-bench")
+
+#: per-experiment default Chrome-trace artifact paths (bare ``--trace``)
+DEFAULT_TRACE_PATHS = {
+    "serve-bench": "TRACE_serving.json",
+    "sim-bench": "TRACE_simulator.json",
+    "movement-bench": "TRACE_movement.json",
+}
+
 
 def _positive_int(text: str) -> int:
     value = int(text)
@@ -93,8 +105,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "list"],
-        help="which experiment to run ('list' to enumerate)",
+        choices=[*EXPERIMENTS, "trace", "all", "list"],
+        help="which experiment to run ('list' to enumerate; 'trace'"
+        " runs a traceable experiment with span recording on)",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="experiment the 'trace' meta-experiment delegates to"
+        " (default serve-bench)",
     )
     parser.add_argument(
         "--scales",
@@ -224,12 +244,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the engine micro-benchmark results"
         " (default BENCH_simulator.json)",
     )
+    obs = parser.add_argument_group(
+        "observability options",
+        "span tracing for serve-bench, sim-bench and movement-bench",
+    )
+    obs.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans and write a Chrome-trace/Perfetto JSON next"
+        " to the benchmark output (TRACE_<experiment>.json)",
+    )
+    obs.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="Chrome-trace output path (implies --trace)",
+    )
     return parser
 
 
 def run_experiment(name: str, args: argparse.Namespace) -> None:
     fn, _ = EXPERIMENTS[name]
     kwargs: dict = {"render": True}
+    # --trace-out implies tracing; bare --trace picks the per-experiment
+    # default artifact path.
+    tracing = bool(
+        getattr(args, "trace", False) or getattr(args, "trace_out", None)
+    )
+    trace_out = getattr(args, "trace_out", None) or (
+        DEFAULT_TRACE_PATHS.get(name) if tracing else None
+    )
     if name == "movement-bench":
         kwargs.update(
             gpu=args.gpu,
@@ -237,9 +281,12 @@ def run_experiment(name: str, args: argparse.Namespace) -> None:
             fleet_gpus=args.fleet_gpus,
             window=args.window,
             serving_axes=not args.no_serving_axes,
+            trace_out=trace_out,
         )
     if name == "sim-bench":
-        kwargs.update(gpu=args.gpu, out_path=args.bench_out)
+        kwargs.update(
+            gpu=args.gpu, out_path=args.bench_out, trace_out=trace_out
+        )
     if name == "serve-bench":
         kwargs.update(
             tenants=args.tenants,
@@ -253,6 +300,8 @@ def run_experiment(name: str, args: argparse.Namespace) -> None:
             movement_window=args.movement_window,
             validate=args.validate,
             bench_out=args.serve_out,
+            trace=tracing,
+            trace_out=trace_out,
         )
     if name in _SCALED:
         kwargs["scales_per_gpu"] = args.scales
@@ -262,7 +311,22 @@ def run_experiment(name: str, args: argparse.Namespace) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment == "trace":
+        target = args.target or "serve-bench"
+        if target not in TRACEABLE:
+            parser.error(
+                f"'trace' targets one of {', '.join(TRACEABLE)};"
+                f" got {target!r}"
+            )
+        args.trace = True
+        run_experiment(target, args)
+        return 0
+    if args.target is not None:
+        parser.error(
+            "a target experiment is only meaningful with 'trace'"
+        )
     if args.experiment == "list":
         width = max(len(n) for n in EXPERIMENTS)
         for name, (_, desc) in EXPERIMENTS.items():

@@ -39,6 +39,8 @@ from typing import Callable, Iterable
 
 from repro.errors import DeadlockError, InvalidStateError, SimulationError
 from repro.gpusim.device import Device
+from repro.obs.counters import CounterRegistry
+from repro.obs.trace import Tracer, current_tracer
 from repro.gpusim.ops import (
     EventRecordOp,
     EventWaitOp,
@@ -65,7 +67,11 @@ class SimEngine:
     link).
     """
 
-    def __init__(self, device: Device | list[Device]) -> None:
+    def __init__(
+        self,
+        device: Device | list[Device],
+        tracer: Tracer | None = None,
+    ) -> None:
         devices = [device] if isinstance(device, Device) else list(device)
         if not devices:
             raise InvalidStateError("engine needs at least one device")
@@ -102,14 +108,51 @@ class SimEngine:
         #: that never records would deadlock the sync.
         self._pre_sync_hooks: dict[int, Callable[[], None]] = {}
         self.default_stream = self.create_stream(label="default")
+        #: namespaced counters; the historical ``steps`` / ``repricings``
+        #: / ``running_set_changes`` attributes remain as read-only
+        #: properties over these cells, so BENCH JSON schemas and
+        #: existing assertions keep working unchanged
+        self.counters = CounterRegistry()
         #: count of rate recomputations: grows with *changes* to the
         #: running set, not with engine steps (engine-efficiency
         #: introspection, asserted by ``sim-bench``)
-        self.repricings: int = 0
+        self._c_repricings = self.counters.counter("engine.repricings")
         #: engine steps taken (instantaneous drains and clock advances)
-        self.steps: int = 0
+        self._c_steps = self.counters.counter("engine.steps")
         #: additions to / removals from the running set
-        self.running_set_changes: int = 0
+        self._c_running_set_changes = self.counters.counter(
+            "engine.running_set_changes"
+        )
+        self.tracer = current_tracer() if tracer is None else tracer
+        if self.tracer.enabled:
+            self.tracer.attach_engine(self)
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def repricings(self) -> int:
+        return self._c_repricings.value
+
+    @property
+    def steps(self) -> int:
+        return self._c_steps.value
+
+    @property
+    def running_set_changes(self) -> int:
+        return self._c_running_set_changes.value
+
+    @property
+    def _obs_track(self) -> str:
+        """The tracer track this engine's events land on (named by
+        :meth:`~repro.obs.trace.Tracer.attach_engine`)."""
+        return getattr(self, "_obs_name", "engine")
+
+    def set_tracer(self, tracer: Tracer, name: str | None = None) -> None:
+        """Swap in ``tracer`` (e.g. a Session-provided one) and register
+        this engine's timeline with it for per-device export tracks."""
+        self.tracer = tracer
+        if tracer.enabled:
+            tracer.attach_engine(self, name=name)
 
     # -- stream management --------------------------------------------------
 
@@ -169,6 +212,13 @@ class SimEngine:
             # The new op is the stream head: the stream went idle->busy.
             self._busy_streams += 1
             self._ready_ids.add(stream.stream_id)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                f"submit:{op.label}",
+                track=self._obs_track,
+                vt=self.clock,
+                stream=stream.stream_id,
+            )
         return op
 
     def record_event(
@@ -211,18 +261,41 @@ class SimEngine:
 
     def sync_event(self, event: SimEvent) -> None:
         """Block the host until ``event`` completes."""
-        self._fire_pre_sync_hooks()
-        self._run_until(lambda: event.complete, what=f"event {event.label}")
+        with self.tracer.span(
+            "sync_event",
+            track=self._obs_track,
+            clock=self._clock,
+            event=event.label,
+        ):
+            self._fire_pre_sync_hooks()
+            self._run_until(
+                lambda: event.complete, what=f"event {event.label}"
+            )
 
     def sync_stream(self, stream: SimStream) -> None:
         """Block the host until everything queued on ``stream`` completes."""
-        self._fire_pre_sync_hooks()
-        self._run_until(lambda: not stream.busy, what=f"stream {stream.label}")
+        with self.tracer.span(
+            "sync_stream",
+            track=self._obs_track,
+            clock=self._clock,
+            stream=stream.stream_id,
+        ):
+            self._fire_pre_sync_hooks()
+            self._run_until(
+                lambda: not stream.busy, what=f"stream {stream.label}"
+            )
 
     def sync_all(self) -> None:
         """Drain every stream (``cudaDeviceSynchronize``)."""
-        self._fire_pre_sync_hooks()
-        self._run_until(lambda: self._busy_streams == 0, what="device")
+        with self.tracer.span(
+            "sync_all", track=self._obs_track, clock=self._clock
+        ):
+            self._fire_pre_sync_hooks()
+            self._run_until(lambda: self._busy_streams == 0, what="device")
+
+    def _clock(self) -> float:
+        """Bound clock reader for tracer spans."""
+        return self.clock
 
     @property
     def idle(self) -> bool:
@@ -253,7 +326,14 @@ class SimEngine:
         pricing; rates are piecewise-constant in between, so the cached
         allocation and projected minimum stay exact.
         """
-        self.repricings += 1
+        self._c_repricings.value += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "reprice",
+                track=self._obs_track,
+                vt=self.clock,
+                running=len(self._running),
+            )
         rates: dict[int, float] = {}
         if len(self.devices) == 1:
             rates = self.device.contention.allocate(self._running).rates
@@ -286,7 +366,7 @@ class SimEngine:
         immediately without advancing the clock, so host-side sync
         predicates are re-checked at the tightest possible points.
         """
-        self.steps += 1
+        self._c_steps.value += 1
         if self._drain_instantaneous():
             return True
         if not self._running:
@@ -376,7 +456,14 @@ class SimEngine:
             self._running_pos[op.op_id] = len(self._running)
             self._running.append(op)
             self._rates_dirty = True
-            self.running_set_changes += 1
+            self._c_running_set_changes.value += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                f"start:{op.label}",
+                track=self._obs_track,
+                vt=self.clock,
+                stream=op.stream.stream_id,
+            )
 
     def _remove_running(self, op: Operation) -> None:
         pos = self._running_pos.pop(op.op_id, None)
@@ -388,7 +475,7 @@ class SimEngine:
             self._running_pos[last.op_id] = pos
         self._rates_dirty = True
         self._next_dt_fresh = False
-        self.running_set_changes += 1
+        self._c_running_set_changes.value += 1
 
     def _complete(self, op: Operation) -> None:
         assert op.stream is not None
@@ -404,6 +491,14 @@ class SimEngine:
             self._busy_streams -= 1
         self._record(op)
         self._apply_effects(op)
+        if self.tracer.enabled and not op.instantaneous:
+            self.tracer.complete(
+                op.label,
+                track=self._obs_track,
+                vt_start=op.start_time,
+                vt_end=op.end_time,
+                stream=stream.stream_id,
+            )
         for callback in op.on_complete:
             callback(op)
 

@@ -85,6 +85,47 @@ def timeline_htod_ops(timeline: Timeline) -> int:
     )
 
 
+def _counter(run, name: str, fallback) -> float:
+    """A movement tally from the run's observability-registry snapshot,
+    falling back to the timeline scan for runs that carry no counters
+    (the registry is authoritative: it is what serve-bench reports, so
+    the sweep reading the same cells keeps the two surfaces honest)."""
+    counters = getattr(run, "counters", None)
+    if counters and name in counters:
+        return counters[name]
+    return fallback(run.timeline)
+
+
+def run_moved_bytes(run) -> float:
+    """Engine-issued HtoD migration bytes (registry-first)."""
+    return float(_counter(run, "coherence.htod_bytes", timeline_moved_bytes))
+
+
+def run_htod_ops(run) -> int:
+    """Engine-issued HtoD migration submissions (registry-first)."""
+    return int(_counter(run, "coherence.htod_ops", timeline_htod_ops))
+
+
+def run_fault_bytes(run) -> float:
+    """Bytes left to the page-fault engine (registry-first)."""
+    return float(_counter(run, "coherence.fault_bytes", timeline_fault_bytes))
+
+
+def run_dtoh_bytes(run) -> float:
+    """Host-readback (DtoH) bytes the coherence engine charged."""
+
+    def _scan(timeline: Timeline) -> float:
+        from repro.gpusim.timeline import IntervalKind
+
+        return sum(
+            r.nbytes
+            for r in timeline.transfers()
+            if r.kind is IntervalKind.TRANSFER_DTOH
+        )
+
+    return float(_counter(run, "coherence.dtoh_bytes", _scan))
+
+
 def _policy_variants(
     window: int,
 ) -> list[tuple[str, MovementPolicy, int]]:
@@ -135,6 +176,8 @@ class MovementCell:
     label: str = ""
     #: cross-acquire coalescing window the cell ran with (0 = per-acquire)
     window: int = 0
+    #: host-readback bytes (registry ``coherence.dtoh_bytes``)
+    dtoh_bytes: float = 0.0
 
 
 def sweep_movement_policies(
@@ -170,12 +213,13 @@ def sweep_movement_policies(
                 scale=scale,
                 policy=policy,
                 elapsed=run.elapsed,
-                moved_bytes=timeline_moved_bytes(run.timeline),
-                fault_bytes=timeline_fault_bytes(run.timeline),
-                htod_ops=timeline_htod_ops(run.timeline),
+                moved_bytes=run_moved_bytes(run),
+                fault_bytes=run_fault_bytes(run),
+                htod_ops=run_htod_ops(run),
                 results=tuple(run.results),
                 label=label,
                 window=cell_window,
+                dtoh_bytes=run_dtoh_bytes(run),
             )
             if reference is None:
                 reference = cell.results
@@ -201,6 +245,11 @@ def timeline_d2d_bytes(timeline: Timeline) -> float:
     )
 
 
+def run_d2d_bytes(run) -> float:
+    """Device-to-device mirror bytes (registry-first)."""
+    return float(_counter(run, "coherence.d2d_bytes", timeline_d2d_bytes))
+
+
 @dataclass(frozen=True)
 class FleetMovementCell:
     """One (workload, placement, movement policy) fleet measurement."""
@@ -218,6 +267,8 @@ class FleetMovementCell:
     results: tuple[float, ...]
     label: str = ""
     window: int = 0
+    #: host-readback bytes (registry ``coherence.dtoh_bytes``)
+    dtoh_bytes: float = 0.0
 
 
 def sweep_fleet_movement(
@@ -263,13 +314,14 @@ def sweep_fleet_movement(
                     placement=placement,
                     policy=policy,
                     elapsed=run.elapsed,
-                    moved_bytes=timeline_moved_bytes(run.timeline),
-                    d2d_bytes=timeline_d2d_bytes(run.timeline),
-                    fault_bytes=timeline_fault_bytes(run.timeline),
-                    htod_ops=timeline_htod_ops(run.timeline),
+                    moved_bytes=run_moved_bytes(run),
+                    d2d_bytes=run_d2d_bytes(run),
+                    fault_bytes=run_fault_bytes(run),
+                    htod_ops=run_htod_ops(run),
                     results=tuple(run.results),
                     label=label,
                     window=cell_window,
+                    dtoh_bytes=run_dtoh_bytes(run),
                 )
                 if reference is None:
                     reference = cell.results
@@ -475,13 +527,17 @@ def movement_bench(
     window: int = DEFAULT_WINDOW,
     serving_axes: bool = True,
     serving_requests: int = 12,
+    trace_out: str | None = None,
 ) -> tuple[
     list[MovementCell], list[FleetMovementCell], list[ServingAxisCell]
 ]:
     """The ``movement-bench`` experiment entry point: the single-GPU
     movement sweep, the fleet placement × movement grid (``fleet_gpus=0``
     skips it) and the serving execution × admission grid over both
-    traffic mixes (``serving_axes=False`` skips it)."""
+    traffic mixes (``serving_axes=False`` skips it).  ``trace_out``
+    additionally records one windowed-BATCHED run of the first workload
+    with the span tracer installed and writes it as Chrome-trace JSON —
+    the acquire/flush-window spans are the point of this trace."""
     cells = sweep_movement_policies(
         benchmarks,
         gpu=gpu,
@@ -514,4 +570,34 @@ def movement_bench(
         if render:
             print()
             print(render_serving_table(serving_cells))
+    if trace_out:
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.trace import Tracer, use_tracer
+
+        name = benchmarks[0]
+        scales = default_scales(name, gpu)
+        scale = scales[min(scale_index, len(scales) - 1)]
+        tracer = Tracer()
+        bench = create_benchmark(
+            name, scale, iterations=iterations, execute=execute
+        )
+        with use_tracer(tracer):
+            bench.run(
+                gpu, Mode.PARALLEL,
+                movement=MovementPolicy.BATCHED,
+                movement_window=window,
+            )
+        write_chrome_trace(
+            trace_out,
+            tracer,
+            other={
+                "benchmark": "movement-bench",
+                "workload": name,
+                "gpu": gpu,
+                "movement": MovementPolicy.BATCHED.value,
+                "movement_window": window,
+            },
+        )
+        if render:
+            print(f"wrote {trace_out}")
     return cells, fleet_cells, serving_cells

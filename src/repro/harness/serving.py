@@ -22,11 +22,16 @@ import json
 import numpy as np
 
 from repro.multigpu.scheduler import DevicePlacementPolicy
+from repro.obs.export import write_chrome_trace
+from repro.obs.trace import Tracer
 from repro.serve.admission import AdmissionPolicy
 from repro.serve.fleet import parse_fleet_spec
 from repro.serve.request import execute_serial
 from repro.serve.service import SchedulerService, ServeConfig, ServiceReport
 from repro.serve.workloads import traffic_mix_graphs
+
+#: default Chrome-trace artifact path when ``--trace`` is given bare
+DEFAULT_TRACE_PATH = "TRACE_serving.json"
 
 
 def _coerce(value, enum_cls):
@@ -76,7 +81,16 @@ def report_summary(report: ServiceReport) -> dict:
         "batched_requests": m.batched_requests,
         "capture_hits": m.capture_hits,
         "capture_misses": m.capture_misses,
+        "window_flushes": report.counters.get(
+            "coherence.window_flushes", 0
+        ),
+        "window_flush_causes": {
+            name.rsplit(".", 1)[-1]: value
+            for name, value in report.counters.items()
+            if name.startswith("coherence.window_flush.")
+        },
         "kernels_per_slot": report.fleet.kernel_counts(),
+        "counters": dict(report.counters),
     }
 
 
@@ -97,6 +111,8 @@ def serve_bench(
     validate: bool = False,
     render: bool = False,
     bench_out: str | None = None,
+    trace: bool = False,
+    trace_out: str | None = None,
 ) -> ServiceReport:
     """Run one serving benchmark and return its report.
 
@@ -108,6 +124,14 @@ def serve_bench(
     window.  ``validate=True`` re-executes every request's graph alone
     on a private serial runtime and asserts numerical equality — slow,
     but the ground-truth check the acceptance tests rely on.
+
+    ``trace`` (or a ``trace_out`` path, which implies it) records every
+    span the service, fleet, coherence and engine layers emit and writes
+    a Chrome-trace/Perfetto JSON next to the benchmark output: one
+    process per fleet-slot device, one per-tenant request track, plus
+    the raw tracer tracks.  The tracer is passed explicitly to the
+    service — never installed globally — so ``validate``'s private
+    serial runtimes stay out of the trace.
     """
     if tenants <= 0 or requests <= 0 or fleet_size <= 0:
         raise ValueError("tenants, requests and fleet_size must be positive")
@@ -124,6 +148,7 @@ def serve_bench(
     # coalescing window implies the policy, otherwise the knob would be
     # a silent no-op under the default eager prefetcher.
     movement = MovementPolicy.BATCHED if movement_window > 0 else None
+    tracer = Tracer() if (trace or trace_out) else None
     service = SchedulerService(
         fleet_size=fleet_size,
         fleet_topology=fleet,
@@ -135,6 +160,7 @@ def serve_bench(
                 movement=movement, movement_window=movement_window
             ),
         ),
+        tracer=tracer,
     )
     # Tenants with descending priorities: under the priority policy
     # tenant0 is the premium client, the rest queue behind it.
@@ -181,6 +207,22 @@ def serve_bench(
             json.dump(summary, fh, indent=2)
             fh.write("\n")
 
+    trace_path: str | None = None
+    if tracer is not None:
+        trace_path = trace_out or DEFAULT_TRACE_PATH
+        write_chrome_trace(
+            trace_path,
+            tracer,
+            results=report.results,
+            other={
+                "benchmark": "serve-bench",
+                "fleet": report.fleet.topology,
+                "gpu": gpu,
+                "traffic": traffic,
+                "requests": report.metrics.completed,
+            },
+        )
+
     if render:
         print(report.render())
         if validate:
@@ -190,4 +232,6 @@ def serve_bench(
             )
         if bench_out:
             print(f"wrote {bench_out}")
+        if trace_path:
+            print(f"wrote {trace_path}")
     return report

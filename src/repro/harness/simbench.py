@@ -12,6 +12,11 @@ event-heap refactor establishes:
   piecewise-constant, so an engine step that changes nothing must not
   re-price the running set.
 
+* **disabled tracing is free** — the observability layer's promise:
+  running the same churn with a ``Tracer(enabled=False)`` instead of
+  the default null tracer must cost under 5% extra wall-clock (the hot
+  paths are guarded by a single ``tracer.enabled`` attribute read).
+
 Results are written to ``BENCH_simulator.json`` so the perf trajectory
 of the substrate is recorded alongside the paper figures.
 """
@@ -31,6 +36,7 @@ from repro.gpusim.ops import (
     TransferOp,
 )
 from repro.gpusim.specs import gpu_by_name
+from repro.obs.trace import Tracer
 
 #: Wall-clock may grow at most this factor beyond linear in op count.
 NEAR_LINEAR_FACTOR = 2.5
@@ -38,6 +44,14 @@ NEAR_LINEAR_FACTOR = 2.5
 #: Default measurement grid (ops x streams).
 DEFAULT_OPS_GRID = (200, 1000, 5000)
 DEFAULT_STREAMS_GRID = (8, 64)
+
+#: Disabled tracing may cost at most this relative wall-clock overhead.
+DISABLED_OVERHEAD_LIMIT = 1.05
+#: Absolute slack for the overhead comparison (timer jitter at small
+#: op counts would otherwise dominate the 5% relative budget).
+DISABLED_OVERHEAD_EPS_S = 2e-3
+#: Interleaved repeats the overhead pair takes the per-variant min over.
+OVERHEAD_REPEATS = 5
 
 
 @dataclass(frozen=True)
@@ -55,12 +69,17 @@ class SimBenchCell:
     ops_per_sec: float
 
 
-def _churn_run(num_ops: int, num_streams: int, gpu: str) -> SimEngine:
+def _churn_run(
+    num_ops: int,
+    num_streams: int,
+    gpu: str,
+    tracer: Tracer | None = None,
+) -> SimEngine:
     """Submit ``num_ops`` operations round-robin over ``num_streams``
     streams: a mix of kernels, transfers, cross-stream event waits and
     per-launch host-time charges — the same step pattern the scheduler
     and the serving layer impose on the engine."""
-    engine = SimEngine(Device(gpu_by_name(gpu)))
+    engine = SimEngine(Device(gpu_by_name(gpu)), tracer=tracer)
     streams = [
         engine.create_stream(label=f"bench-{i}") for i in range(num_streams)
     ]
@@ -126,17 +145,69 @@ def _measure(num_ops: int, num_streams: int, gpu: str) -> SimBenchCell:
     )
 
 
+def _measure_overhead(
+    num_ops: int,
+    num_streams: int,
+    gpu: str,
+    repeats: int = OVERHEAD_REPEATS,
+) -> dict:
+    """The tracer-overhead cell pair: the same churn under the default
+    null tracer (baseline), a constructed-but-disabled tracer, and a
+    recording tracer.  Repeats are interleaved (so drift hits every
+    variant equally) and each variant reports its min wall-clock — the
+    run least polluted by scheduler noise."""
+    walls: dict[str, list[float]] = {
+        "baseline": [], "disabled": [], "enabled": []
+    }
+    span_count = 0
+    for _ in range(repeats):
+        for variant in walls:
+            if variant == "baseline":
+                tracer = None
+            elif variant == "disabled":
+                tracer = Tracer(enabled=False)
+            else:
+                tracer = Tracer()
+            t0 = time.perf_counter()
+            _churn_run(num_ops, num_streams, gpu, tracer=tracer)
+            walls[variant].append(time.perf_counter() - t0)
+            if variant == "enabled" and tracer is not None:
+                span_count = len(tracer)
+    baseline = min(walls["baseline"])
+    disabled = min(walls["disabled"])
+    enabled = min(walls["enabled"])
+    limit = baseline * DISABLED_OVERHEAD_LIMIT + DISABLED_OVERHEAD_EPS_S
+    return {
+        "ops": num_ops,
+        "streams": num_streams,
+        "repeats": repeats,
+        "baseline_wall_s": baseline,
+        "disabled_wall_s": disabled,
+        "enabled_wall_s": enabled,
+        "disabled_ratio": disabled / max(baseline, 1e-9),
+        "enabled_ratio": enabled / max(baseline, 1e-9),
+        "enabled_events": span_count,
+        "limit_ratio": DISABLED_OVERHEAD_LIMIT,
+        "limit_wall_s": limit,
+        "ok": disabled <= limit,
+    }
+
+
 def sim_bench(
     render: bool = True,
     gpu: str = "GTX 1660 Super",
     ops_grid: tuple[int, ...] = DEFAULT_OPS_GRID,
     streams_grid: tuple[int, ...] = DEFAULT_STREAMS_GRID,
     out_path: str | None = "BENCH_simulator.json",
+    trace_out: str | None = None,
 ) -> dict:
     """Run the engine micro-benchmark grid and check its asymptotics.
 
-    Raises ``AssertionError`` if scaling regresses; returns (and
-    optionally writes) the structured results.
+    Raises ``AssertionError`` if scaling regresses, or if a disabled
+    tracer costs more than 5% wall-clock over the untraced baseline;
+    returns (and optionally writes) the structured results.
+    ``trace_out`` additionally records one traced churn run and writes
+    it as a Chrome-trace JSON.
     """
     if len(ops_grid) < 2 or len(set(ops_grid)) != len(ops_grid):
         raise ValueError(
@@ -184,14 +255,20 @@ def sim_bench(
         for c in cells
     ]
 
+    # The tracer-overhead pair at the mid-grid scale: large enough that
+    # per-op costs dominate timer jitter, small enough to stay cheap.
+    overhead = _measure_overhead(ops_grid[-2], streams_grid[0], gpu)
+
     results = {
         "benchmark": "sim-bench",
         "gpu": gpu,
         "near_linear_factor": NEAR_LINEAR_FACTOR,
         "cells": [asdict(c) for c in cells],
+        "overhead": overhead,
         "assertions": {
             "near_linear": near_linear,
             "repricings_bounded": repricings_bounded,
+            "disabled_overhead": overhead,
         },
     }
 
@@ -216,6 +293,32 @@ def sim_bench(
                 f" (limit x{check['limit']:.1f})"
                 f" {'OK' if check['ok'] else 'FAIL'}"
             )
+        print(
+            f"tracer overhead @{overhead['ops']} ops"
+            f" /{overhead['streams']} streams:"
+            f" disabled x{overhead['disabled_ratio']:.3f}"
+            f" enabled x{overhead['enabled_ratio']:.3f}"
+            f" ({overhead['enabled_events']} events)"
+            f" {'OK' if overhead['ok'] else 'FAIL'}"
+        )
+
+    if trace_out:
+        from repro.obs.export import write_chrome_trace
+
+        tracer = Tracer()
+        _churn_run(ops_grid[0], streams_grid[0], gpu, tracer=tracer)
+        write_chrome_trace(
+            trace_out,
+            tracer,
+            other={
+                "benchmark": "sim-bench",
+                "gpu": gpu,
+                "ops": ops_grid[0],
+                "streams": streams_grid[0],
+            },
+        )
+        if render:
+            print(f"wrote {trace_out}")
 
     if out_path:
         with open(out_path, "w") as fh:
@@ -236,4 +339,11 @@ def sim_bench(
             f" {check['ops']} ops / {check['streams']} streams:"
             " the engine re-prices without a set change"
         )
+    assert overhead["ok"], (
+        f"disabled tracer overhead regressed:"
+        f" {overhead['disabled_wall_s']:.4f}s vs"
+        f" {overhead['baseline_wall_s']:.4f}s baseline"
+        f" (x{overhead['disabled_ratio']:.3f}, limit"
+        f" x{DISABLED_OVERHEAD_LIMIT} + {DISABLED_OVERHEAD_EPS_S}s)"
+    )
     return results

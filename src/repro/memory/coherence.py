@@ -69,6 +69,8 @@ from repro.gpusim.ops import (
 from repro.gpusim.stream import SimEvent
 from repro.memory.array import AccessKind, DeviceArray
 from repro.memory.pages import PAGE_SIZE_BYTES
+from repro.obs.counters import CounterRegistry
+from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.gpusim.engine import SimEngine
@@ -216,16 +218,43 @@ class CoherenceEngine:
         #: callbacks planned in an older epoch are dead
         self._multi_epoch: dict[int, int] = {}
         # -- movement accounting (the movement-bench axis) ---------------
+        # One registry per coherence engine: per-instance introspection
+        # (one serving request's movement) keeps working even when the
+        # serving layer merges many instances into one fleet roll-up.
+        # The historical ``*_total`` attributes are properties over
+        # these cells.
+        self.counters = CounterRegistry()
         #: bytes left to the fault engine (charged inside kernels)
-        self.fault_bytes_total = 0.0
+        self._c_fault_bytes = self.counters.counter("coherence.fault_bytes")
         #: bytes moved by engine-issued HtoD/DtoD migrations
-        self.migrated_bytes_total = 0.0
+        self._c_migrated_bytes = self.counters.counter(
+            "coherence.migrated_bytes"
+        )
         #: bytes written back to the host on CPU accesses
-        self.writeback_bytes_total = 0.0
+        self._c_writeback_bytes = self.counters.counter(
+            "coherence.writeback_bytes"
+        )
         #: transfer operations submitted
-        self.transfer_ops = 0
+        self._c_transfer_ops = self.counters.counter(
+            "coherence.transfer_ops"
+        )
         #: transfers saved by BATCHED coalescing
-        self.coalesced_transfers = 0
+        self._c_coalesced = self.counters.counter(
+            "coherence.coalesced_transfers"
+        )
+        # Directional op/byte splits (HtoD migrations, DtoH writebacks,
+        # D2D peer mirrors) — created eagerly so merged snapshots always
+        # carry the full schema.
+        self._c_htod_ops = self.counters.counter("coherence.htod_ops")
+        self._c_htod_bytes = self.counters.counter("coherence.htod_bytes")
+        self._c_dtoh_ops = self.counters.counter("coherence.dtoh_ops")
+        self._c_dtoh_bytes = self.counters.counter("coherence.dtoh_bytes")
+        self._c_d2d_ops = self.counters.counter("coherence.d2d_ops")
+        self._c_d2d_bytes = self.counters.counter("coherence.d2d_bytes")
+        #: submission-window flushes, total and by cause
+        self._c_window_flushes = self.counters.counter(
+            "coherence.window_flushes"
+        )
         # -- submission-window coalescer state --------------------------
         #: pending groups: (source, dest) -> _WindowGroup.  Single-GPU
         #: deferrals live under the ``_SINGLE_GROUP`` sentinel (-2, -2),
@@ -238,6 +267,38 @@ class CoherenceEngine:
         self._win_acquires = 0
         #: dedicated per-destination transfer streams (lazily created)
         self._win_streams: dict[int, "SimStream"] = {}
+
+    # -- observability --------------------------------------------------------
+
+    @property
+    def fault_bytes_total(self) -> float:
+        return self._c_fault_bytes.value
+
+    @property
+    def migrated_bytes_total(self) -> float:
+        return self._c_migrated_bytes.value
+
+    @property
+    def writeback_bytes_total(self) -> float:
+        return self._c_writeback_bytes.value
+
+    @property
+    def transfer_ops(self) -> int:
+        return self._c_transfer_ops.value
+
+    @property
+    def coalesced_transfers(self) -> int:
+        return self._c_coalesced.value
+
+    @property
+    def window_flushes(self) -> int:
+        return self._c_window_flushes.value
+
+    @property
+    def tracer(self):
+        """The owning engine's tracer (coherence events ride it); falls
+        back to the null tracer for engines without one."""
+        return getattr(self.engine, "tracer", NULL_TRACER)
 
     # -- planned-state queries ------------------------------------------------
 
@@ -372,8 +433,20 @@ class CoherenceEngine:
         # closes the open coalescing window first, keeping mixed-policy
         # executors (e.g. the hand-tuned baseline) deterministic.
         if self._win_groups and policy is not MovementPolicy.BATCHED:
-            self.flush_window()
+            self.flush_window("policy-boundary")
 
+        tracer = self.tracer
+        span = (
+            tracer.span(
+                "acquire",
+                track="coherence",
+                clock=self.engine._clock,
+                policy=policy.value,
+                label=label,
+            )
+            if tracer.enabled
+            else None
+        )
         plan = AcquirePlan()
         self._wait_pending(
             stream, [a for a, _ in accesses]
@@ -411,6 +484,13 @@ class CoherenceEngine:
             plan.completion_marks.append(
                 self._committer(array, array.mark_gpu_write, overlay.token)
             )
+        if span is not None:
+            span.annotate(
+                stale=len(stale),
+                stale_bytes=sum(a.nbytes for a in stale),
+                fault_bytes=plan.fault_bytes,
+            )
+            span.close()
         return plan
 
     def release(
@@ -419,6 +499,15 @@ class CoherenceEngine:
         """Bind ``plan``'s remaining state transitions to ``op`` so they
         apply when the compute op completes; with ``op=None`` (host-side
         executors that already synchronized) they apply immediately."""
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "release",
+                track="coherence",
+                vt=self.engine.clock,
+                marks=len(plan.completion_marks),
+                bound=op is not None,
+            )
         if not plan.completion_marks:
             return
         if op is None:
@@ -444,7 +533,7 @@ class CoherenceEngine:
             plan.completion_marks.append(
                 self._committer(array, array.mark_gpu_read, overlay.token)
             )
-        self.fault_bytes_total += plan.fault_bytes
+        self._c_fault_bytes.value += plan.fault_bytes
 
     def _submit_prefetches(
         self,
@@ -496,7 +585,7 @@ class CoherenceEngine:
             stale,
             stream,
         )
-        self.coalesced_transfers += max(0, len(stale) - 1)
+        self._c_coalesced.value += max(0, len(stale) - 1)
         event = self.engine.record_event(
             stream, label=f"migrate:{label or names}-done"
         )
@@ -545,7 +634,9 @@ class CoherenceEngine:
             # First deferral of this window: make sure any host sync
             # flushes us (a consumer parked on an unrecorded window
             # event would otherwise deadlock the sync).
-            self.engine.add_pre_sync_hook(id(self), self.flush_window)
+            self.engine.add_pre_sync_hook(
+                id(self), lambda: self.flush_window("pre-sync")
+            )
         group = _WindowGroup(
             event=SimEvent(label=f"coalesce:{key[0]}to{key[1]}"),
             kind=kind,
@@ -565,7 +656,7 @@ class CoherenceEngine:
         submitted at flush time on the dedicated window stream."""
         group = self._win_groups.get(self._SINGLE_GROUP)
         if group is not None and group.kind is not kind:
-            self.flush_window()  # transfer-kind boundary
+            self.flush_window("policy-boundary")  # transfer-kind boundary
         group = self._open_group(self._SINGLE_GROUP, kind)
         win_stream = self._window_stream(0)
         for array in stale:
@@ -582,16 +673,18 @@ class CoherenceEngine:
     def _note_deferred_acquire(self) -> None:
         self._win_acquires += 1
         if self._win_acquires >= self.window:
-            self.flush_window()
+            self.flush_window("window-full")
 
-    def flush_window(self) -> None:
+    def flush_window(self, cause: str = "manual") -> None:
         """Flush every pending coalescing group: one merged transfer per
         (source, destination) pair on its window stream, followed by the
         group's event record so parked consumers unblock.
 
-        Idempotent; called on window-full, at policy boundaries, before
-        CPU accesses, and from the engine's pre-sync hooks on every host
-        synchronization.
+        Idempotent; ``cause`` records *why* in the counter registry:
+        ``window-full``, ``policy-boundary``, ``cpu-access``,
+        ``pre-sync`` (engine host-sync hooks), ``source-hazard``
+        (a deferral sourcing a replica the open window creates), or
+        ``manual``.
         """
         if not self._win_groups:
             return
@@ -599,12 +692,31 @@ class CoherenceEngine:
         self._win_groups = {}
         self._win_acquires = 0
         self.engine.remove_pre_sync_hook(id(self))
+        self._c_window_flushes.value += 1
+        self.counters.inc(f"coherence.window_flush.{cause}")
+        tracer = self.tracer
+        span = (
+            tracer.span(
+                "flush_window",
+                track="coherence",
+                clock=self.engine._clock,
+                cause=cause,
+                groups=len(groups),
+                nbytes=sum(
+                    a.nbytes for g in groups.values() for a in g.arrays
+                ),
+            )
+            if tracer.enabled
+            else None
+        )
         for (source, dest), group in groups.items():
             assert group.event is not None and group.kind is not None
             if (source, dest) == self._SINGLE_GROUP:
                 self._flush_single_group(group)
             else:
                 self._flush_multi_group(group, source, dest)
+        if span is not None:
+            span.close()
 
     def _flush_single_group(self, group: _WindowGroup) -> None:
         win_stream = self._window_stream(0)
@@ -621,7 +733,7 @@ class CoherenceEngine:
             arrays,
             win_stream,
         )
-        self.coalesced_transfers += max(0, len(arrays) - 1)
+        self._c_coalesced.value += max(0, len(arrays) - 1)
         self.engine.record_event(win_stream, event=group.event)
         for array in arrays:
             plan = self._plan_of(array)
@@ -636,7 +748,7 @@ class CoherenceEngine:
         for ev in group.source_events:
             if not ev.complete:
                 self.engine.wait_event(win_stream, ev)
-        self.coalesced_transfers += max(0, len(group.arrays) - 1)
+        self._c_coalesced.value += max(0, len(group.arrays) - 1)
         self._submit_multi_migration(
             group.arrays, source, dest, win_stream, event=group.event
         )
@@ -665,8 +777,10 @@ class CoherenceEngine:
 
         op.apply_fn = apply_all
         self.engine.submit(stream, op)
-        self.transfer_ops += 1
-        self.migrated_bytes_total += op.nbytes
+        self._c_transfer_ops.value += 1
+        self._c_migrated_bytes.value += op.nbytes
+        self._c_htod_ops.value += 1
+        self._c_htod_bytes.value += op.nbytes
 
     def prefetch(self, array: DeviceArray, stream: "SimStream") -> None:
         """Explicit ``cudaMemPrefetchAsync``: move a (planned-)stale
@@ -709,10 +823,23 @@ class CoherenceEngine:
         with ``sync=True`` (the default) the migration is drained and
         transitions commit before returning.
         """
-        self.flush_window()  # host access closes the coalescing window
+        self.flush_window("cpu-access")  # host access closes the window
         if kind is AccessKind.WRITE and touched >= array.nbytes:
             self.invalidate_device_copy(array)
             return None
+        tracer = self.tracer
+        span = (
+            tracer.span(
+                "cpu_access",
+                track="coherence",
+                clock=self.engine._clock,
+                array=array.name,
+                access=kind.name,
+                touched=touched,
+            )
+            if tracer.enabled
+            else None
+        )
         op: TransferOp | None = None
         stale = self._stale_host_bytes(array, touched)
         if stale > 0:
@@ -732,8 +859,10 @@ class CoherenceEngine:
                 array, array.mark_cpu_read, overlay.token
             )
             self.engine.submit(stream, op)
-            self.transfer_ops += 1
-            self.writeback_bytes_total += stale
+            self._c_transfer_ops.value += 1
+            self._c_writeback_bytes.value += stale
+            self._c_dtoh_ops.value += 1
+            self._c_dtoh_bytes.value += stale
             if sync:
                 self.engine.sync_stream(stream)
         # The access happens synchronously right after this declaration:
@@ -747,6 +876,9 @@ class CoherenceEngine:
                 host_valid=True,
                 device_valid=False,
             )
+        if span is not None:
+            span.annotate(writeback_bytes=stale)
+            span.close()
         return op
 
     def invalidate_device_copy(self, array: DeviceArray) -> None:
@@ -894,8 +1026,22 @@ class CoherenceEngine:
         if policy is MovementPolicy.PAGE_FAULT and not spec.supports_page_faults:
             policy = MovementPolicy.EAGER_PREFETCH
         if self._win_groups and policy is not MovementPolicy.BATCHED:
-            self.flush_window()  # policy boundary (see ``acquire``)
+            # policy boundary (see ``acquire``)
+            self.flush_window("policy-boundary")
         windowed = policy is MovementPolicy.BATCHED and self.window > 0
+        tracer = self.tracer
+        span = (
+            tracer.span(
+                "acquire_multi",
+                track="coherence",
+                clock=self.engine._clock,
+                policy=policy.value,
+                label=label,
+                device=device_index,
+            )
+            if tracer.enabled
+            else None
+        )
         plan = AcquirePlan()
         #: stale reads grouped by source (BATCHED coalescing unit)
         stale_by_source: dict[int, list["MultiGpuArray"]] = {}
@@ -935,7 +1081,7 @@ class CoherenceEngine:
                 # The fault engine migrates on demand, charged to the
                 # kernel; residency commits when the kernel completes.
                 plan.fault_bytes += array.nbytes
-                self.fault_bytes_total += array.nbytes
+                self._c_fault_bytes.value += array.nbytes
                 overlay = self._multi_overlay(array)
                 overlay.valid_on.add(device_index)
                 plan.completion_marks.append(
@@ -958,11 +1104,18 @@ class CoherenceEngine:
         for source, arrays in stale_by_source.items():
             groups = [arrays] if batched else [[a] for a in arrays]
             if batched:
-                self.coalesced_transfers += max(0, len(arrays) - 1)
+                self._c_coalesced.value += max(0, len(arrays) - 1)
             for group in groups:
                 self._submit_multi_migration(
                     group, source, device_index, stream
                 )
+        if span is not None:
+            span.annotate(
+                stale=sum(len(a) for a in stale_by_source.values()),
+                deferred=len(deferred),
+                fault_bytes=plan.fault_bytes,
+            )
+            span.close()
         return plan
 
     def _defer_multi(
@@ -989,7 +1142,7 @@ class CoherenceEngine:
                 g.event is source_pending
                 for g in self._win_groups.values()
             ):
-                self.flush_window()
+                self.flush_window("source-hazard")
             group = self._open_group(
                 (source, device_index), TransferKind.PREFETCH
             )
@@ -1066,8 +1219,14 @@ class CoherenceEngine:
 
         op.apply_fn = apply_all
         self.engine.submit(stream, op)
-        self.transfer_ops += 1
-        self.migrated_bytes_total += op.nbytes
+        self._c_transfer_ops.value += 1
+        self._c_migrated_bytes.value += op.nbytes
+        if source == -1:
+            self._c_htod_ops.value += 1
+            self._c_htod_bytes.value += op.nbytes
+        else:
+            self._c_d2d_ops.value += 1
+            self._c_d2d_bytes.value += op.nbytes
         event = self.engine.record_event(
             stream, event=event, label=f"mig:{names}@gpu{device_index}"
         )
@@ -1136,7 +1295,7 @@ class CoherenceEngine:
         path already applied it (``copy_from_host`` marks internally) —
         one transition per write, pending cleanup always.
         """
-        self.flush_window()
+        self.flush_window("cpu-access")
         if mark:
             array.mark_cpu_write()
         self._multi_epoch[id(array)] = (
@@ -1155,7 +1314,7 @@ class CoherenceEngine:
     ) -> TransferOp | None:
         """Host readback of a multi-GPU array (device-to-host writeback
         from whichever replica is valid)."""
-        self.flush_window()
+        self.flush_window("cpu-access")
         if self.multi_host_valid(array):
             return None
         op = TransferOp(
@@ -1169,8 +1328,10 @@ class CoherenceEngine:
         overlay.host_valid = True
         op.apply_fn = self._multi_committer(array, array.mark_cpu_read)
         self.engine.submit(stream, op)
-        self.transfer_ops += 1
-        self.writeback_bytes_total += op.nbytes
+        self._c_transfer_ops.value += 1
+        self._c_writeback_bytes.value += op.nbytes
+        self._c_dtoh_ops.value += 1
+        self._c_dtoh_bytes.value += op.nbytes
         if sync:
             self.engine.sync_stream(stream)
         return op

@@ -30,6 +30,7 @@ from repro.graphs.graph import CudaGraph
 from repro.graphs.planner import StreamPlanStep, plan_streams
 from repro.kernels.registry import build_kernel
 from repro.memory.array import DeviceArray
+from repro.obs.counters import CounterRegistry
 from repro.serve.request import TaskGraph
 
 
@@ -49,11 +50,32 @@ class CaptureCache:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._plans: dict[tuple, CapturePlan] = {}
+        #: hit/miss tallies, on the observability registry so the
+        #: serve-bench summary reads them under one namespace; the
+        #: ``hits`` / ``misses`` attributes stay as read/write
+        #: properties (the service adds batch riders directly)
+        self.counters = CounterRegistry()
         #: requests served from a cached plan (the service also counts
         #: batch members that ride a head request's lookup)
-        self.hits = 0
+        self._c_hits = self.counters.counter("serve.capture_hits")
         #: requests that paid the full inference path
-        self.misses = 0
+        self._c_misses = self.counters.counter("serve.capture_misses")
+
+    @property
+    def hits(self) -> int:
+        return self._c_hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._c_hits.value = value
+
+    @property
+    def misses(self) -> int:
+        return self._c_misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._c_misses.value = value
 
     def __len__(self) -> int:
         return len(self._plans)

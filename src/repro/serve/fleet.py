@@ -37,6 +37,8 @@ from repro.core.policies import DevicePlacementPolicy, SchedulerConfig
 from repro.gpusim.specs import GPUSpec, gpu_by_name
 from repro.gpusim.stream import SimStream
 from repro.kernels.kernel import Kernel
+from repro.obs.counters import CounterRegistry
+from repro.obs.trace import Tracer, current_tracer
 from repro.serve.request import GraphRequest
 from repro.session import Session
 
@@ -120,6 +122,7 @@ class FleetSlot:
         index: int,
         specs: list[GPUSpec],
         config: SchedulerConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.index = index
         self.gpus = len(specs)
@@ -130,7 +133,14 @@ class FleetSlot:
             gpu=specs if len(specs) > 1 else specs[0],
             config=config,
             serving=True,
+            tracer=tracer,
         )
+        # Per-device export tracks are named after the slot, not the
+        # engine's attach ordinal.
+        self.session.engine._obs_name = f"slot{index}"
+        #: roll-up registry: retired requests' coherence counters merge
+        #: here (per-request engines die with their submission)
+        self.counters = CounterRegistry()
         #: kernel cache: KernelDecl.identity -> built Kernel
         self._kernels: dict[tuple, Kernel] = {}
         #: topology keys this slot has served (MIN_TRANSFER warmth)
@@ -225,11 +235,21 @@ class GpuFleet:
         policy: DevicePlacementPolicy = DevicePlacementPolicy.LEAST_LOADED,
         config: SchedulerConfig | None = None,
         gpu: str | GPUSpec = "GTX 1660 Super",
+        tracer: Tracer | None = None,
     ) -> None:
         if not slots:
             raise ValueError("a fleet needs at least one slot")
+        self.tracer = current_tracer() if tracer is None else tracer
+        # Slots get the *raw* optional: with no explicit tracer each
+        # engine resolves the ambient default itself (and Session never
+        # forwards a tracer kwarg the engine wasn't asked for).
         self.slots = [
-            FleetSlot(i, normalize_slot_spec(entry, gpu), config=config)
+            FleetSlot(
+                i,
+                normalize_slot_spec(entry, gpu),
+                config=config,
+                tracer=tracer,
+            )
             for i, entry in enumerate(slots)
         ]
         self.policy = policy
@@ -243,13 +263,18 @@ class GpuFleet:
         policy: DevicePlacementPolicy = DevicePlacementPolicy.LEAST_LOADED,
         config: SchedulerConfig | None = None,
         gpus_per_slot: int = 1,
+        tracer: Tracer | None = None,
     ) -> "GpuFleet":
         """Factory: a homogeneous fleet of ``size`` slots, each with
         ``gpus_per_slot`` × ``gpu``."""
         if size <= 0:
             raise ValueError("fleet size must be positive")
         return cls(
-            [gpus_per_slot] * size, policy=policy, config=config, gpu=gpu
+            [gpus_per_slot] * size,
+            policy=policy,
+            config=config,
+            gpu=gpu,
+            tracer=tracer,
         )
 
     @property
@@ -297,6 +322,21 @@ class GpuFleet:
         resolve in stable slot-id order and serving runs replay
         deterministically.
         """
+        slot = self._choose(request)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "place",
+                track="service",
+                vt=slot.clock,
+                policy=self.policy.value,
+                tenant=request.tenant,
+                request=request.request_id,
+                slot=slot.index,
+                warm=request.topology_key in slot.warm_topologies,
+            )
+        return slot
+
+    def _choose(self, request: GraphRequest) -> FleetSlot:
         if self.policy is DevicePlacementPolicy.ROUND_ROBIN:
             slot = self.slots[self._rr_next]
             self._rr_next = (self._rr_next + 1) % len(self.slots)

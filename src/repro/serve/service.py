@@ -66,6 +66,8 @@ from repro.memory.array import AccessKind, DeviceArray
 from repro.memory.coherence import CoherenceEngine
 from repro.metrics.service import ServiceMetrics, compute_service_metrics
 from repro.multigpu.array import MultiGpuArray
+from repro.obs.counters import CounterRegistry
+from repro.obs.trace import Tracer, current_tracer
 from repro.serve.admission import make_queue
 from repro.serve.capture import CaptureCache, CapturePlan
 from repro.serve.fleet import FleetSlot, GpuFleet, parse_fleet_spec
@@ -121,6 +123,10 @@ class ServiceReport:
     tenants: dict[str, TenantState]
     fleet: GpuFleet
     config: ServeConfig
+    #: flat namespaced counter roll-up across the whole run: ``serve.*``
+    #: (admission, batching, capture cache), ``engine.*`` (summed over
+    #: slots) and ``coherence.*`` (summed over every retired request)
+    counters: dict = field(default_factory=dict)
 
     def render(self) -> str:
         """ASCII summary (the ``serve-bench`` CLI output)."""
@@ -198,8 +204,17 @@ class SchedulerService:
         fleet_topology: str | list[int] | None = None,
         gpu: str = "GTX 1660 Super",
         config: ServeConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.config = config or ServeConfig()
+        explicit_tracer = tracer
+        if tracer is None:
+            # Adopt an externally-built fleet's tracer so slot engines
+            # and service spans land in the same trace.
+            tracer = (
+                fleet.tracer if fleet is not None else current_tracer()
+            )
+        self.tracer = tracer
         if fleet is None:
             if fleet_topology is not None:
                 topology = (
@@ -214,6 +229,7 @@ class SchedulerService:
                 gpu=gpu,
                 policy=self.config.placement,
                 config=self.config.scheduler,
+                tracer=explicit_tracer,
             )
         self.fleet = fleet
         self.queue = make_queue(self.config.admission)
@@ -222,6 +238,13 @@ class SchedulerService:
         self.results: list[GraphResult] = []
         self._batch_ids = itertools.count(1)
         self._batches = 0
+        #: service-level counters (admission, batching, queue depth)
+        self.counters = CounterRegistry()
+        self._c_admitted = self.counters.counter("serve.admitted")
+        self._c_batches = self.counters.counter("serve.batches")
+        self._c_batched_requests = self.counters.counter(
+            "serve.batched_requests"
+        )
 
     # -- tenant/submission API -------------------------------------------
 
@@ -257,6 +280,18 @@ class SchedulerService:
         )
         state.submitted += 1
         self.queue.push(request)
+        self._c_admitted.value += 1
+        self.counters.set_max("serve.queue_depth_peak", len(self.queue))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "admit",
+                track="service",
+                vt=arrival_time,
+                tenant=tenant,
+                request=request.request_id,
+                priority=request.priority,
+                queue_depth=len(self.queue),
+            )
         return request.request_id
 
     # -- the serving loop ---------------------------------------------------
@@ -301,7 +336,26 @@ class SchedulerService:
             tenants=dict(self.tenants),
             fleet=self.fleet,
             config=self.config,
+            counters=self.counters_snapshot(),
         )
+
+    def counters_snapshot(self) -> dict:
+        """Service-wide flat counter roll-up: ``serve.*`` (admission,
+        batching, capture cache) plus ``engine.*`` and ``coherence.*``
+        summed across every slot and retired request."""
+        merged = CounterRegistry()
+        merged.merge(self.counters)
+        merged.merge(self.cache.counters)
+        for slot in self.fleet.slots:
+            engine_counters = getattr(slot.engine, "counters", None)
+            if engine_counters is not None:
+                merged.merge(engine_counters)
+            # slot.counters already absorbed every retired request's
+            # coherence engine (context and replay paths alike) at
+            # reclaim time — the live session context is one of those
+            # retirees, so it is NOT merged again here.
+            merged.merge(slot.counters)
+        return merged.snapshot()
 
     # -- batch execution ---------------------------------------------------
 
@@ -311,6 +365,23 @@ class SchedulerService:
         engine = slot.engine
         batch_id = next(self._batch_ids)
         self._batches += 1
+        self._c_batches.value += 1
+        if len(batch) > 1:
+            self._c_batched_requests.value += len(batch)
+        span = (
+            self.tracer.span(
+                "batch",
+                track="service",
+                clock=engine._clock,
+                slot=slot.index,
+                size=len(batch),
+                batch_id=batch_id,
+                tenant=batch[0].tenant,
+                graph=batch[0].graph.name,
+            )
+            if self.tracer.enabled
+            else None
+        )
 
         # The slot idles until the last coalesced arrival: a batch
         # cannot causally start before its members exist (the classic
@@ -345,6 +416,9 @@ class SchedulerService:
         engine.sync_all()
         self._reclaim_batch(slot, submissions)
         slot.warm_topologies.add(batch[0].topology_key)
+        if span is not None:
+            span.annotate(replayed=plan is not None)
+            span.close()
 
     def _reclaim_batch(
         self, slot: FleetSlot, submissions: list[_Submission]
@@ -362,10 +436,15 @@ class SchedulerService:
                 slot.engine.reclaim_streams(
                     sub.context.reclaimable_streams()
                 )
+                # The per-request coherence engine retires with its
+                # context: fold its movement counters into the slot's
+                # roll-up so the service report can explain the run.
+                slot.counters.merge(sub.context.coherence.counters)
             else:
                 tenant.absorb_history(sub.history)
                 assert sub.coherence is not None
                 slot.engine.reclaim_streams(sub.coherence.take_owned_streams())
+                slot.counters.merge(sub.coherence.counters)
         slot.session.free_arrays()
         slot.requests_served += len(submissions)
 

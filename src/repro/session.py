@@ -33,7 +33,7 @@ remain as deprecation shims over this class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -56,6 +56,8 @@ from repro.kernels.registry import KernelRegistry, build_kernel
 from repro.memory.array import AccessKind, DeviceArray
 from repro.multigpu.array import MultiGpuArray
 from repro.multigpu.context import MultiGpuExecutionContext
+from repro.obs.counters import CounterRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -81,6 +83,10 @@ class SessionMetrics:
     writeback_bytes: float
     #: transfers saved by BATCHED coalescing
     coalesced_transfers: int
+    #: flat namespaced counter snapshot (``engine.*`` + ``coherence.*``)
+    #: from the observability registry — the superset the scalar fields
+    #: above are drawn from
+    counters: dict = dataclass_field(default_factory=dict)
 
 
 class Session:
@@ -98,6 +104,7 @@ class Session:
         config: SchedulerConfig | None = None,
         registry: KernelRegistry | None = None,
         serving: bool = False,
+        tracer: Tracer | None = None,
         _force_multi: bool = False,
     ) -> None:
         if not isinstance(gpu, (str, GPUSpec)):
@@ -130,7 +137,13 @@ class Session:
         self.spec = self.specs[0]
         self.devices = tuple(Device(s) for s in self.specs)
         self.device = self.devices[0]
-        self.engine = SimEngine(list(self.devices))
+        # Without an explicit tracer the engine resolves the ambient
+        # default itself; omitting the kwarg also keeps engine
+        # substitutes with the pre-obs constructor signature working.
+        if tracer is None:
+            self.engine = SimEngine(list(self.devices))
+        else:
+            self.engine = SimEngine(list(self.devices), tracer=tracer)
         self.registry = registry
         self.context: ExecutionContext = self._build_context()
         self._arrays: list[DeviceArray | MultiGpuArray] = []
@@ -326,7 +339,24 @@ class Session:
             fault_bytes=coherence.fault_bytes_total,
             writeback_bytes=coherence.writeback_bytes_total,
             coalesced_transfers=coherence.coalesced_transfers,
+            counters=self.counters(),
         )
+
+    def counters(self) -> dict:
+        """Flat namespaced counter snapshot across this session's layers
+        (``engine.*`` from the simulator core, ``coherence.*`` from the
+        *current* context's coherence engine)."""
+        merged = CounterRegistry()
+        engine_counters = getattr(self.engine, "counters", None)
+        if engine_counters is not None:
+            merged.merge(engine_counters)
+        merged.merge(self.context.coherence.counters)
+        return merged.snapshot()
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer this session's engine reports to."""
+        return getattr(self.engine, "tracer", NULL_TRACER)
 
     @property
     def clock(self) -> float:

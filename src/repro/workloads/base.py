@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
@@ -118,6 +118,9 @@ class RunResult:
     timeline: Timeline
     stream_count: int
     iterations: int
+    #: merged observability-registry snapshot (engine + coherence
+    #: counters) of the run — movement-bench reads its tallies here
+    counters: dict[str, int | float] = field(default_factory=dict)
 
     @property
     def per_iteration(self) -> float:
@@ -374,6 +377,7 @@ class Benchmark(abc.ABC):
                 {r.stream_id for r in timeline.kernels()}
             ),
             iterations=self.iterations,
+            counters=rt.counters(),
         )
 
     # -- static plan shared by the baseline modes ---------------------------------
@@ -442,6 +446,7 @@ class Benchmark(abc.ABC):
             for name, aspec in self.array_specs().items()
         }
         host = _BaselineHost(engine)
+        self._baseline_host = host
         for arr in arrays.values():
             arr.set_access_hook(host.hook)
         kernels = {
@@ -470,6 +475,15 @@ class Benchmark(abc.ABC):
         streams_used: int,
     ) -> RunResult:
         engine.sync_all()
+        from repro.obs.counters import CounterRegistry
+
+        merged = CounterRegistry()
+        engine_counters = getattr(engine, "counters", None)
+        if engine_counters is not None:
+            merged.merge(engine_counters)
+        host = getattr(self, "_baseline_host", None)
+        if host is not None:
+            merged.merge(host.coherence.counters)
         return RunResult(
             benchmark=self.name,
             mode=mode,
@@ -480,6 +494,7 @@ class Benchmark(abc.ABC):
             timeline=engine.timeline,
             stream_count=streams_used,
             iterations=self.iterations,
+            counters=merged.snapshot(),
         )
 
     def _run_graph(self, gpu: str | GPUSpec, mode: Mode) -> RunResult:

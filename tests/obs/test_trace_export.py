@@ -1,0 +1,224 @@
+"""Chrome-trace export round-trip: schema, track naming, exact virtual
+timestamps, span nesting — satellite 3 of the observability PR."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    _SCALE,
+    build_chrome_trace,
+    main as export_main,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.trace import Tracer
+from repro.serve import SchedulerService, ServeConfig
+from repro.serve.workloads import mixed_workload_graphs
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One small traced serving run shared by the export tests."""
+    tracer = Tracer()
+    service = SchedulerService(
+        fleet_size=2, config=ServeConfig(), tracer=tracer
+    )
+    for t in ("alice", "bob"):
+        service.register_tenant(t)
+    graphs = mixed_workload_graphs(6, seed=5)
+    for i, graph in enumerate(graphs):
+        service.submit(
+            ("alice", "bob")[i % 2], graph, arrival_time=i * 1e-4
+        )
+    report = service.run()
+    doc = build_chrome_trace(tracer, results=report.results)
+    return tracer, report, doc
+
+
+def _metadata(doc, kind):
+    """{(pid[, tid]): name} for 'process_name' / 'thread_name' events."""
+    out = {}
+    for ev in doc["traceEvents"]:
+        if ev.get("ph") == "M" and ev.get("name") == kind:
+            key = (
+                ev["pid"]
+                if kind == "process_name"
+                else (ev["pid"], ev["tid"])
+            )
+            out[key] = ev["args"]["name"]
+    return out
+
+
+class TestSchema:
+    def test_round_trip_validates(self, served, tmp_path):
+        tracer, report, _ = served
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, tracer, results=report.results)
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert validate_chrome_trace(doc) == []
+        assert validate_chrome_trace_file(str(path)) == []
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_every_event_has_the_required_fields(self, served):
+        _, _, doc = served
+        assert len(doc["traceEvents"]) > 0
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] in {"X", "i", "M"}
+            assert isinstance(ev["pid"], int)
+            assert isinstance(ev["tid"], int)
+            assert isinstance(ev["name"], str) and ev["name"]
+            if ev["ph"] == "M":
+                continue
+            assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+            if ev["ph"] == "X":
+                assert isinstance(ev["dur"], (int, float))
+                assert ev["dur"] >= 0
+            else:
+                assert ev["s"] == "t"
+
+    def test_validator_flags_broken_documents(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": 3}) != []
+        errors = validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"ph": "X", "name": "a", "pid": 1, "tid": 1, "ts": 0},
+                    {"ph": "?", "name": "b", "pid": 1, "tid": 1},
+                    {"ph": "i", "name": "", "pid": "x", "tid": 1, "ts": -1},
+                ]
+            }
+        )
+        # missing dur, unknown phase, bad name/pid/ts, unnamed tracks
+        assert len(errors) >= 5
+
+    def test_cli_gate(self, served, tmp_path, capsys):
+        tracer, report, _ = served
+        good = tmp_path / "good.json"
+        write_chrome_trace(good, tracer, results=report.results)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "?"}]}')
+        assert export_main([str(good)]) == 0
+        assert export_main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "OK" in out and "FAIL" in out
+
+
+class TestTracks:
+    def test_per_device_per_tenant_and_tracer_tracks(self, served):
+        _, _, doc = served
+        processes = set(_metadata(doc, "process_name").values())
+        assert {"device:slot0", "device:slot1", "tenants", "tracer"} <= (
+            processes
+        )
+        threads = set(_metadata(doc, "thread_name").values())
+        assert {"alice", "bob"} <= threads
+        assert "service" in threads  # tracer's admission/batch track
+
+    def test_device_events_match_timeline_exactly(self, served):
+        tracer, _, doc = served
+        pid_names = _metadata(doc, "process_name")
+        for engine in tracer.engines:
+            pid = next(
+                p
+                for p, n in pid_names.items()
+                if n == f"device:{engine._obs_name}"
+            )
+            got = {
+                (ev["name"], ev["ts"], ev["dur"])
+                for ev in doc["traceEvents"]
+                if ev["ph"] == "X" and ev["pid"] == pid
+            }
+            want = {
+                (
+                    rec.label or rec.kind.value,
+                    rec.start * _SCALE,
+                    rec.duration * _SCALE,
+                )
+                for rec in engine.timeline.records
+            }
+            # exact float equality: µs = seconds x 1e6, no rounding
+            assert got == want
+            assert len(got) > 0
+
+    def test_one_request_event_per_result(self, served):
+        _, report, doc = served
+        pid_names = _metadata(doc, "process_name")
+        tenants_pid = next(
+            p for p, n in pid_names.items() if n == "tenants"
+        )
+        requests = [
+            ev
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "X" and ev["pid"] == tenants_pid
+        ]
+        assert len(requests) == len(report.results)
+        by_id = {ev["args"]["request_id"]: ev for ev in requests}
+        for res in report.results:
+            ev = by_id[res.request_id]
+            assert ev["ts"] == res.start_time * _SCALE
+            assert ev["dur"] == (res.finish_time - res.start_time) * _SCALE
+            assert ev["args"]["batch_size"] == res.batch_size
+
+    def test_service_track_mirrors_admission_and_batching(self, served):
+        tracer, report, _ = served
+        admits = [
+            e
+            for e in tracer.events
+            if e.track == "service" and e.name == "admit"
+        ]
+        batches = [
+            e
+            for e in tracer.events
+            if e.track == "service" and e.name == "batch"
+        ]
+        assert len(admits) == len(report.results)
+        assert len(batches) == report.metrics.batches
+
+
+class TestNesting:
+    def test_nested_spans_are_contained_in_their_parents(self, served):
+        tracer, _, _ = served
+        events = tracer.events
+        deep = [
+            (i, e)
+            for i, e in enumerate(events)
+            if e.ph == "X" and e.depth > 0
+        ]
+        assert deep, "the serving run must produce nested spans"
+        for i, inner in deep:
+            # the enclosing span closes after its children, so it is
+            # appended later; its virtual interval must contain inner's
+            parent = next(
+                (
+                    e
+                    for e in events[i + 1:]
+                    if e.ph == "X"
+                    and e.track == inner.track
+                    and e.depth == inner.depth - 1
+                ),
+                None,
+            )
+            assert parent is not None, f"no parent span for {inner.name}"
+            # recorded inside the parent's wall-time window...
+            assert parent.wall <= inner.wall
+            assert inner.wall <= parent.wall + parent.wall_dur
+            # ...and finishing within the parent's virtual window (an
+            # op may have *started* before the enclosing sync span, but
+            # whatever completes inside it completes before it closes)
+            assert inner.vt + inner.dur <= parent.vt + parent.dur
+
+
+class TestJsonl:
+    def test_jsonl_round_trip(self, served, tmp_path):
+        tracer, _, _ = served
+        path = tmp_path / "trace.jsonl"
+        count = write_jsonl(path, tracer)
+        assert count == len(tracer.events)
+        lines = path.read_text().splitlines()
+        assert len(lines) == count
+        first = json.loads(lines[0])
+        assert {"name", "track", "ph", "vt", "dur", "depth"} <= set(first)

@@ -85,6 +85,33 @@ class TestParser:
         )
         assert args.bench_out == "/tmp/b.json"
 
+    def test_trace_flags_default_off(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.trace is False
+        assert args.trace_out is None
+        assert args.target is None
+
+    def test_trace_flags(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--trace-out", "trace.json"]
+        )
+        assert args.trace_out == "trace.json"
+        args = build_parser().parse_args(["sim-bench", "--trace"])
+        assert args.trace is True
+
+    def test_trace_meta_experiment_takes_a_target(self):
+        args = build_parser().parse_args(["trace", "serve-bench"])
+        assert args.experiment == "trace"
+        assert args.target == "serve-bench"
+
+    def test_target_rejected_outside_trace(self):
+        with pytest.raises(SystemExit):
+            main(["figure7", "serve-bench"])
+
+    def test_trace_rejects_untraceable_target(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "figure7"])
+
     def test_serve_bench_rejects_unknown_policy(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(
@@ -159,3 +186,46 @@ class TestExecution:
         assert data["total_gpus"] == 3
         assert data["requests"] == 8
         assert data["latency_ms"]["p99"] > 0
+        # satellite: the summary carries the registry's capture-cache
+        # and window-flush counts
+        assert data["capture_misses"] > 0
+        assert "window_flushes" in data
+        assert data["counters"]["serve.admitted"] == 8
+
+    def test_serve_bench_trace_out_writes_valid_chrome_trace(
+        self, capsys, tmp_path
+    ):
+        from repro.obs.export import validate_chrome_trace_file
+
+        trace_path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--requests", "6",
+                    "--tenants", "2",
+                    "--fleet", "2,1",
+                    "--trace-out", str(trace_path),
+                ]
+            )
+            == 0
+        )
+        assert f"wrote {trace_path}" in capsys.readouterr().out
+        assert validate_chrome_trace_file(str(trace_path)) == []
+
+    def test_trace_meta_experiment_defaults_to_serve_bench(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        from repro.obs.export import validate_chrome_trace_file
+
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(["trace", "--requests", "6", "--tenants", "2"]) == 0
+        )
+        assert (tmp_path / "TRACE_serving.json").exists()
+        assert (
+            validate_chrome_trace_file(
+                str(tmp_path / "TRACE_serving.json")
+            )
+            == []
+        )
