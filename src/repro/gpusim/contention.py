@@ -25,10 +25,29 @@ Modelled resources
   migrate it on demand; all faulting kernels share the controller's
   sustained bandwidth, making it the bottleneck under concurrency
   (section V-C's argument for automatic prefetching).
+
+Contention classes
+------------------
+Kernels with identical resource signatures (see
+:meth:`repro.gpusim.ops.KernelResourceRequest.signature`) are
+indistinguishable to the model: they demand the same SM fraction and the
+same pool weights, so they always receive the same rate.  The model
+therefore groups the running set into **contention classes** — one
+interned :class:`_ContentionClass` per distinct signature — and prices
+one rate per class instead of one per op.  Aggregates (SM demand, pool
+weights) are evaluated per class from cached repeated-addition ladders,
+making the allocation a pure function of the class *multiset*: any two
+running lists with the same ops (in any order) price bit-identically,
+which is the invariant the engine's golden tests pin down.
+
+:class:`ClassedContentionModel` additionally maintains the active class
+multiset **incrementally** (O(1) amortized per membership change), so the
+engine's hot path reprices in O(classes) rather than O(running ops).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 from repro.gpusim.ops import (
@@ -86,6 +105,70 @@ class KernelTimings:
         return steady + self.fault_time
 
 
+class _ContentionClass:
+    """One interned kernel resource signature.
+
+    Holds the signature's roofline timings plus a cached
+    *repeated-addition ladder* per shared resource: ``ladder[k]`` is the
+    term added to itself ``k`` times left-to-right in float arithmetic.
+    Aggregating ``k`` identical members through the ladder is bitwise
+    equal to folding them one by one, but costs O(1) amortized — the
+    incremental aggregate maintenance the engine's reprice relies on.
+
+    Aggregate index 0 is the SM demand (``sm_fraction``); 1..3 are the
+    DRAM / L2 / page-fault pool weights (``pool_time / duration``).
+    """
+
+    __slots__ = (
+        "signature", "timings", "duration", "sm_frac", "pool_used",
+        "_ladders",
+    )
+
+    def __init__(self, signature: tuple, timings: KernelTimings) -> None:
+        self.signature = signature
+        self.timings = timings
+        self.duration = timings.duration
+        self.sm_frac = timings.sm_fraction
+        #: whether this class draws on each shared pool at all — the cap
+        #: applies to pool *users*, keyed on the raw pool time (not the
+        #: weight, which can underflow to 0.0 for extreme durations)
+        self.pool_used = (
+            True,  # every kernel occupies SMs
+            timings.dram_time > 0,
+            timings.l2_time > 0,
+            timings.fault_time > 0,
+        )
+        d = self.duration
+        self._ladders = (
+            [0.0, timings.sm_fraction],
+            [0.0, timings.dram_time / d],
+            [0.0, timings.l2_time / d],
+            [0.0, timings.fault_time / d],
+        )
+
+    def aggregate(self, index: int, count: int) -> float:
+        """``count`` members' summed contribution to aggregate ``index``
+        (exact repeated float addition, cached)."""
+        ladder = self._ladders[index]
+        if count >= len(ladder):
+            term = ladder[1]
+            value = ladder[-1]
+            append = ladder.append
+            for _ in range(count - len(ladder) + 1):
+                value += term
+                append(value)
+        return ladder[count]
+
+    def extend_ladders(self, count: int) -> None:
+        """Pre-extend every ladder through ``count`` members, so pricing
+        can subscript them unchecked (:meth:`ContentionModel._price_sorted`
+        requires callers to have registered each class's count here or
+        via the incremental add path)."""
+        if count >= len(self._ladders[0]):
+            for index in range(4):
+                self.aggregate(index, count)
+
+
 class ContentionModel:
     """Computes per-operation progress rates for a running set."""
 
@@ -97,6 +180,16 @@ class ContentionModel:
         #: multi-GPU engine's running set) never re-prices
         self._memo_key: frozenset[int] | None = None
         self._memo_result: RateAllocation | None = None
+        #: interned contention classes, keyed by resource signature
+        self._classes: dict[tuple, _ContentionClass] = {}
+        #: per-class pricing columns keyed by the live class tuple (see
+        #: :meth:`_columns_for`)
+        self._column_memo: dict[tuple, tuple] = {}
+        #: op_id -> contention class: memoizes ``kernel_timings`` per
+        #: launch (resources are immutable after submit, so nothing ever
+        #: invalidates; the engine prunes entries on op completion via
+        #: :meth:`forget_op`)
+        self._op_class: dict[int, _ContentionClass] = {}
 
     # -- single-kernel roofline -----------------------------------------
 
@@ -112,8 +205,31 @@ class ContentionModel:
         frac = max(frac, 1.0 / self.spec.sm_count)
         return min(1.0, frac, cap)
 
+    def class_of(self, op: KernelOp) -> _ContentionClass:
+        """The interned contention class of one kernel launch."""
+        cls = self._op_class.get(op.op_id)
+        if cls is None:
+            res = op.resources
+            assert res is not None
+            sig = res.signature()
+            cls = self._classes.get(sig)
+            if cls is None:
+                cls = _ContentionClass(sig, self._compute_timings(op))
+                self._classes[sig] = cls
+            self._op_class[op.op_id] = cls
+        return cls
+
+    def forget_op(self, op_id: int) -> None:
+        """Drop the per-op memo entry (called on op completion so the
+        memo does not grow without bound in long-lived engines)."""
+        self._op_class.pop(op_id, None)
+
     def kernel_timings(self, op: KernelOp) -> KernelTimings:
-        """Uncontended execution-time components of one kernel."""
+        """Uncontended execution-time components of one kernel
+        (memoized per ``op_id`` via the class intern table)."""
+        return self.class_of(op).timings
+
+    def _compute_timings(self, op: KernelOp) -> KernelTimings:
         res = op.resources
         assert res is not None
         sm_frac = self.kernel_sm_fraction(
@@ -152,6 +268,111 @@ class ContentionModel:
     def kernel_duration(self, op: KernelOp) -> float:
         """Uncontended wall-time of one kernel launch."""
         return self.kernel_timings(op).duration
+
+    # -- class pricing ---------------------------------------------------
+
+    def price_classes(
+        self, active: list[tuple[_ContentionClass, int]]
+    ) -> tuple[list[float], list[float]]:
+        """Per-class kernel rates and SM shares for ``active``, a
+        signature-sorted ``[(class, count), ...]`` list.
+
+        O(len(active)).  The result is a pure (bitwise-deterministic)
+        function of the class multiset: aggregates fold per-class ladder
+        values in signature order, never in running-list order, so every
+        permutation of the same running set prices identically.
+
+        1. SM water-filling: grant each class its demanded fraction,
+           scaled down if the device is over-committed.
+        2. Shared device-wide pools: DRAM bandwidth, L2 bandwidth and
+           the page-fault controller.  A kernel whose uncontended
+           duration is T and whose pool term is p uses fraction
+           ``w = p/T`` of the pool at full speed, so the pool's
+           aggregate weight is ``W = sum(w)`` over its users; when the
+           pool is over-subscribed every user is capped at speed
+           ``1/W`` (proportional sharing), which caps aggregate
+           utilisation at ``sum((1/W) * w) = 1``.  Non-users are
+           untouched.  Both cap terms — the SM water-filling scale and
+           ``1/W`` — can only shrink when a kernel is added (ladder
+           steps are non-negative and float addition/division are
+           monotone), so the allocation is *monotone*: adding a kernel
+           never raises any existing kernel's rate (the property the
+           engine's next-completion jumps rely on).  (FP64 units need no
+           extra pool: they live per-SM, so their sharing is exactly the
+           SM water-filling above — the scarcity of FP64 on consumer
+           parts is captured in the solo roofline.)
+        """
+        classes = tuple(cls for cls, _count in active)
+        counts = [count for _cls, count in active]
+        for cls, count in active:
+            cls.extend_ladders(count)
+        return self._price_sorted(classes, counts)
+
+    def _columns_for(self, classes: tuple) -> tuple:
+        """Per-class column arrays for ``classes`` (a signature-sorted
+        tuple), memoized: the *set* of live classes changes far more
+        slowly than the member counts, so pricing reuses the columns
+        across reprices and only folds the counts."""
+        columns = self._column_memo.get(classes)
+        if columns is None:
+            pool_used = [cls.pool_used for cls in classes]
+            columns = (
+                [cls._ladders for cls in classes],
+                [cls.sm_frac for cls in classes],
+                [cls.duration for cls in classes],
+                pool_used,
+                # pools with no user at all fold to exactly 0.0: skip
+                tuple(
+                    pool
+                    for pool in (1, 2, 3)
+                    if any(used[pool] for used in pool_used)
+                ),
+            )
+            if len(self._column_memo) >= 1024:
+                self._column_memo.clear()
+            self._column_memo[classes] = columns
+        return columns
+
+    def _price_sorted(
+        self, classes: tuple, counts: list[int]
+    ) -> tuple[list[float], list[float]]:
+        """:meth:`price_classes` over a class tuple and parallel count
+        list — the hot-path form.
+
+        Arithmetic is restructured for speed but stays bitwise equal to
+        the per-class folds documented on :meth:`price_classes`:
+        non-users contribute exactly ``+0.0`` to a pool fold
+        (``w + 0.0 == w`` for non-negative ``w``), an undersubscribed
+        device multiplies by exactly 1.0 (``x * 1.0 == x``), and a
+        granted-over-demanded ratio of equal floats is exactly 1.0.
+        """
+        lads, fracs, durations, pool_used, live_pools = self._columns_for(
+            classes
+        )
+        total_demand = sum([lad[0][c] for lad, c in zip(lads, counts)])
+        if total_demand <= 1.0:
+            shares = fracs[:]
+            speeds = [1.0] * len(fracs)
+        else:
+            sm_scale = 1.0 / total_demand
+            shares = [frac * sm_scale for frac in fracs]
+            speeds = [share / frac for share, frac in zip(shares, fracs)]
+
+        for pool in live_pools:
+            weight = sum([lad[pool][c] for lad, c in zip(lads, counts)])
+            if weight <= 1.0:
+                continue
+            cap = 1.0 / weight
+            speeds = [
+                (cap if cap < speed else speed) if used[pool] else speed
+                for speed, used in zip(speeds, pool_used)
+            ]
+
+        rates = [
+            speed / duration
+            for speed, duration in zip(speeds, durations)
+        ]
+        return rates, shares
 
     # -- running-set rate allocation -------------------------------------
 
@@ -195,71 +416,22 @@ class ContentionModel:
     ) -> None:
         if not kernels:
             return
-        timings = {k.op_id: self.kernel_timings(k) for k in kernels}
-
-        # 1. SM water-filling: grant each kernel its demanded fraction,
-        #    scaled down if the device is over-committed.
-        total_demand = sum(t.sm_fraction for t in timings.values())
-        sm_scale = 1.0 if total_demand <= 1.0 else 1.0 / total_demand
-
-        # 2. Tentative speed given granted SMs only.
-        #    ``speed`` is the fraction of the kernel's uncontended rate.
-        speed: dict[int, float] = {}
+        counts: dict[_ContentionClass, int] = {}
         for k in kernels:
-            t = timings[k.op_id]
-            granted = t.sm_fraction * sm_scale
-            sm_share[k.op_id] = granted
-            speed[k.op_id] = granted / t.sm_fraction  # <= 1.0
-
-        # 3. Shared device-wide pools: DRAM bandwidth, L2 bandwidth and
-        #    the page-fault controller.  A kernel whose uncontended
-        #    duration is T and whose pool term is p uses fraction
-        #    ``w = p/T`` of the pool at full speed, so the pool's
-        #    aggregate weight is ``W = sum(w)`` over its users; when the
-        #    pool is over-subscribed every user is capped at speed
-        #    ``1/W`` (proportional sharing), which caps aggregate
-        #    utilisation at ``sum((1/W) * w) = 1``.  Non-users are
-        #    untouched.  Both cap terms — the SM water-filling scale and
-        #    ``1/W`` — can only shrink when a kernel is added, so the
-        #    allocation is *monotone*: adding a kernel never raises any
-        #    existing kernel's rate (the property the engine's
-        #    next-completion jumps rely on, and that a redistribution
-        #    heuristic would violate).  (FP64 units need no extra pool:
-        #    they live per-SM, so their sharing is exactly the SM
-        #    water-filling above — the scarcity of FP64 on consumer
-        #    parts is captured in the solo roofline.)
-        for pool_time in (
-            lambda t: t.dram_time,
-            lambda t: t.l2_time,
-            lambda t: t.fault_time,
-        ):
-            self._cap_shared_pool(kernels, timings, speed, pool_time)
-
+            cls = self.class_of(k)
+            counts[cls] = counts.get(cls, 0) + 1
+        active = sorted(counts.items(), key=lambda item: item[0].signature)
+        class_rates, class_shares = self.price_classes(active)
+        rate_of = {
+            cls: rate for (cls, _n), rate in zip(active, class_rates)
+        }
+        share_of = {
+            cls: share for (cls, _n), share in zip(active, class_shares)
+        }
         for k in kernels:
-            t = timings[k.op_id]
-            rates[k.op_id] = speed[k.op_id] / t.duration
-
-    @staticmethod
-    def _cap_shared_pool(kernels, timings, speed, pool_time) -> None:
-        """Cap every pool user's ``speed`` at its proportional share.
-
-        With weights ``w_i = pool_time_i / duration_i`` the pool supports
-        everyone at full speed iff ``W = sum(w_i) <= 1``; beyond that each
-        user is capped at ``1/W``.  The cap depends only on the *set* of
-        users (not on their current speeds), which makes the resulting
-        allocation monotone under adding kernels.
-        """
-        weight = 0.0
-        for k in kernels:
-            t = timings[k.op_id]
-            weight += pool_time(t) / t.duration
-        if weight <= 1.0:
-            return
-        cap = 1.0 / weight
-        for k in kernels:
-            t = timings[k.op_id]
-            if pool_time(t) > 0:
-                speed[k.op_id] = min(speed[k.op_id], cap)
+            cls = self.class_of(k)
+            rates[k.op_id] = rate_of[cls]
+            sm_share[k.op_id] = share_of[cls]
 
     #: Rate assigned to transfers queued behind the DMA engine head.
     #: Must be positive (the engine rejects stalled ops) but small enough
@@ -289,3 +461,175 @@ class ContentionModel:
             rates[ops[0].op_id] = pcie_bw
             for t in ops[1:]:
                 rates[t.op_id] = self._DMA_QUEUE_RATE
+
+
+class ClassedContentionModel(ContentionModel):
+    """Contention model that maintains the active class multiset
+    incrementally for the engine's hot path.
+
+    The engine adds/removes running kernels one at a time
+    (:meth:`class_add` / :meth:`class_remove`, O(1) amortized: a count
+    bump, plus a sorted-insert only when a signature first appears) and
+    reprices in O(classes) via :meth:`reprice_classes`.  Pricing goes
+    through the same :meth:`price_classes` as the one-shot
+    :meth:`allocate`, over the same signature-sorted class order, so the
+    two interfaces are bit-identical on equal running sets — the
+    property the frozen reference engine's golden tests rely on.
+    """
+
+    def __init__(self, spec: GPUSpec) -> None:
+        super().__init__(spec)
+        #: active classes in signature order, with a parallel member
+        #: count list (tuple-copied into the memo key) and a parallel
+        #: signature-key list for bisect, so reprice never has to sort
+        self._active_sorted: list[_ContentionClass] = []
+        self._active_counts: list[int] = []
+        self._active_keys: list[tuple] = []
+        #: cached ``tuple(_active_sorted)`` — the class *set* changes
+        #: only on first-appearance/last-leave, far more rarely than the
+        #: counts, so the memo key reuses one shared tuple
+        self._active_tuple: tuple | None = None
+        #: class -> index into the parallel lists (O(1) count bumps; the
+        #: suffix is renumbered on the rare first-appearance insert)
+        self._active_pos: dict[_ContentionClass, int] = {}
+        #: incrementally maintained aggregate columns, parallel to
+        #: ``_active_sorted``: ``_sub[k][i]`` is class i's ladder value
+        #: for aggregate k (SM demand, DRAM/L2/fault pool weight) at its
+        #: current member count.  Updated O(1) per membership change, so
+        #: pricing folds a ready-made float list instead of rebuilding
+        #: it — same floats, same signature order, bitwise-equal sums.
+        self._sub: tuple[list[float], ...] = ([], [], [], [])
+        #: pricing memo keyed by the active (classes, counts) multiset —
+        #: churn workloads revisit the same running sets, so repeat
+        #: reprices become two tuple copies and a dict hit.  At high
+        #: stream counts the count multisets rarely repeat; once misses
+        #: dominate, the memo turns itself off so the hot path stops
+        #: paying the key build + store for nothing.
+        self._price_memo: dict[tuple, list] | None = {}
+        self._price_memo_hits = 0
+        self._price_memo_calls = 0
+
+    def class_add(self, op: KernelOp) -> _ContentionClass:
+        """Register one running kernel; returns its class."""
+        cls = self.class_of(op)
+        pos = self._active_pos.get(cls)
+        if pos is None:
+            pos = bisect_left(self._active_keys, cls.signature)
+            self._active_keys.insert(pos, cls.signature)
+            self._active_sorted.insert(pos, cls)
+            self._active_counts.insert(pos, 1)
+            ladders = cls._ladders
+            for k, column in enumerate(self._sub):
+                column.insert(pos, ladders[k][1])
+            self._active_tuple = None
+            renumber = self._active_pos
+            renumber[cls] = pos
+            for i in range(pos + 1, len(self._active_sorted)):
+                renumber[self._active_sorted[i]] = i
+        else:
+            count = self._active_counts[pos] + 1
+            self._active_counts[pos] = count
+            cls.extend_ladders(count)
+            ladders = cls._ladders
+            for k, column in enumerate(self._sub):
+                column[pos] = ladders[k][count]
+        return cls
+
+    def class_remove(self, cls: _ContentionClass) -> None:
+        """Deregister one running member of ``cls``."""
+        pos = self._active_pos[cls]
+        count = self._active_counts[pos] - 1
+        if count:
+            self._active_counts[pos] = count
+            ladders = cls._ladders
+            for k, column in enumerate(self._sub):
+                column[pos] = ladders[k][count]
+        else:
+            del self._active_keys[pos]
+            del self._active_sorted[pos]
+            del self._active_counts[pos]
+            for column in self._sub:
+                del column[pos]
+            self._active_tuple = None
+            renumber = self._active_pos
+            del renumber[cls]
+            for i in range(pos, len(self._active_sorted)):
+                renumber[self._active_sorted[i]] = i
+
+    @property
+    def active_class_count(self) -> int:
+        return len(self._active_sorted)
+
+    def reprice_classes(
+        self,
+    ) -> list[tuple[_ContentionClass, float, float]]:
+        """Price the active classes: ``[(class, rate, sm_share), ...]``.
+
+        O(classes); bitwise equal to what :meth:`allocate` would assign
+        each class's members on the same running set.  Results are
+        memoized on the (classes, counts) multiset: pricing is a pure
+        function of it, and engine churn cycles through a small family
+        of running sets, so repeat sets cost one dict lookup.
+        """
+        if not self._active_sorted:
+            return []
+        classes = self._active_tuple
+        if classes is None:
+            classes = self._active_tuple = tuple(self._active_sorted)
+        memo = self._price_memo
+        if memo is None:
+            rates, shares = self._price_active(classes)
+            return list(zip(classes, rates, shares))
+        key = (classes, tuple(self._active_counts))
+        priced = memo.get(key)
+        self._price_memo_calls += 1
+        if priced is None:
+            rates, shares = self._price_active(classes)
+            priced = list(zip(classes, rates, shares))
+            if len(memo) >= 8192:
+                memo.clear()
+            memo[key] = priced
+            if (
+                self._price_memo_calls >= 512
+                and self._price_memo_hits * 10 < self._price_memo_calls
+            ):
+                self._price_memo = None
+        else:
+            self._price_memo_hits += 1
+        return priced
+
+    def _price_active(
+        self, classes: tuple
+    ) -> tuple[list[float], list[float]]:
+        """:meth:`ContentionModel._price_sorted` over the live multiset,
+        folding the incrementally maintained aggregate columns instead
+        of rebuilding them from the ladders: ``_sub[k]`` holds exactly
+        the floats the generic listcomp would produce, in the same
+        signature order, so ``sum()`` is bitwise-identical."""
+        _lads, fracs, durations, pool_used, live_pools = self._columns_for(
+            classes
+        )
+        sub = self._sub
+        total_demand = sum(sub[0])
+        if total_demand <= 1.0:
+            shares = fracs[:]
+            speeds = [1.0] * len(fracs)
+        else:
+            sm_scale = 1.0 / total_demand
+            shares = [frac * sm_scale for frac in fracs]
+            speeds = [share / frac for share, frac in zip(shares, fracs)]
+
+        for pool in live_pools:
+            weight = sum(sub[pool])
+            if weight <= 1.0:
+                continue
+            cap = 1.0 / weight
+            speeds = [
+                (cap if cap < speed else speed) if used[pool] else speed
+                for speed, used in zip(speeds, pool_used)
+            ]
+
+        return [
+            speed / duration
+            for speed, duration in zip(speeds, durations)
+        ], shares

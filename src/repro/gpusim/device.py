@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.errors import OutOfMemoryError
-from repro.gpusim.contention import ContentionModel
+from repro.gpusim.contention import ClassedContentionModel
 from repro.gpusim.specs import GPUSpec
 
 
@@ -11,13 +11,15 @@ class Device:
     """One simulated GPU.
 
     Tracks device-memory allocations (Table I sizes workloads against the
-    capacity of each GPU) and owns the :class:`ContentionModel` used by the
-    engine.
+    capacity of each GPU) and owns the contention model used by the
+    engine — the incremental :class:`ClassedContentionModel`, whose
+    one-shot ``allocate`` surface is the classic
+    :class:`~repro.gpusim.contention.ContentionModel` API.
     """
 
     def __init__(self, spec: GPUSpec) -> None:
         self.spec = spec
-        self.contention = ContentionModel(spec)
+        self.contention = ClassedContentionModel(spec)
         self.allocated_bytes: int = 0
         self.peak_allocated_bytes: int = 0
         self._allocations: dict[int, int] = {}

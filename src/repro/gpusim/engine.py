@@ -11,18 +11,33 @@ Rate-based progress: whenever the running set changes, the contention
 model re-prices everyone's progress rate; the clock then jumps straight to
 the earliest completion.  This is exact for piecewise-constant rates.
 
-Every per-step cost is indexed rather than scanned:
+Per-op cost is independent of the live-stream count — O(classes + log n)
+rather than O(running):
 
-* rates are cached and re-priced only when the running set actually
-  changes (``repricings`` counts true repricings; ``steps`` counts engine
-  steps, so the ratio is assertable in benchmarks);
-* the next completion comes from the projected-completion minimum
-  computed at reprice time and invalidated lazily (a host-time cap that
-  advances the clock without completing anything marks it stale).  A
-  projected-completion min-*heap* would degenerate to its root here:
-  the contention model is monotone, so every completion changes the
-  surviving ops' rates and forces a rebuild — consecutive pops can
-  never amortize, and caching the root alone is equivalent and cheaper;
+* running kernels are grouped into **contention-class runs** (one per
+  distinct resource signature per device) and transfers into
+  per-direction DMA runs; a reprice asks the incremental
+  :class:`~repro.gpusim.contention.ClassedContentionModel` for one rate
+  per *class* (``repricings`` counts true repricings, ``steps`` counts
+  engine steps, ``class_repricings`` counts per-class rate computations);
+* a clock advance decrements only each run's *head* — the member with
+  the least remaining work.  The other members accrue progress lazily
+  through a per-run chain of per-step work deltas (the run's progress
+  integral) and settle by replaying their suffix of the chain when they
+  are promoted to head, which reproduces the exact sequential
+  floating-point decrements the frozen reference engine performs;
+* the next completion is the minimum over the per-class head
+  projections — one division per *run*, folded into the same O(classes)
+  pass that decrements the heads;
+* queued same-direction DMA transfers progress at a trickle rate and
+  almost never matter for the next completion; a conservative *probe*
+  on a global **lazy deferred-event heap** guards the rare case where
+  one does.  Probes are keyed by absolute virtual fire time, pushed
+  once per queue change rather than per step, invalidated by a per-run
+  epoch and dropped stale on pop (``heap_stale_drops``) — the
+  defer-invalidation discipline of a lazy priority queue.  A firing
+  probe settles its queue and switches it to exact per-member
+  accounting before any member can cross its completion threshold;
 * startable operations come from a *ready-stream* queue fed by
   notifications — submission to an idle stream, an event record
   unblocking a parked head, an operation finishing with work queued
@@ -33,11 +48,14 @@ Every per-step cost is indexed rather than scanned:
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
+from collections import deque
 from typing import Callable, Iterable
 
 from repro.errors import DeadlockError, InvalidStateError, SimulationError
+from repro.gpusim.contention import ContentionModel
 from repro.gpusim.device import Device
 from repro.obs.counters import CounterRegistry
 from repro.obs.trace import Tracer, current_tracer
@@ -55,6 +73,71 @@ from repro.gpusim.timeline import IntervalKind, Timeline, TimelineRecord
 
 #: Completion tolerance for floating-point work accounting.
 _WORK_EPS = 1e-9
+
+#: Rate of DMA transfers queued behind their direction's head (shared
+#: with the contention model's one-shot allocator).
+_DMA_QUEUE_RATE = ContentionModel._DMA_QUEUE_RATE
+
+def _completion_threshold(op: Operation) -> float:
+    """``_WORK_EPS * max(1.0, work_total)`` without the max() call."""
+    total = op.work_total
+    return _WORK_EPS * (total if total > 1.0 else 1.0)
+
+
+class _KernelRun:
+    """All running kernels of one contention class on one device.
+
+    ``head`` is the member with the least remaining work (members share
+    ``work_total`` and rate, so remaining work is FIFO in start order);
+    only the head is decremented eagerly.  ``laggards`` wait with their
+    join index into ``chain``, the run's list of per-step work deltas;
+    a promoted laggard replays its chain suffix, reproducing the exact
+    per-step float subtractions the reference engine would have done.
+    """
+
+    __slots__ = ("cls", "rate", "head", "laggards", "chain", "chain_base")
+
+    def __init__(self, cls, head: KernelOp) -> None:
+        self.cls = cls
+        self.rate = -1.0  # priced before the first advance (reprice)
+        self.head: KernelOp | None = head
+        self.laggards: deque[tuple[KernelOp, int]] = deque()
+        self.chain: list[float] = []
+        self.chain_base = 0
+
+
+class _TransferRun:
+    """All running transfers of one direction on one device's DMA engine.
+
+    The head owns the PCIe link; queue members (a heap ordered by op_id,
+    the DMA submission order) trickle at :data:`_DMA_QUEUE_RATE` through
+    the same lazy delta chain as kernel laggards.  ``qlb``/``qsum`` keep
+    a conservative lower bound on any member's remaining work, feeding
+    the probe entries that guard against a queued member completing
+    before the head; once a probe fires the run turns ``eager`` and
+    members are settled exactly every step until the queue drains.
+    ``epoch`` lazily invalidates probes outlived by a settle or drain.
+    """
+
+    __slots__ = (
+        "key", "bw", "epoch", "head", "queue", "chain", "chain_base",
+        "qsum", "qlb", "qthresh", "eager",
+    )
+
+    def __init__(
+        self, key: tuple[int, TransferDirection], bw: float, head: TransferOp
+    ) -> None:
+        self.key = key
+        self.bw = bw
+        self.epoch = 0
+        self.head: TransferOp | None = head
+        self.queue: list[tuple[int, int, TransferOp]] = []
+        self.chain: list[float] = []
+        self.chain_base = 0
+        self.qsum = 0.0
+        self.qlb = math.inf
+        self.qthresh = 0.0
+        self.eager = False
 
 
 class SimEngine:
@@ -88,15 +171,22 @@ class SimEngine:
         self._ready_ids: set[int] = set()
         #: streams with at least one queued or running operation
         self._busy_streams: int = 0
-        #: cached rate allocation for the current running set
-        self._rates: dict[int, float] = {}
+        #: live contention-class runs: one per distinct kernel resource
+        #: signature per device (keyed by the interned class object) and
+        #: one per (device, transfer direction)
+        self._kernel_runs: dict[object, _KernelRun] = {}
+        self._transfer_runs: dict[
+            tuple[int, TransferDirection], _TransferRun
+        ] = {}
+        #: running kernel op_id -> (device model, contention class), so
+        #: completion can decrement the class count in O(1)
+        self._op_run: dict[int, tuple] = {}
+        #: global lazy deferred-event heap of transfer-queue probes —
+        #: ``(abs_fire_time, seq, run, epoch)`` entries, pushed per
+        #: queue change (not per step); stale epochs are dropped on pop
+        self._heap: list[tuple] = []
+        self._heap_seq = itertools.count()
         self._rates_dirty: bool = True
-        #: projected time-to-next-completion over the running set,
-        #: computed at reprice time and invalidated lazily by capped
-        #: clock advances (see the module docstring for why a full heap
-        #: cannot amortize under the monotone contention model)
-        self._next_dt: float = math.inf
-        self._next_dt_fresh: bool = False
         #: monotone sequence stamped on ops entering the running set, so
         #: same-instant completions fire in legacy start order
         self._start_seq = itertools.count()
@@ -123,6 +213,18 @@ class SimEngine:
         self._c_running_set_changes = self.counters.counter(
             "engine.running_set_changes"
         )
+        #: per-class rate computations across all repricings: the true
+        #: repricing cost of the classed engine (compare against
+        #: ``repricings * running`` for the per-op design it replaces)
+        self._c_class_repricings = self.counters.counter(
+            "engine.class_repricings"
+        )
+        #: deferred-event-heap traffic: probes pushed, and stale probes
+        #: dropped on pop (the lazy-invalidation rate)
+        self._c_heap_pushes = self.counters.counter("engine.heap_pushes")
+        self._c_heap_stale = self.counters.counter(
+            "engine.heap_stale_drops"
+        )
         self.tracer = current_tracer() if tracer is None else tracer
         if self.tracer.enabled:
             self.tracer.attach_engine(self)
@@ -140,6 +242,11 @@ class SimEngine:
     @property
     def running_set_changes(self) -> int:
         return self._c_running_set_changes.value
+
+    @property
+    def active_classes(self) -> int:
+        """Live contention-class runs (kernel classes + DMA directions)."""
+        return len(self._kernel_runs) + len(self._transfer_runs)
 
     @property
     def _obs_track(self) -> str:
@@ -319,12 +426,13 @@ class SimEngine:
                 return
 
     def _reprice(self) -> None:
-        """Re-price the running set and recompute the projected
-        next-completion jump.
+        """Re-price the active contention classes.
 
         Only called when the running set actually changed since the last
-        pricing; rates are piecewise-constant in between, so the cached
-        allocation and projected minimum stay exact.
+        pricing; rates are piecewise-constant in between.  Cost is
+        O(classes), not O(running ops): each device's incremental model
+        prices one rate per class (memoized on the active multiset, so
+        revisited running sets cost a dict hit).
         """
         self._c_repricings.value += 1
         if self.tracer.enabled:
@@ -334,30 +442,73 @@ class SimEngine:
                 vt=self.clock,
                 running=len(self._running),
             )
-        rates: dict[int, float] = {}
-        if len(self.devices) == 1:
-            rates = self.device.contention.allocate(self._running).rates
-        else:
-            by_device: dict[int, list[Operation]] = {}
-            for op in self._running:
-                assert op.stream is not None
-                by_device.setdefault(op.stream.device_index, []).append(op)
-            for idx, ops in by_device.items():
-                rates.update(
-                    self.devices[idx].contention.allocate(ops).rates
-                )
-        next_dt = math.inf
-        for op in self._running:
-            rate = rates.get(op.op_id, 0.0)
-            if rate <= 0:
-                raise SimulationError(
-                    f"{op.describe()} allocated non-positive rate {rate}"
-                )
-            next_dt = min(next_dt, op.work_remaining / rate)
-        self._rates = rates
+        runs = self._kernel_runs
+        for device in self.devices:
+            repriced = device.contention.reprice_classes()
+            if not repriced:
+                continue
+            self._c_class_repricings.value += len(repriced)
+            for cls, rate, _share in repriced:
+                if rate <= 0:
+                    head = runs[cls].head
+                    assert head is not None
+                    raise SimulationError(
+                        f"{head.describe()} allocated non-positive"
+                        f" rate {rate}"
+                    )
+                runs[cls].rate = rate
         self._rates_dirty = False
-        self._next_dt = next_dt
-        self._next_dt_fresh = True
+
+    def _next_completion_dt(self) -> float:
+        """Time to the next completion: the minimum head projection over
+        the live runs (one division per *class*, not per op).
+
+        This equals the minimum the reference engine computes by
+        scanning every running op: kernel laggards can never finish
+        before their class head (same work_total, same rate, joined
+        later — float division is monotone in the numerator), and
+        non-eager queued transfers are guarded by their probes.  Due
+        probes — those that would fire at or before the scan minimum —
+        settle their queue into exact ``eager`` accounting *now*, which
+        is never later than their nominal fire time, and the settled
+        members join the scan.
+        """
+        kernel_runs = self._kernel_runs
+        best = (
+            min([r.head.work_remaining / r.rate for r in kernel_runs.values()])
+            if kernel_runs
+            else math.inf
+        )
+        for run in self._transfer_runs.values():
+            dt = run.head.work_remaining / run.bw
+            if dt < best:
+                best = dt
+            if run.eager:
+                for _op_id, _join, member in run.queue:
+                    dt = member.work_remaining / _DMA_QUEUE_RATE
+                    if dt < best:
+                        best = dt
+        heap = self._heap
+        stale = 0
+        clock = self.clock
+        while heap:
+            fire_at, _seq, run, epoch = heap[0]
+            if epoch != run.epoch:
+                heapq.heappop(heap)
+                stale += 1
+                continue
+            if fire_at > clock + best:
+                break  # not due: every queued member stays above its
+                # completion threshold through the coming step
+            heapq.heappop(heap)
+            self._probe_transfer_queue(run)
+            for _op_id, _join, member in run.queue:
+                dt = member.work_remaining / _DMA_QUEUE_RATE
+                if dt < best:
+                    best = dt
+        if stale:
+            self._c_heap_stale.value += stale
+        return best
 
     def _step(self, time_cap: float | None = None) -> bool:
         """One engine step.  Returns False if no progress is possible.
@@ -373,37 +524,229 @@ class SimEngine:
             return False
         if self._rates_dirty:
             self._reprice()
-        rates = self._rates
-        if self._next_dt_fresh:
-            dt = self._next_dt
-        else:
-            # A capped advance decremented the outstanding work since the
-            # projection was computed; the running set (and rates) are
-            # unchanged, so a fresh min over the survivors is still exact.
-            dt = min(
-                op.work_remaining / rates[op.op_id] for op in self._running
-            )
+        dt = self._next_completion_dt()
         if time_cap is not None:
             dt = min(dt, time_cap - self.clock)
         if dt < 0 or not math.isfinite(dt):
             raise SimulationError(f"invalid time step {dt}")
         self.clock += dt
-        finished: list[Operation] = []
-        for op in self._running:
-            rate = rates[op.op_id]
-            op.work_remaining -= rate * dt
-            if op.work_remaining <= _WORK_EPS * max(1.0, op.work_total):
-                op.work_remaining = 0.0
-                finished.append(op)
+        finished = self._apply_progress(dt)
         if finished:
             # Same-instant completions fire in the order the ops started
-            # (the legacy running-list order), not in swap-pop order.
+            # (the legacy running-list order), not in per-run order.
             finished.sort(key=lambda op: op.start_seq)
             for op in finished:
                 self._complete(op)
-        else:
-            self._next_dt_fresh = False
         return True
+
+    def _apply_progress(self, dt: float) -> list[Operation]:
+        """Advance every run by ``dt``: decrement heads eagerly, append
+        the per-step delta to each run's progress chain for its lazy
+        members, and collect completions (promoting new heads as they
+        surface).  O(classes + log n) per op, independent of the
+        running-set size."""
+        finished: list[Operation] = []
+        eps = _WORK_EPS
+
+        dead_kernel_runs = None
+        for run in self._kernel_runs.values():
+            head = run.head
+            assert head is not None
+            delta = run.rate * dt
+            w = head.work_remaining - delta
+            head.work_remaining = w
+            if run.laggards and delta != 0.0:
+                run.chain.append(delta)
+            while w <= eps:  # kernels: work_total == 1.0 exactly
+                head.work_remaining = 0.0
+                finished.append(head)
+                head = self._promote_kernel(run)
+                if head is None:
+                    break
+                w = head.work_remaining
+            if head is None:
+                if dead_kernel_runs is None:
+                    dead_kernel_runs = []
+                dead_kernel_runs.append(run.cls)
+        if dead_kernel_runs:
+            for cls in dead_kernel_runs:
+                del self._kernel_runs[cls]
+
+        dead_transfer_runs = None
+        for run in self._transfer_runs.values():
+            head = run.head
+            assert head is not None
+            delta = run.bw * dt
+            w = head.work_remaining - delta
+            head.work_remaining = w
+            queue = run.queue
+            if queue:
+                dq = _DMA_QUEUE_RATE * dt
+                if run.eager:
+                    # Exact per-member accounting (reference semantics):
+                    # a probe fired because a queued member's completion
+                    # may matter, so decrement and check each one.
+                    crossed = None
+                    for op_id, _join, member in queue:
+                        mw = member.work_remaining - dq
+                        member.work_remaining = mw
+                        if mw <= _completion_threshold(member):
+                            member.work_remaining = 0.0
+                            finished.append(member)
+                            if crossed is None:
+                                crossed = set()
+                            crossed.add(op_id)
+                    if crossed:
+                        queue = [e for e in queue if e[0] not in crossed]
+                        heapq.heapify(queue)
+                        run.queue = queue
+                elif dq != 0.0:
+                    run.chain.append(dq)
+                    run.qsum += dq
+            thresh = _completion_threshold(head)
+            while w <= thresh:
+                head.work_remaining = 0.0
+                finished.append(head)
+                head = self._promote_transfer(run)
+                if head is None:
+                    break
+                w = head.work_remaining
+                thresh = _completion_threshold(head)
+            if head is None:
+                if dead_transfer_runs is None:
+                    dead_transfer_runs = []
+                dead_transfer_runs.append(run.key)
+        if dead_transfer_runs:
+            for key in dead_transfer_runs:
+                del self._transfer_runs[key]
+
+        # Bound heap garbage: stale probes are dropped on pop, but a
+        # busy DMA queue can accumulate them faster than pops retire
+        # them.
+        heap = self._heap
+        if len(heap) > 64 and len(heap) > 8 * (len(self._transfer_runs) + 1):
+            live = [e for e in heap if e[3] == e[2].epoch]
+            self._c_heap_stale.value += len(heap) - len(live)
+            heapq.heapify(live)
+            self._heap = live
+        return finished
+
+    def _promote_kernel(self, run: _KernelRun) -> KernelOp | None:
+        """Pop the next head of a kernel run: settle the oldest laggard
+        by replaying its suffix of the progress chain (bitwise the same
+        subtractions the reference engine performed step by step)."""
+        laggards = run.laggards
+        if not laggards:
+            run.head = None
+            return None
+        op, join = laggards.popleft()
+        chain = run.chain
+        base = run.chain_base
+        w = op.work_remaining
+        for d in chain[join - base:]:
+            w -= d
+        op.work_remaining = w
+        run.head = op
+        if laggards:
+            cut = laggards[0][1] - base
+            if cut > 32:  # compact the replayed prefix occasionally
+                del chain[:cut]
+                run.chain_base = base + cut
+        else:
+            run.chain_base = base + len(chain)
+            chain.clear()
+        return op
+
+    def _promote_transfer(self, run: _TransferRun) -> TransferOp | None:
+        """Pop the next DMA head (lowest op_id) and settle its lazy
+        trickle progress; an emptied queue resets the run's chain and
+        leaves eager mode."""
+        queue = run.queue
+        if not queue:
+            run.head = None
+            return None
+        _op_id, join, op = heapq.heappop(queue)
+        if not run.eager:
+            chain = run.chain
+            w = op.work_remaining
+            for d in chain[join - run.chain_base:]:
+                w -= d
+            op.work_remaining = w
+        run.head = op
+        if not queue:
+            # Queue drained: reset the lazy state and invalidate any
+            # outstanding probes (they guarded the old queue).
+            run.chain_base += len(run.chain)
+            run.chain.clear()
+            run.qsum = 0.0
+            run.qlb = math.inf
+            run.eager = False
+            run.epoch += 1
+        return op
+
+    def _settle_transfer_queue(self, run: _TransferRun) -> None:
+        """Replay every queue member's chain suffix so all residuals are
+        exact *now*; rebase joins and reset the chain."""
+        chain = run.chain
+        base = run.chain_base
+        top = base + len(chain)
+        qlb = math.inf
+        if chain:
+            queue = run.queue
+            for i, (op_id, join, op) in enumerate(queue):
+                w = op.work_remaining
+                for d in chain[join - base:]:
+                    w -= d
+                op.work_remaining = w
+                # op_id (the heap key) is unchanged: order holds.
+                queue[i] = (op_id, top, op)
+                if w < qlb:
+                    qlb = w
+        else:
+            for _op_id, _join, op in run.queue:
+                if op.work_remaining < qlb:
+                    qlb = op.work_remaining
+        run.chain_base = top
+        chain.clear()
+        run.qsum = 0.0
+        run.qlb = qlb
+
+    def _probe_transfer_queue(self, run: _TransferRun) -> None:
+        """A probe fired: a queued member's completion is close enough
+        (at the trickle rate) to possibly precede every other event.
+        Settle the queue and switch to exact per-member accounting —
+        the completion scan covers eager members directly."""
+        self._settle_transfer_queue(run)
+        run.eager = True
+        run.epoch += 1  # any sibling probes are now stale
+
+    def _push_transfer_probe(self, run: _TransferRun) -> None:
+        """Push the conservative queued-completion guard for ``run``.
+
+        ``qlb - 1.01*qsum`` lower-bounds every member's current residual
+        (settled lower bound minus slack-inflated trickle progress);
+        subtracting twice the largest completion threshold and taking a
+        quarter of the implied trickle time gives a fire time the member
+        residuals provably cannot reach their thresholds by, so the
+        probe is keyed into the deferred-event heap at that *absolute*
+        virtual time and left alone — no per-step re-push.  Any step
+        that would advance the clock to or past the fire time settles
+        the queue first.  A non-positive bound settles immediately.
+        """
+        bound = run.qlb - 1.01 * run.qsum - 2.0 * run.qthresh
+        if bound <= 0.0:
+            self._probe_transfer_queue(run)
+            return
+        heapq.heappush(
+            self._heap,
+            (
+                self.clock + 0.25 * bound / _DMA_QUEUE_RATE,
+                next(self._heap_seq),
+                run,
+                run.epoch,
+            ),
+        )
+        self._c_heap_pushes.value += 1
 
     def _drain_instantaneous(self) -> bool:
         """Start all ready ops; complete the zero-duration ones, looping
@@ -457,6 +800,7 @@ class SimEngine:
             self._running.append(op)
             self._rates_dirty = True
             self._c_running_set_changes.value += 1
+            self._class_add(op)
         if self.tracer.enabled:
             self.tracer.instant(
                 f"start:{op.label}",
@@ -464,6 +808,58 @@ class SimEngine:
                 vt=self.clock,
                 stream=op.stream.stream_id,
             )
+
+    def _class_add(self, op: Operation) -> None:
+        """File a newly running op into its contention-class run."""
+        assert op.stream is not None
+        device_index = op.stream.device_index
+        if isinstance(op, KernelOp):
+            model = self.devices[device_index].contention
+            cls = model.class_add(op)
+            self._op_run[op.op_id] = (model, cls)
+            run = self._kernel_runs.get(cls)
+            if run is None:
+                self._kernel_runs[cls] = _KernelRun(cls, op)
+                self.counters.set_max("engine.classes", self.active_classes)
+            else:
+                run.laggards.append(
+                    (op, run.chain_base + len(run.chain))
+                )
+        elif isinstance(op, TransferOp):
+            key = (device_index, op.direction)
+            run = self._transfer_runs.get(key)
+            if run is None:
+                bw = self.devices[device_index].spec.pcie_bandwidth_gbs * 1e9
+                self._transfer_runs[key] = _TransferRun(key, bw, op)
+                self.counters.set_max("engine.classes", self.active_classes)
+            elif op.op_id < run.head.op_id:
+                # A transfer constructed earlier (e.g. deferred by the
+                # coherence window) starts after a younger one: the DMA
+                # engine serves by submission (op_id) order, so the
+                # younger head steps aside into the queue.
+                self._queue_transfer(run, run.head)
+                run.head = op
+            else:
+                self._queue_transfer(run, op)
+        else:
+            raise SimulationError(
+                f"{op.describe()}: no contention class for this op type"
+            )
+
+    def _queue_transfer(self, run: _TransferRun, op: TransferOp) -> None:
+        heapq.heappush(
+            run.queue, (op.op_id, run.chain_base + len(run.chain), op)
+        )
+        w = op.work_remaining
+        if w < run.qlb:
+            run.qlb = w
+        thresh = _completion_threshold(op)
+        if thresh > run.qthresh:
+            run.qthresh = thresh
+        if not run.eager:
+            # Eager members are covered by the completion scan; lazy
+            # queues need a (tighter) probe for the new member.
+            self._push_transfer_probe(run)
 
     def _remove_running(self, op: Operation) -> None:
         pos = self._running_pos.pop(op.op_id, None)
@@ -473,8 +869,12 @@ class SimEngine:
         if last is not op:
             self._running[pos] = last
             self._running_pos[last.op_id] = pos
+        entry = self._op_run.pop(op.op_id, None)
+        if entry is not None:
+            model, cls = entry
+            model.class_remove(cls)
+            model.forget_op(op.op_id)
         self._rates_dirty = True
-        self._next_dt_fresh = False
         self._c_running_set_changes.value += 1
 
     def _complete(self, op: Operation) -> None:

@@ -92,6 +92,9 @@ class KernelResourceRequest:
     threads_total: int
     fault_bytes: float = 0.0
     sm_fraction_cap: float = 1.0
+    _sig: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if min(self.flops, self.dram_bytes, self.l2_bytes,
@@ -101,6 +104,29 @@ class KernelResourceRequest:
             raise ValueError("threads_total must be positive")
         if not 0.0 < self.sm_fraction_cap <= 1.0:
             raise ValueError("sm_fraction_cap must be in (0, 1]")
+
+    def signature(self) -> tuple:
+        """Hashable, totally ordered identity of this resource footprint.
+
+        Launches with equal signatures are indistinguishable to the
+        contention model — they form one *contention class* — so the
+        engine can price them together.  Resources are immutable after
+        submit, so the tuple is computed once and cached.
+        """
+        sig = self._sig
+        if sig is None:
+            sig = (
+                self.flops,
+                self.fp64,
+                self.dram_bytes,
+                self.l2_bytes,
+                self.instructions,
+                self.threads_total,
+                self.fault_bytes,
+                self.sm_fraction_cap,
+            )
+            self._sig = sig
+        return sig
 
 
 @dataclass

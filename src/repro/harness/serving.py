@@ -90,6 +90,19 @@ def report_summary(report: ServiceReport) -> dict:
             if name.startswith("coherence.window_flush.")
         },
         "kernels_per_slot": report.fleet.kernel_counts(),
+        # Contention-class engine health: serving workloads are many
+        # short streams, so the class count staying far below the live
+        # stream count is the end-to-end win of class-based pricing.
+        # ``engine.classes`` is a per-engine high-watermark; the merge
+        # sums it across fleet slots.
+        "engine_classes_peak": report.counters.get("engine.classes", 0),
+        "engine_repricings": report.counters.get("engine.repricings", 0),
+        "engine_class_repricings": report.counters.get(
+            "engine.class_repricings", 0
+        ),
+        "engine_heap_stale_drops": report.counters.get(
+            "engine.heap_stale_drops", 0
+        ),
         "counters": dict(report.counters),
     }
 

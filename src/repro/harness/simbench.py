@@ -10,12 +10,21 @@ event-heap refactor establishes:
   quadratic in ops × streams);
 * **repricings grow with running-set changes, not steps** — rates are
   piecewise-constant, so an engine step that changes nothing must not
-  re-price the running set.
-
+  re-price the running set;
+* **throughput is flat in stream count** — the contention-class engine
+  prices one rate per *class* rather than per op, so ops/sec from 8 to
+  256 live streams may degrade at most 2× (the pre-class engine lost
+  ~20× over the same span);
 * **disabled tracing is free** — the observability layer's promise:
   running the same churn with a ``Tracer(enabled=False)`` instead of
   the default null tracer must cost under 5% extra wall-clock (the hot
   paths are guarded by a single ``tracer.enabled`` attribute read).
+
+Each grid cell reports the **min wall-clock of five runs**, with the
+repeats interleaved across the whole grid so that machine-load drift
+hits every cell equally instead of biasing whichever cell ran while the
+box was busy (single runs made the 200-op/64-stream cell look ~12%
+slower than steady state purely from warm-up and scheduler noise).
 
 Results are written to ``BENCH_simulator.json`` so the perf trajectory
 of the substrate is recorded alongside the paper figures.
@@ -43,7 +52,14 @@ NEAR_LINEAR_FACTOR = 2.5
 
 #: Default measurement grid (ops x streams).
 DEFAULT_OPS_GRID = (200, 1000, 5000)
-DEFAULT_STREAMS_GRID = (8, 64)
+DEFAULT_STREAMS_GRID = (8, 64, 256)
+
+#: Interleaved repeats each grid cell takes its min wall-clock over.
+CELL_REPEATS = 5
+
+#: ops/sec at the largest op count may degrade at most this factor from
+#: the smallest to the largest stream count.
+STREAMS_FLAT_LIMIT = 2.0
 
 #: Disabled tracing may cost at most this relative wall-clock overhead.
 DISABLED_OVERHEAD_LIMIT = 1.05
@@ -56,16 +72,26 @@ OVERHEAD_REPEATS = 5
 
 @dataclass(frozen=True)
 class SimBenchCell:
-    """One engine micro-benchmark measurement."""
+    """One engine micro-benchmark measurement.
+
+    ``wall_s`` (and the derived ``ops_per_sec``) is the min over
+    ``repeats`` interleaved runs; the simulation counters are from the
+    last run — the churn is deterministic, so they are identical across
+    repeats.
+    """
 
     ops: int
     streams: int
+    repeats: int
     wall_s: float
     sim_makespan_s: float
     steps: int
     repricings: int
     running_set_changes: int
     timeline_records: int
+    classes: int
+    class_repricings: int
+    heap_stale_drops: int
     ops_per_sec: float
 
 
@@ -128,21 +154,57 @@ def _churn_run(
     return engine
 
 
-def _measure(num_ops: int, num_streams: int, gpu: str) -> SimBenchCell:
-    t0 = time.perf_counter()
-    engine = _churn_run(num_ops, num_streams, gpu)
-    wall = time.perf_counter() - t0
-    return SimBenchCell(
-        ops=num_ops,
-        streams=num_streams,
-        wall_s=wall,
-        sim_makespan_s=engine.timeline.makespan,
-        steps=engine.steps,
-        repricings=engine.repricings,
-        running_set_changes=engine.running_set_changes,
-        timeline_records=len(engine.timeline),
-        ops_per_sec=num_ops / wall if wall > 0 else float("inf"),
-    )
+def _measure_grid(
+    ops_grid: tuple[int, ...],
+    streams_grid: tuple[int, ...],
+    gpu: str,
+    repeats: int = CELL_REPEATS,
+) -> list[SimBenchCell]:
+    """Measure the full ops × streams grid, ``repeats`` times through,
+    taking each cell's min wall-clock.  The repeats are interleaved —
+    run the whole grid, then run it again — so a load spike degrades
+    one pass of every cell rather than every pass of one cell."""
+    keys = [
+        (num_ops, num_streams)
+        for num_streams in streams_grid
+        for num_ops in ops_grid
+    ]
+    walls: dict[tuple[int, int], list[float]] = {key: [] for key in keys}
+    engines: dict[tuple[int, int], SimEngine] = {}
+    for _ in range(repeats):
+        for key in keys:
+            num_ops, num_streams = key
+            t0 = time.perf_counter()
+            engines[key] = _churn_run(num_ops, num_streams, gpu)
+            walls[key].append(time.perf_counter() - t0)
+    cells = []
+    for key in keys:
+        num_ops, num_streams = key
+        engine = engines[key]
+        wall = min(walls[key])
+        counters = engine.counters
+        cells.append(
+            SimBenchCell(
+                ops=num_ops,
+                streams=num_streams,
+                repeats=repeats,
+                wall_s=wall,
+                sim_makespan_s=engine.timeline.makespan,
+                steps=engine.steps,
+                repricings=engine.repricings,
+                running_set_changes=engine.running_set_changes,
+                timeline_records=len(engine.timeline),
+                classes=int(counters.get("engine.classes")),
+                class_repricings=int(
+                    counters.get("engine.class_repricings")
+                ),
+                heap_stale_drops=int(
+                    counters.get("engine.heap_stale_drops")
+                ),
+                ops_per_sec=num_ops / wall if wall > 0 else float("inf"),
+            )
+        )
+    return cells
 
 
 def _measure_overhead(
@@ -203,8 +265,10 @@ def sim_bench(
 ) -> dict:
     """Run the engine micro-benchmark grid and check its asymptotics.
 
-    Raises ``AssertionError`` if scaling regresses, or if a disabled
-    tracer costs more than 5% wall-clock over the untraced baseline;
+    Raises ``AssertionError`` if scaling in op count regresses, if
+    throughput degrades more than 2× from the smallest to the largest
+    stream count, or if a disabled tracer costs more than 5% wall-clock
+    over the untraced baseline;
     returns (and optionally writes) the structured results.
     ``trace_out`` additionally records one traced churn run and writes
     it as a Chrome-trace JSON.
@@ -220,10 +284,7 @@ def sim_bench(
     # Warm-up: import costs, allocator pools, dict resizes.
     _churn_run(64, 4, gpu)
 
-    cells: list[SimBenchCell] = []
-    for num_streams in streams_grid:
-        for num_ops in ops_grid:
-            cells.append(_measure(num_ops, num_streams, gpu))
+    cells = _measure_grid(ops_grid, streams_grid, gpu)
 
     near_linear = []
     for num_streams in streams_grid:
@@ -255,6 +316,27 @@ def sim_bench(
         for c in cells
     ]
 
+    # Streams-flatness: at the largest op count, ops/sec from the
+    # smallest to the largest stream count.  The contention-class engine
+    # prices per class, so the span must stay within STREAMS_FLAT_LIMIT.
+    lo_streams, hi_streams = min(streams_grid), max(streams_grid)
+    top_ops = ops_grid[-1]
+    by_streams = {c.streams: c for c in cells if c.ops == top_ops}
+    flat_ratio = by_streams[lo_streams].ops_per_sec / max(
+        by_streams[hi_streams].ops_per_sec, 1e-9
+    )
+    streams_flatness = {
+        "ops": top_ops,
+        "streams_lo": lo_streams,
+        "streams_hi": hi_streams,
+        "ops_per_sec_lo": by_streams[lo_streams].ops_per_sec,
+        "ops_per_sec_hi": by_streams[hi_streams].ops_per_sec,
+        "ratio": flat_ratio,
+        "limit": STREAMS_FLAT_LIMIT,
+        "ok": lo_streams == hi_streams
+        or flat_ratio <= STREAMS_FLAT_LIMIT,
+    }
+
     # The tracer-overhead pair at the mid-grid scale: large enough that
     # per-op costs dominate timer jitter, small enough to stay cheap.
     overhead = _measure_overhead(ops_grid[-2], streams_grid[0], gpu)
@@ -268,6 +350,7 @@ def sim_bench(
         "assertions": {
             "near_linear": near_linear,
             "repricings_bounded": repricings_bounded,
+            "streams_flatness": streams_flatness,
             "disabled_overhead": overhead,
         },
     }
@@ -276,7 +359,8 @@ def sim_bench(
         print("sim-bench: engine micro-benchmarks", f"({gpu})")
         header = (
             f"{'ops':>6} {'streams':>7} {'wall [ms]':>10}"
-            f" {'ops/s':>10} {'steps':>8} {'repricings':>10} {'changes':>8}"
+            f" {'ops/s':>10} {'steps':>8} {'repricings':>10}"
+            f" {'changes':>8} {'classes':>8}"
         )
         print(header)
         for c in cells:
@@ -284,6 +368,7 @@ def sim_bench(
                 f"{c.ops:>6} {c.streams:>7} {c.wall_s * 1e3:>10.2f}"
                 f" {c.ops_per_sec:>10.0f} {c.steps:>8}"
                 f" {c.repricings:>10} {c.running_set_changes:>8}"
+                f" {c.classes:>8}"
             )
         for check in near_linear:
             print(
@@ -293,6 +378,14 @@ def sim_bench(
                 f" (limit x{check['limit']:.1f})"
                 f" {'OK' if check['ok'] else 'FAIL'}"
             )
+        print(
+            f"streams flatness @{top_ops} ops:"
+            f" {lo_streams} -> {hi_streams} streams,"
+            f" ops/s x{1.0 / max(flat_ratio, 1e-9):.2f}"
+            f" (ratio {flat_ratio:.2f}, limit"
+            f" {STREAMS_FLAT_LIMIT:.1f})"
+            f" {'OK' if streams_flatness['ok'] else 'FAIL'}"
+        )
         print(
             f"tracer overhead @{overhead['ops']} ops"
             f" /{overhead['streams']} streams:"
@@ -332,6 +425,12 @@ def sim_bench(
             f" {check['ops_lo']}->{check['ops_hi']} ops grew wall-clock"
             f" {check['wall_ratio']:.2f}x (limit {check['limit']:.1f}x)"
         )
+    assert streams_flatness["ok"], (
+        f"engine throughput is not flat in stream count:"
+        f" {lo_streams} -> {hi_streams} streams at {top_ops} ops"
+        f" degraded ops/sec {flat_ratio:.2f}x"
+        f" (limit {STREAMS_FLAT_LIMIT:.1f}x)"
+    )
     for check in repricings_bounded:
         assert check["ok"], (
             f"repricings ({check['repricings']}) exceeded running-set"

@@ -1,0 +1,206 @@
+"""Frozen pre-class contention allocator — DO NOT EDIT.
+
+This is the verbatim per-op ``ContentionModel`` as it stood before the
+contention-class rewrite (one roofline evaluation and one pool fold per
+*running op*, in running-list order).  The property tests in
+``test_contention_classes.py`` pin the live class-based model against
+it: the class pricing must assign every op the same rate the per-op
+allocator would, so any drift in the ladder folds, the signature
+interning or the incremental multiset maintenance shows up as a
+disagreement with this file.
+
+Kept self-contained on purpose (own ``KernelTimings`` / allocation
+container) so edits to the live model cannot silently rewrite the
+reference semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.ops import (
+    KernelOp,
+    Operation,
+    TransferDirection,
+    TransferOp,
+)
+from repro.gpusim.specs import GPUSpec
+
+#: Progress below this is treated as a stall (guards divide-by-zero).
+_EPSILON = 1e-18
+
+
+@dataclass(frozen=True)
+class ReferenceRateAllocation:
+    """Rates assigned to the running set at one instant."""
+
+    rates: dict[int, float]
+    kernel_sm_share: dict[int, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ReferenceKernelTimings:
+    """Uncontended roofline terms for one kernel launch, in seconds."""
+
+    compute_time: float
+    dram_time: float
+    l2_time: float
+    instruction_time: float
+    fault_time: float
+    sm_fraction: float
+
+    @property
+    def duration(self) -> float:
+        steady = max(
+            self.compute_time,
+            self.dram_time,
+            self.l2_time,
+            self.instruction_time,
+            _EPSILON,
+        )
+        return steady + self.fault_time
+
+
+class ReferenceContentionModel:
+    """Computes per-operation progress rates for a running set."""
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self.spec = spec
+
+    # -- single-kernel roofline -----------------------------------------
+
+    def kernel_sm_fraction(
+        self, threads_total: int, cap: float = 1.0
+    ) -> float:
+        frac = threads_total / self.spec.max_resident_threads
+        frac = max(frac, 1.0 / self.spec.sm_count)
+        return min(1.0, frac, cap)
+
+    def kernel_timings(self, op: KernelOp) -> ReferenceKernelTimings:
+        """Uncontended execution-time components of one kernel."""
+        res = op.resources
+        assert res is not None
+        sm_frac = self.kernel_sm_fraction(
+            res.threads_total, res.sm_fraction_cap
+        )
+        # Compute-like resources scale with the SM fraction actually
+        # occupied; bandwidth-like resources are device-wide.
+        flops_rate = self.spec.flops_rate(res.fp64) * sm_frac
+        instr_rate = self.spec.instruction_rate() * sm_frac
+        dram_bw = self.spec.dram_bandwidth_gbs * 1e9
+        l2_bw = self.spec.l2_bandwidth_gbs * 1e9
+        fault_bw = self.spec.pagefault_bandwidth_gbs * 1e9
+
+        compute_time = res.flops / max(flops_rate, _EPSILON)
+        instruction_time = res.instructions / max(instr_rate, _EPSILON)
+        dram_time = res.dram_bytes / dram_bw
+        l2_time = res.l2_bytes / l2_bw
+        if res.fault_bytes > 0:
+            if fault_bw <= 0:
+                raise ValueError(
+                    f"{self.spec.name} has no page-fault engine but kernel"
+                    f" {op.label!r} has fault_bytes set"
+                )
+            fault_time = res.fault_bytes / fault_bw
+        else:
+            fault_time = 0.0
+        return ReferenceKernelTimings(
+            compute_time=compute_time,
+            dram_time=dram_time,
+            l2_time=l2_time,
+            instruction_time=instruction_time,
+            fault_time=fault_time,
+            sm_fraction=sm_frac,
+        )
+
+    def kernel_duration(self, op: KernelOp) -> float:
+        return self.kernel_timings(op).duration
+
+    # -- running-set rate allocation -------------------------------------
+
+    def allocate(self, running: list[Operation]) -> ReferenceRateAllocation:
+        """Assign progress rates to every running operation."""
+        rates: dict[int, float] = {}
+        sm_share: dict[int, float] = {}
+
+        kernels = [op for op in running if isinstance(op, KernelOp)]
+        transfers = [op for op in running if isinstance(op, TransferOp)]
+
+        self._allocate_kernels(kernels, rates, sm_share)
+        self._allocate_transfers(transfers, rates)
+
+        for op in running:
+            if op.op_id not in rates:
+                rates[op.op_id] = float("inf")
+        return ReferenceRateAllocation(rates=rates, kernel_sm_share=sm_share)
+
+    def _allocate_kernels(
+        self,
+        kernels: list[KernelOp],
+        rates: dict[int, float],
+        sm_share: dict[int, float],
+    ) -> None:
+        if not kernels:
+            return
+        timings = {k.op_id: self.kernel_timings(k) for k in kernels}
+
+        # 1. SM water-filling: grant each kernel its demanded fraction,
+        #    scaled down if the device is over-committed.
+        total_demand = sum(t.sm_fraction for t in timings.values())
+        sm_scale = 1.0 if total_demand <= 1.0 else 1.0 / total_demand
+
+        # 2. Tentative speed given granted SMs only.
+        speed: dict[int, float] = {}
+        for k in kernels:
+            t = timings[k.op_id]
+            granted = t.sm_fraction * sm_scale
+            sm_share[k.op_id] = granted
+            speed[k.op_id] = granted / t.sm_fraction  # <= 1.0
+
+        # 3. Shared device-wide pools: DRAM bandwidth, L2 bandwidth and
+        #    the page-fault controller.
+        for pool_time in (
+            lambda t: t.dram_time,
+            lambda t: t.l2_time,
+            lambda t: t.fault_time,
+        ):
+            self._cap_shared_pool(kernels, timings, speed, pool_time)
+
+        for k in kernels:
+            t = timings[k.op_id]
+            rates[k.op_id] = speed[k.op_id] / t.duration
+
+    @staticmethod
+    def _cap_shared_pool(kernels, timings, speed, pool_time) -> None:
+        """Cap every pool user's ``speed`` at its proportional share."""
+        weight = 0.0
+        for k in kernels:
+            t = timings[k.op_id]
+            weight += pool_time(t) / t.duration
+        if weight <= 1.0:
+            return
+        cap = 1.0 / weight
+        for k in kernels:
+            t = timings[k.op_id]
+            if pool_time(t) > 0:
+                speed[k.op_id] = min(speed[k.op_id], cap)
+
+    #: Rate assigned to transfers queued behind the DMA engine head.
+    _DMA_QUEUE_RATE = 1e-6
+
+    def _allocate_transfers(
+        self, transfers: list[TransferOp], rates: dict[int, float]
+    ) -> None:
+        """PCIe transfer rates: one DMA engine per direction, head gets
+        the full link, the rest queue."""
+        if not transfers:
+            return
+        pcie_bw = self.spec.pcie_bandwidth_gbs * 1e9
+        by_dir: dict[TransferDirection, list[TransferOp]] = {}
+        for t in transfers:
+            by_dir.setdefault(t.direction, []).append(t)
+        for ops in by_dir.values():
+            ops.sort(key=lambda t: t.op_id)  # submission order
+            rates[ops[0].op_id] = pcie_bw
+            for t in ops[1:]:
+                rates[t.op_id] = self._DMA_QUEUE_RATE
