@@ -206,7 +206,46 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument(
         "--validate",
         action="store_true",
-        help="check every request's results against serial execution",
+        help="check every completed request's results against serial"
+        " execution",
+    )
+    serving.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="inject a deterministic fault plan, e.g."
+        " 'crash:slot=1,at=2e-3;restart:slot=1,at=4e-3,warmup=5e-4'"
+        " (kinds: crash, drain, restart, degrade, transfer-fault)",
+    )
+    serving.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="generate a seeded random fault plan over the arrival"
+        " horizon (mutually exclusive with --faults)",
+    )
+    serving.add_argument(
+        "--deadline-us",
+        type=float,
+        default=None,
+        metavar="US",
+        help="per-request deadline, microseconds after arrival"
+        " (default: no deadlines)",
+    )
+    serving.add_argument(
+        "--raw-least-loaded",
+        action="store_true",
+        help="price LEAST_LOADED by raw slot clock instead of"
+        " width-normalized backlog/GPUs (the pre-normalization"
+        " behaviour, for A/B comparison)",
+    )
+    serving.add_argument(
+        "--chaos-grid",
+        action="store_true",
+        help="run the fault-tolerance chaos grid instead of a single"
+        " serving run: every scenario twice (bit-identical reports"
+        " asserted), completed requests validated against serial",
     )
     movement = parser.add_argument_group(
         "movement-bench options",
@@ -288,6 +327,19 @@ def run_experiment(name: str, args: argparse.Namespace) -> None:
             gpu=args.gpu, out_path=args.bench_out, trace_out=trace_out
         )
     if name == "serve-bench":
+        if args.chaos_grid:
+            from repro.harness.serving import chaos_grid
+
+            chaos_grid(
+                requests=args.requests,
+                tenants=args.tenants,
+                fleet=args.fleet or "1,1,1,1,1,1",
+                gpu=args.gpu,
+                deadline_us=args.deadline_us,
+                render=True,
+                bench_out=args.serve_out,
+            )
+            return
         kwargs.update(
             tenants=args.tenants,
             requests=args.requests,
@@ -298,6 +350,10 @@ def run_experiment(name: str, args: argparse.Namespace) -> None:
             gpu=args.gpu,
             traffic=args.traffic,
             movement_window=args.movement_window,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            deadline_us=args.deadline_us,
+            width_normalized=not args.raw_least_loaded,
             validate=args.validate,
             bench_out=args.serve_out,
             trace=tracing,

@@ -63,3 +63,32 @@ class ConfigError(ReproError):
     """Raised when a :class:`~repro.core.policies.SchedulerConfig` (or a
     session built from one) is inconsistent — e.g. a non-positive GPU
     count, or serving-only knobs on a plain compute session."""
+
+
+class FaultError(ReproError):
+    """Base class of the fault-management hierarchy (:mod:`repro.faults`).
+
+    Raised (or carried on a terminal :class:`~repro.serve.request.
+    GraphResult` via ``raise_for_status``) when a request could not be
+    completed because of an injected or simulated infrastructure fault,
+    as opposed to a programming error in the graph itself.
+    """
+
+
+class SlotFailedError(FaultError):
+    """Raised when a fleet slot crashed (or suffered a transient
+    transfer fault) while a request was in flight and every retry was
+    exhausted."""
+
+
+class RequestTimeoutError(FaultError):
+    """Raised for a request whose deadline passed before its results
+    were readable (either it never started in time, or it finished too
+    late)."""
+
+
+class AdmissionShedError(FaultError):
+    """Raised for a request shed by graceful degradation: fleet capacity
+    fell below the admission watermark (or to zero with no restart
+    pending) and the request was dropped instead of deadlocking the
+    queue."""

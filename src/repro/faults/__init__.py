@@ -1,0 +1,30 @@
+"""Deterministic fault injection for the serving fleet.
+
+Operational data systems treat fault management as a first-class
+subsystem: nodes crash mid-flight, links flake, devices degrade, and
+operators drain and restart hosts.  This package reifies those events
+as *data* — a seeded, fully deterministic :class:`FaultPlan` of
+:class:`FaultSpec` s pinned to virtual times — plus the per-slot
+lifecycle state machine (:class:`SlotLifecycle`) that consumes them:
+
+``HEALTHY -> DEGRADED -> DRAINING -> DOWN -> RESTARTING -> HEALTHY``
+
+Because every fault is a (virtual-time, slot) coordinate rather than a
+wall-clock accident, a faulted serving run is *replayable*: the same
+seed and the same plan produce a bit-identical
+:class:`~repro.serve.service.ServiceReport`, and every request that
+completes still produces results bit-identical to serial execution —
+the degraded-topology groundwork the cluster-of-fleets layer inherits.
+"""
+
+from repro.faults.lifecycle import SlotHealth, SlotLifecycle, Transition
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "SlotHealth",
+    "SlotLifecycle",
+    "Transition",
+]

@@ -1,0 +1,213 @@
+"""The per-slot health state machine, driven from virtual time.
+
+One :class:`SlotLifecycle` consumes one slot's time-sorted
+:class:`~repro.faults.plan.FaultSpec` sequence and walks the machine
+
+``HEALTHY -> DEGRADED -> DRAINING -> DOWN -> RESTARTING -> HEALTHY``
+
+as the serving loop advances it (:meth:`SlotLifecycle.advance`) to
+monotonically increasing virtual times.  The service advances every
+slot to ``max(service cursor, slot clock)`` before each placement
+decision — a slot that has simulated up to its own clock has, by
+definition, experienced every event up to it — and to the batch finish
+time after each dispatch, which is how mid-batch crashes are detected
+(a CRASH transition inside the batch's time span means the in-flight
+work was lost).
+
+Transitions are returned to the caller (and kept on
+:attr:`SlotLifecycle.transitions`) so the serving layer can count
+``faults.injected`` and emit tracer instants; the machine itself is
+side-effect-free and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.faults.plan import FaultKind, FaultSpec
+
+
+class SlotHealth(enum.Enum):
+    """Where one fleet slot stands in its lifecycle."""
+
+    HEALTHY = "healthy"
+    #: up and admitting, but slowed by a degradation factor
+    DEGRADED = "degraded"
+    #: stopped admitting; in-flight work is finishing (node drain)
+    DRAINING = "draining"
+    DOWN = "down"
+    #: restart initiated; admits again once the warm-up delay elapses
+    RESTARTING = "restarting"
+
+    @property
+    def admitting(self) -> bool:
+        return self in (SlotHealth.HEALTHY, SlotHealth.DEGRADED)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One recorded state change (or transfer-fault arming)."""
+
+    time: float
+    spec: FaultSpec
+    before: SlotHealth
+    after: SlotHealth
+
+
+class SlotLifecycle:
+    """The health state machine of one fleet slot.
+
+    ``advance(now)`` applies every pending event with ``at <= now`` (in
+    time order) plus the implicit time-driven transitions (RESTARTING
+    completes its warm-up; DRAINING settles to DOWN — batches execute
+    synchronously, so at any advance boundary the slot's in-flight work
+    has finished), and returns the transitions it made.
+    """
+
+    def __init__(self, slot: int, specs: tuple[FaultSpec, ...] = ()) -> None:
+        self.slot = slot
+        self._events = sorted(
+            specs, key=lambda s: (s.at, s.kind.value)
+        )
+        self._cursor = 0
+        self.state = SlotHealth.HEALTHY
+        #: DEGRADE multiplier on batch execution time (1.0 = full speed)
+        self.slowdown = 1.0
+        #: virtual time a RESTARTING slot becomes HEALTHY
+        self._admit_at: float | None = None
+        self._restart_spec: FaultSpec | None = None
+        #: armed transient transfer faults not yet consumed by a dispatch
+        self._pending_transfer_faults: list[float] = []
+        self.now = 0.0
+        #: every state change ever made (introspection/tests)
+        self.transitions: list[Transition] = []
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def admitting(self) -> bool:
+        return self.state.admitting
+
+    def earliest_admit(self, now: float) -> float | None:
+        """The earliest virtual time at/after ``now`` this slot could
+        admit again, or None if it never will.
+
+        Used by the serving loop to fast-forward across a total outage
+        instead of deadlocking: an admitting slot answers ``now``; a
+        RESTARTING slot answers its warm-up completion; a DOWN/DRAINING
+        slot answers its next scheduled RESTART's completion."""
+        if self.state.admitting:
+            return now
+        if self.state is SlotHealth.RESTARTING:
+            assert self._admit_at is not None
+            return max(now, self._admit_at)
+        for spec in self._events[self._cursor:]:
+            if spec.kind is FaultKind.RESTART:
+                return max(now, spec.at + spec.warmup)
+        return None
+
+    def take_transfer_fault(self, now: float) -> bool:
+        """Consume one armed transient transfer fault with ``at <= now``
+        (the dispatch that draws it fails once and retries)."""
+        if (
+            self._pending_transfer_faults
+            and self._pending_transfer_faults[0] <= now
+        ):
+            self._pending_transfer_faults.pop(0)
+            return True
+        return False
+
+    # -- the machine -------------------------------------------------------
+
+    def advance(self, now: float) -> list[Transition]:
+        """Apply every event with ``at <= now``; returns the transitions.
+
+        ``now`` may not go backwards (virtual time is monotone per
+        slot); repeated advances to the same time are no-ops.
+        """
+        if now < self.now:
+            raise ValueError(
+                f"slot {self.slot} lifecycle cannot rewind from"
+                f" {self.now:g} to {now:g}"
+            )
+        made: list[Transition] = []
+        while self._cursor < len(self._events):
+            spec = self._events[self._cursor]
+            if spec.at > now:
+                break
+            self._cursor += 1
+            # Time-driven settles that should precede this event.
+            self._settle(spec.at, made)
+            self._apply(spec, made)
+        self._settle(now, made)
+        self.now = now
+        self.transitions.extend(made)
+        return made
+
+    def _settle(self, now: float, made: list[Transition]) -> None:
+        """Apply implicit time-driven transitions up to ``now``."""
+        if (
+            self.state is SlotHealth.RESTARTING
+            and self._admit_at is not None
+            and now >= self._admit_at
+        ):
+            self._transition(
+                self._admit_at,
+                self._restart_spec,
+                SlotHealth.HEALTHY,
+                made,
+            )
+            self.slowdown = 1.0
+            self._admit_at = None
+
+    def _apply(self, spec: FaultSpec, made: list[Transition]) -> None:
+        if spec.kind is FaultKind.CRASH:
+            if self.state is not SlotHealth.DOWN:
+                self._transition(spec.at, spec, SlotHealth.DOWN, made)
+                # A crash mid-restart cancels the pending warm-up.
+                self._admit_at = None
+        elif spec.kind is FaultKind.DRAIN:
+            if self.state.admitting:
+                # DRAINING is observable, then settles to DOWN: at any
+                # advance boundary the slot's in-flight work has
+                # finished (synchronous batches), completing the drain.
+                self._transition(spec.at, spec, SlotHealth.DRAINING, made)
+                self._transition(spec.at, spec, SlotHealth.DOWN, made)
+        elif spec.kind is FaultKind.RESTART:
+            if self.state in (SlotHealth.DOWN, SlotHealth.DRAINING):
+                self._transition(
+                    spec.at, spec, SlotHealth.RESTARTING, made
+                )
+                self._admit_at = spec.at + spec.warmup
+                self._restart_spec = spec
+        elif spec.kind is FaultKind.DEGRADE:
+            if self.state.admitting:
+                self.slowdown = spec.factor
+                if self.state is SlotHealth.HEALTHY:
+                    self._transition(
+                        spec.at, spec, SlotHealth.DEGRADED, made
+                    )
+        elif spec.kind is FaultKind.TRANSFER_FAULT:
+            # Not a state change: arm one transient failure.  Recorded
+            # as a self-transition so it still counts as injected.
+            self._pending_transfer_faults.append(spec.at)
+            made.append(
+                Transition(spec.at, spec, self.state, self.state)
+            )
+
+    def _transition(
+        self,
+        time: float,
+        spec: FaultSpec,
+        to: SlotHealth,
+        made: list[Transition],
+    ) -> None:
+        made.append(Transition(time, spec, self.state, to))
+        self.state = to
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SlotLifecycle slot={self.slot} {self.state.value}"
+            f" now={self.now:g} events={len(self._events)}>"
+        )

@@ -17,16 +17,18 @@ placement policy while the service-level policy picks slots.
 
 from __future__ import annotations
 
+import hashlib
 import json
 
 import numpy as np
 
+from repro.faults import FaultPlan
 from repro.multigpu.scheduler import DevicePlacementPolicy
 from repro.obs.export import write_chrome_trace
 from repro.obs.trace import Tracer
 from repro.serve.admission import AdmissionPolicy
 from repro.serve.fleet import parse_fleet_spec
-from repro.serve.request import execute_serial
+from repro.serve.request import execute_serial, reset_request_ids
 from repro.serve.service import SchedulerService, ServeConfig, ServiceReport
 from repro.serve.workloads import traffic_mix_graphs
 
@@ -107,6 +109,43 @@ def report_summary(report: ServiceReport) -> dict:
     }
 
 
+def report_fingerprint(report: ServiceReport) -> str:
+    """A deterministic digest of everything a serving run produced.
+
+    Covers every result's identity, terminal status, exact virtual
+    times (via ``float.hex`` — no formatting loss), output array bytes
+    and the full counter snapshot: two runs fingerprint equal iff their
+    reports are bit-identical.  The chaos grid runs every scenario
+    twice and compares these.
+    """
+    h = hashlib.sha256()
+    for r in sorted(report.results, key=lambda r: r.request_id):
+        h.update(
+            "|".join(
+                (
+                    str(r.request_id),
+                    r.tenant,
+                    r.graph_name,
+                    r.status.value,
+                    str(r.attempts),
+                    str(r.device_index),
+                    str(r.batch_id),
+                    str(r.batch_size),
+                    str(r.replayed),
+                    r.arrival_time.hex(),
+                    r.start_time.hex(),
+                    r.finish_time.hex(),
+                )
+            ).encode()
+        )
+        for name in sorted(r.outputs):
+            h.update(name.encode())
+            h.update(r.outputs[name].tobytes())
+    for name, value in sorted(report.counters.items()):
+        h.update(f"{name}={value}".encode())
+    return h.hexdigest()
+
+
 def serve_bench(
     tenants: int = 4,
     requests: int = 100,
@@ -121,6 +160,10 @@ def serve_bench(
     mean_interarrival_us: float = 120.0,
     traffic: str = "uniform",
     movement_window: int = 0,
+    faults: str | FaultPlan | None = None,
+    fault_seed: int | None = None,
+    deadline_us: float | None = None,
+    width_normalized: bool = True,
     validate: bool = False,
     render: bool = False,
     bench_out: str | None = None,
@@ -145,14 +188,37 @@ def serve_bench(
     the raw tracer tracks.  The tracer is passed explicitly to the
     service — never installed globally — so ``validate``'s private
     serial runtimes stay out of the trace.
+
+    ``faults`` injects a deterministic fault plan (a
+    :class:`~repro.faults.FaultPlan` or its DSL string, e.g.
+    ``"crash:slot=1,at=2e-3;restart:slot=1,at=4e-3"``);
+    ``fault_seed`` instead *generates* a seeded chaos plan over the
+    expected arrival horizon.  ``deadline_us`` gives every request an
+    arrival-relative deadline.  Under faults, ``validate`` checks the
+    *completed* requests against serial execution — shed / timed-out /
+    failed requests have no outputs to check, but every submission must
+    still reach a terminal status (asserted unconditionally).
     """
     if tenants <= 0 or requests <= 0 or fleet_size <= 0:
         raise ValueError("tenants, requests and fleet_size must be positive")
+    if faults is not None and fault_seed is not None:
+        raise ValueError("pass either faults or fault_seed, not both")
     admission = _coerce(admission, AdmissionPolicy)
     placement = _coerce(placement, DevicePlacementPolicy)
     # An unknown traffic mix raises inside traffic_mix_graphs below.
     if isinstance(fleet, str):
         fleet = parse_fleet_spec(fleet)
+    slot_count = len(fleet) if fleet is not None else fleet_size
+    if isinstance(faults, str):
+        faults = FaultPlan.parse(faults)
+    if fault_seed is not None:
+        # Horizon = the expected span of the arrival process, so seeded
+        # faults actually land while the queue is live.
+        faults = FaultPlan.random(
+            fault_seed,
+            slots=slot_count,
+            horizon=requests * mean_interarrival_us * 1e-6,
+        )
 
     from repro.core.policies import SchedulerConfig
     from repro.memory.coherence import MovementPolicy
@@ -169,6 +235,8 @@ def serve_bench(
         config=ServeConfig(
             admission=admission,
             placement=placement,
+            faults=faults,
+            width_normalized=width_normalized,
             scheduler=SchedulerConfig(
                 movement=movement, movement_window=movement_window
             ),
@@ -191,7 +259,14 @@ def serve_bench(
         submitted.append(
             (
                 service.submit(
-                    f"tenant{i % tenants}", graph, arrival_time=arrival
+                    f"tenant{i % tenants}",
+                    graph,
+                    arrival_time=arrival,
+                    deadline=(
+                        arrival + deadline_us * 1e-6
+                        if deadline_us is not None
+                        else None
+                    ),
                 ),
                 graph,
             )
@@ -199,10 +274,20 @@ def serve_bench(
 
     report = service.run()
 
+    # The no-hang invariant: every submission reached a terminal status.
+    by_id = {r.request_id: r for r in report.results}
+    missing = [rid for rid, _ in submitted if rid not in by_id]
+    if missing:
+        raise AssertionError(
+            f"{len(missing)} request(s) never reached a terminal"
+            f" status: {missing[:10]}"
+        )
+
     if validate:
-        by_id = {r.request_id: r for r in report.results}
         for request_id, graph in submitted:
             result = by_id[request_id]
+            if not result.ok:
+                continue  # shed/timed-out/failed: nothing was delivered
             reference = execute_serial(graph, gpu=gpu)
             for name, expected in reference.items():
                 got = result.outputs[name]
@@ -216,6 +301,22 @@ def serve_bench(
         summary = report_summary(report)
         summary["traffic"] = traffic
         summary["validated"] = bool(validate)
+        if faults is not None:
+            m = report.metrics
+            summary["faults"] = {
+                "plan": faults.describe(),
+                "seed": faults.seed,
+                "shed": m.shed,
+                "timed_out": m.timed_out,
+                "failed": m.failed,
+                "terminal": m.terminal,
+                "submitted": len(submitted),
+                "injected": report.counters.get("faults.injected", 0),
+                "retries": report.counters.get("faults.retries", 0),
+                "replacements": report.counters.get(
+                    "faults.replacements", 0
+                ),
+            }
         with open(bench_out, "w") as fh:
             json.dump(summary, fh, indent=2)
             fh.write("\n")
@@ -239,12 +340,141 @@ def serve_bench(
     if render:
         print(report.render())
         if validate:
+            done = sum(1 for r in report.results if r.ok)
             print(
-                f"\nvalidated: all {len(submitted)} requests match"
+                f"\nvalidated: all {done} completed requests match"
                 " serial single-runtime execution"
+                + (
+                    f" ({len(submitted) - done} shed/timed-out/failed)"
+                    if done < len(submitted)
+                    else ""
+                )
             )
         if bench_out:
             print(f"wrote {bench_out}")
         if trace_path:
             print(f"wrote {trace_path}")
     return report
+
+
+#: the chaos-grid scenarios: deterministic fault plans over a 6-slot
+#: fleet, written against the default serve-bench arrival process
+#: (~60 requests x 120 us mean interarrival ~= a 7 ms horizon)
+CHAOS_SCENARIOS: dict[str, str] = {
+    # the acceptance scenario: 2 of 6 slots crash mid-run, no recovery
+    "crash-2of6": "crash:slot=1,at=2e-3;crash:slot=4,at=3e-3",
+    # node-drain protocol: in-flight work finishes, slot comes back
+    "drain-restart": (
+        "drain:slot=2,at=1.5e-3;restart:slot=2,at=3e-3,warmup=5e-4"
+    ),
+    # slow devices: two slots throttle mid-run
+    "degrade": (
+        "degrade:slot=0,at=1e-3,factor=2.5;"
+        "degrade:slot=3,at=2e-3,factor=1.8"
+    ),
+    # transient transfer errors: three one-shot flakes, retried in place
+    "transfer-flakes": (
+        "transfer-fault:slot=0,at=1e-3;transfer-fault:slot=2,at=2e-3;"
+        "transfer-fault:slot=5,at=3e-3"
+    ),
+    # total permanent blackout mid-run: the tail must shed, never hang
+    "blackout-shed": ";".join(
+        f"crash:slot={s},at=2.5e-3" for s in range(6)
+    ),
+}
+
+
+def chaos_grid(
+    requests: int = 60,
+    tenants: int = 4,
+    fleet: str = "1,1,1,1,1,1",
+    gpu: str = "GTX 1660 Super",
+    seed: int = 7,
+    mean_interarrival_us: float = 120.0,
+    deadline_us: float | None = None,
+    render: bool = False,
+    bench_out: str | None = None,
+) -> dict:
+    """The fault-tolerance acceptance grid: every chaos scenario runs
+    **twice** (bit-identical reports asserted via
+    :func:`report_fingerprint`), every completed request validates
+    against serial execution, and every submission must reach a
+    terminal status.  Returns (and optionally writes) the grid summary.
+    """
+    scenarios = {}
+    for name, plan in CHAOS_SCENARIOS.items():
+        runs = []
+        for _ in range(2):
+            # Request ids are process-global; reset so the two runs
+            # (and the grid's scenarios) compare bit-identical.
+            reset_request_ids()
+            report = serve_bench(
+                tenants=tenants,
+                requests=requests,
+                fleet=fleet,
+                gpu=gpu,
+                seed=seed,
+                mean_interarrival_us=mean_interarrival_us,
+                faults=plan,
+                deadline_us=deadline_us,
+                validate=True,
+                render=False,
+            )
+            runs.append(report)
+        fingerprints = [report_fingerprint(r) for r in runs]
+        if fingerprints[0] != fingerprints[1]:
+            raise AssertionError(
+                f"chaos scenario {name!r} is not deterministic:"
+                f" {fingerprints[0][:16]} != {fingerprints[1][:16]}"
+            )
+        m = runs[0].metrics
+        if m.terminal != requests:
+            raise AssertionError(
+                f"chaos scenario {name!r} hung"
+                f" {requests - m.terminal} request(s)"
+            )
+        scenarios[name] = {
+            "plan": plan,
+            "completed": m.completed,
+            "shed": m.shed,
+            "timed_out": m.timed_out,
+            "failed": m.failed,
+            "terminal": m.terminal,
+            "injected": runs[0].counters.get("faults.injected", 0),
+            "retries": runs[0].counters.get("faults.retries", 0),
+            "replacements": runs[0].counters.get(
+                "faults.replacements", 0
+            ),
+            "fingerprint": fingerprints[0],
+            "deterministic": True,
+            "validated": True,
+        }
+        if render:
+            print(
+                f"chaos {name:<16} completed={m.completed:>3}"
+                f"  shed={m.shed:>3}  timed-out={m.timed_out:>3}"
+                f"  failed={m.failed:>3}  (deterministic, validated)"
+            )
+    grid = {
+        "requests": requests,
+        "fleet": parse_fleet_spec(fleet),
+        "seed": seed,
+        "hung_requests": 0,
+        "scenarios": scenarios,
+    }
+    if bench_out:
+        # Merge into an existing serve-bench artifact when present so
+        # CI uploads one BENCH_serving.json with both sections.
+        payload: dict = {}
+        try:
+            with open(bench_out) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            payload = {}
+        payload["chaos"] = grid
+        with open(bench_out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        if render:
+            print(f"wrote {bench_out}")
+    return grid

@@ -99,6 +99,13 @@ class LatencyStats:
             worst=max(items),
         )
 
+    @classmethod
+    def empty(cls) -> "LatencyStats":
+        """The all-zero distribution — what a faulted run that completed
+        nothing reports (raising would make a total-outage run
+        unreportable)."""
+        return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, worst=0.0)
+
 
 @dataclass(frozen=True)
 class ServiceMetrics:
@@ -117,6 +124,17 @@ class ServiceMetrics:
     batched_requests: int = 0            # requests that shared a batch
     capture_hits: int = 0
     capture_misses: int = 0
+    #: non-completed terminal statuses (fault injection / degradation);
+    #: all zero on a fault-free run
+    shed: int = 0
+    timed_out: int = 0
+    failed: int = 0
+
+    @property
+    def terminal(self) -> int:
+        """Every request that reached *some* terminal status — equals
+        the submission count when the serving loop never hangs."""
+        return self.completed + self.shed + self.timed_out + self.failed
 
     @property
     def mean_utilization(self) -> float:
@@ -133,32 +151,55 @@ def compute_service_metrics(
     capture_hits: int = 0,
     capture_misses: int = 0,
 ) -> ServiceMetrics:
-    """Summarize a serving run from its results and device timelines."""
+    """Summarize a serving run from its results and device timelines.
+
+    Latency/queue-wait distributions cover *completed* requests only —
+    a shed or timed-out request has no meaningful service latency.  The
+    makespan spans every terminal result, completed or not, so a run
+    that shed its tail still reports how long the fleet was engaged.
+    """
     if not results:
         raise ValueError("no results to summarize")
+    done = [r for r in results if r.status.ok]
     first_arrival = min(r.arrival_time for r in results)
     last_finish = max(r.finish_time for r in results)
     makespan = max(last_finish - first_arrival, 1e-12)
 
     by_tenant: dict[str, list[float]] = {}
-    for r in results:
+    for r in done:
         by_tenant.setdefault(r.tenant, []).append(r.latency)
+
+    def stats(values: list[float]) -> LatencyStats:
+        return (
+            LatencyStats.from_values(values)
+            if values
+            else LatencyStats.empty()
+        )
+
+    from repro.serve.request import RequestStatus
 
     busy = tuple(busy_seconds(t) for t in device_timelines)
     return ServiceMetrics(
-        completed=len(results),
-        tenants=len(by_tenant),
+        completed=len(done),
+        tenants=len({r.tenant for r in results}),
         makespan=makespan,
-        throughput_rps=len(results) / makespan,
-        latency=LatencyStats.from_values(r.latency for r in results),
-        queue_wait=LatencyStats.from_values(r.queue_wait for r in results),
+        throughput_rps=len(done) / makespan,
+        latency=stats([r.latency for r in done]),
+        queue_wait=stats([r.queue_wait for r in done]),
         per_tenant={
             t: LatencyStats.from_values(v) for t, v in by_tenant.items()
         },
         device_busy=busy,
         device_utilization=tuple(b / makespan for b in busy),
         batches=batches,
-        batched_requests=sum(1 for r in results if r.batch_size > 1),
+        batched_requests=sum(1 for r in done if r.batch_size > 1),
         capture_hits=capture_hits,
         capture_misses=capture_misses,
+        shed=sum(1 for r in results if r.status is RequestStatus.SHED),
+        timed_out=sum(
+            1 for r in results if r.status is RequestStatus.TIMEOUT
+        ),
+        failed=sum(
+            1 for r in results if r.status is RequestStatus.FAILED
+        ),
     )

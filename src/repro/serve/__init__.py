@@ -29,6 +29,12 @@ Quickstart::
 """
 
 from repro.core.policies import DevicePlacementPolicy
+from repro.faults import (
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    SlotHealth,
+)
 from repro.serve.admission import (
     AdmissionPolicy,
     AdmissionQueue,
@@ -50,8 +56,10 @@ from repro.serve.request import (
     GraphResult,
     KernelDecl,
     LaunchDecl,
+    RequestStatus,
     TaskGraph,
     execute_serial,
+    reset_request_ids,
 )
 from repro.serve.service import (
     SchedulerService,
@@ -68,6 +76,9 @@ __all__ = [
     "CapturePlan",
     "DevicePlacementPolicy",
     "FairShareQueue",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "FifoQueue",
     "FleetDevice",
     "FleetSlot",
@@ -78,12 +89,15 @@ __all__ = [
     "KernelDecl",
     "LaunchDecl",
     "PriorityQueue",
+    "RequestStatus",
     "SchedulerService",
     "ServeConfig",
     "ServiceReport",
+    "SlotHealth",
     "TaskGraph",
     "TenantState",
     "derive_plan",
     "execute_serial",
     "make_queue",
+    "reset_request_ids",
 ]

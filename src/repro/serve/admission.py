@@ -98,6 +98,30 @@ class AdmissionQueue(abc.ABC):
             self.admitted_counts[r.tenant] += 1
         return taken
 
+    def evict_lowest(self, count: int) -> list[GraphRequest]:
+        """Remove and return the ``count`` least-valuable queued
+        requests: lowest priority first, newest arrival first within a
+        priority (the graceful-degradation shed order — fresh low-value
+        work goes before old high-value work).
+
+        Evicted requests are *not* charged to admission accounting (they
+        were never served); survivors keep their relative queue order.
+        """
+        if count <= 0:
+            return []
+        queued = self._remove_matching(lambda r: True, len(self))
+        victims = sorted(
+            queued,
+            key=lambda r: (
+                r.priority, -r.arrival_time, -r.request_id
+            ),
+        )[:count]
+        victim_ids = {r.request_id for r in victims}
+        for r in queued:
+            if r.request_id not in victim_ids:
+                self.push(r)
+        return victims
+
     def _note_admitted(self, request: GraphRequest) -> None:
         self.admitted_counts[request.tenant] += 1
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.policies import DevicePlacementPolicy, SchedulerConfig
+from repro.faults import FaultPlan, SlotHealth, SlotLifecycle
 from repro.gpusim.specs import GPUSpec, gpu_by_name
 from repro.gpusim.stream import SimStream
 from repro.kernels.kernel import Kernel
@@ -149,6 +150,27 @@ class FleetSlot:
         self._replay_pools: dict[int, list[SimStream]] = {}
         self.requests_served = 0
         self.kernels_launched = 0
+        #: health state machine; the default empty lifecycle never
+        #: leaves HEALTHY, so fault-free serving is untouched
+        self.lifecycle = SlotLifecycle(index)
+
+    @property
+    def health(self) -> SlotHealth:
+        return self.lifecycle.state
+
+    @property
+    def admitting(self) -> bool:
+        """Whether the slot accepts new dispatches (HEALTHY/DEGRADED)."""
+        return self.lifecycle.admitting
+
+    def cold_restart(self) -> None:
+        """Forget warm state after a crash: built kernels and warm
+        topologies die with the slot's (simulated) host process.  The
+        service-level capture cache survives — plans are derived from
+        topology alone — but MIN_TRANSFER warmth and the per-slot kernel
+        cache must be re-earned after the restart."""
+        self._kernels.clear()
+        self.warm_topologies.clear()
 
     @property
     def runtime(self) -> Session:
@@ -236,6 +258,7 @@ class GpuFleet:
         config: SchedulerConfig | None = None,
         gpu: str | GPUSpec = "GTX 1660 Super",
         tracer: Tracer | None = None,
+        width_normalized: bool = True,
     ) -> None:
         if not slots:
             raise ValueError("a fleet needs at least one slot")
@@ -253,7 +276,36 @@ class GpuFleet:
             for i, entry in enumerate(slots)
         ]
         self.policy = policy
+        #: LEAST_LOADED prices backlog/gpus (a 2-GPU slot drains ~2x
+        #: faster) instead of the raw engine clock; False restores the
+        #: pre-normalization pricing for A/B benchmarking
+        self.width_normalized = width_normalized
         self._rr_next = 0
+
+    def attach_faults(self, plan: FaultPlan) -> None:
+        """Arm each slot's lifecycle with its share of ``plan``.
+
+        Specs targeting slot indexes outside the fleet are rejected —
+        a silently ignored fault would make a chaos run vacuously green.
+        """
+        top = plan.max_slot()
+        if top >= len(self.slots):
+            raise ValueError(
+                f"fault plan targets slot {top} but the fleet has only"
+                f" {len(self.slots)} slot(s)"
+            )
+        for slot in self.slots:
+            slot.lifecycle = SlotLifecycle(
+                slot.index, plan.for_slot(slot.index)
+            )
+
+    def admitting_slots(self) -> list[FleetSlot]:
+        """Slots currently accepting dispatches (lifecycle order is
+        slot-id order, so the list is deterministic)."""
+        return [s for s in self.slots if s.admitting]
+
+    def admitting_gpus(self) -> int:
+        return sum(s.gpus for s in self.slots if s.admitting)
 
     @classmethod
     def build(
@@ -264,6 +316,7 @@ class GpuFleet:
         config: SchedulerConfig | None = None,
         gpus_per_slot: int = 1,
         tracer: Tracer | None = None,
+        width_normalized: bool = True,
     ) -> "GpuFleet":
         """Factory: a homogeneous fleet of ``size`` slots, each with
         ``gpus_per_slot`` × ``gpu``."""
@@ -275,6 +328,7 @@ class GpuFleet:
             config=config,
             gpu=gpu,
             tracer=tracer,
+            width_normalized=width_normalized,
         )
 
     @property
@@ -315,14 +369,20 @@ class GpuFleet:
 
     # -- placement ---------------------------------------------------------
 
-    def choose(self, request: GraphRequest) -> FleetSlot:
+    def choose(
+        self,
+        request: GraphRequest,
+        eligible: "Sequence[FleetSlot] | None" = None,
+    ) -> FleetSlot:
         """Pick the slot that serves ``request`` per the policy.
 
+        ``eligible`` restricts the choice (the fault-aware serving loop
+        passes the admitting slots); None considers the whole fleet.
         Every policy's key ends in the slot id, so equal-cost slots
         resolve in stable slot-id order and serving runs replay
         deterministically.
         """
-        slot = self._choose(request)
+        slot = self._choose(request, self.slots if eligible is None else eligible)
         if self.tracer.enabled:
             self.tracer.instant(
                 "place",
@@ -336,17 +396,43 @@ class GpuFleet:
             )
         return slot
 
-    def _choose(self, request: GraphRequest) -> FleetSlot:
+    def _choose(
+        self, request: GraphRequest, slots: "Sequence[FleetSlot]"
+    ) -> FleetSlot:
+        if not slots:
+            raise ValueError("no eligible slots to place on")
         if self.policy is DevicePlacementPolicy.ROUND_ROBIN:
-            slot = self.slots[self._rr_next]
-            self._rr_next = (self._rr_next + 1) % len(self.slots)
-            return slot
+            # Walk the ring from the cursor until an eligible slot comes
+            # up, so a fleet with non-admitting slots keeps cycling the
+            # survivors in the same deterministic order.
+            allowed = {s.index for s in slots}
+            for _ in range(len(self.slots)):
+                slot = self.slots[self._rr_next]
+                self._rr_next = (self._rr_next + 1) % len(self.slots)
+                if slot.index in allowed:
+                    return slot
+            raise ValueError("no eligible slots to place on")
         if self.policy is DevicePlacementPolicy.LEAST_LOADED:
-            return min(self.slots, key=lambda s: (s.clock, s.index))
+            if self.width_normalized:
+                # Price the *backlog ahead of this request* per GPU: a
+                # 2-GPU slot drains its queue ~2x faster, so raw engine
+                # clocks over-penalize wide slots.  The raw clock stays
+                # as the tie-break so idle slots (zero backlog each)
+                # still resolve by availability, then slot id.
+                floor = request.dispatch_floor
+                return min(
+                    slots,
+                    key=lambda s: (
+                        max(0.0, s.clock - floor) / s.gpus,
+                        s.clock,
+                        s.index,
+                    ),
+                )
+            return min(slots, key=lambda s: (s.clock, s.index))
         # MIN_TRANSFER: migration cost first, availability tie-break.
         key = request.topology_key
         return min(
-            self.slots,
+            slots,
             key=lambda s: (
                 0 if key in s.warm_topologies
                 else request.graph.total_bytes,

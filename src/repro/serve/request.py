@@ -18,6 +18,7 @@ identical to running the same graph alone on a private runtime.
 
 from __future__ import annotations
 
+import enum
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -25,12 +26,53 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.core.policies import ExecutionPolicy, SchedulerConfig
+from repro.errors import (
+    AdmissionShedError,
+    RequestTimeoutError,
+    SlotFailedError,
+)
 from repro.session import Session
 from repro.gpusim.specs import GPUSpec
 from repro.kernels.profile import CostModel
 from repro.kernels.signature import parse_signature
 
 _request_ids = itertools.count(1)
+
+
+def reset_request_ids(start: int = 1) -> None:
+    """Restart the global request-id sequence.
+
+    Request ids are process-global monotonic ints; two otherwise
+    identical serving runs in one process would differ only in their id
+    offsets.  Replay-determinism checks (the chaos grid, the faulted
+    -replay tests) reset the sequence before each run so the reports
+    compare bit-identical.
+    """
+    global _request_ids
+    _request_ids = itertools.count(start)
+
+
+class RequestStatus(enum.Enum):
+    """Terminal status of one served request.
+
+    Every submitted request reaches exactly one of these — the serving
+    loop never hangs a request, even under total fleet loss (graceful
+    degradation sheds instead of deadlocking).
+    """
+
+    #: outputs read back, bit-identical to serial execution
+    COMPLETED = "completed"
+    #: dropped by graceful degradation (capacity below the watermark, or
+    #: zero admitting slots with no restart pending)
+    SHED = "shed"
+    #: the request's deadline passed before its results were readable
+    TIMEOUT = "timed-out"
+    #: every retry after slot crashes / transfer faults was exhausted
+    FAILED = "failed"
+
+    @property
+    def ok(self) -> bool:
+        return self is RequestStatus.COMPLETED
 
 
 @dataclass(frozen=True)
@@ -191,11 +233,27 @@ class GraphRequest:
     priority: int = 0
     #: virtual service time at which the request entered the system
     arrival_time: float = 0.0
+    #: absolute virtual deadline: results must be readable by this time
+    #: or the request times out (None = no deadline)
+    deadline: float | None = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: dispatch attempts so far (fault retries re-queue and increment)
+    attempts: int = 0
+    #: earliest virtual re-dispatch time after a fault (exponential
+    #: backoff floor; 0 = dispatch whenever admitted)
+    not_before: float = 0.0
+    #: slot index of the last failed dispatch (None = never failed);
+    #: used to count re-placements onto surviving slots
+    last_slot: int | None = None
 
     @property
     def topology_key(self) -> tuple:
         return self.graph.topology_key()
+
+    @property
+    def dispatch_floor(self) -> float:
+        """Earliest virtual time this request may be dispatched."""
+        return max(self.arrival_time, self.not_before)
 
 
 @dataclass
@@ -209,10 +267,17 @@ class GraphResult:
     arrival_time: float
     start_time: float          # virtual time execution began on the device
     finish_time: float         # virtual time the outputs were consumable
-    device_index: int
+    device_index: int          # -1 when the request never ran (shed/timeout)
     batch_id: int
     batch_size: int = 1
     replayed: bool = False     # served from the capture cache
+    status: RequestStatus = RequestStatus.COMPLETED
+    #: dispatch attempts the request consumed (> 1 means fault retries)
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.status.ok
 
     @property
     def latency(self) -> float:
@@ -222,6 +287,28 @@ class GraphResult:
     @property
     def queue_wait(self) -> float:
         return self.start_time - self.arrival_time
+
+    def raise_for_status(self) -> None:
+        """Raise the matching :mod:`repro.errors` fault for a
+        non-completed terminal status (no-op when completed)."""
+        if self.status is RequestStatus.COMPLETED:
+            return
+        detail = (
+            f"request {self.request_id} ({self.graph_name},"
+            f" tenant {self.tenant})"
+        )
+        if self.status is RequestStatus.SHED:
+            raise AdmissionShedError(
+                f"{detail} was shed by graceful degradation"
+            )
+        if self.status is RequestStatus.TIMEOUT:
+            raise RequestTimeoutError(
+                f"{detail} missed its deadline"
+            )
+        raise SlotFailedError(
+            f"{detail} failed after {self.attempts} attempt(s) on"
+            " faulted slots"
+        )
 
 
 def execute_serial(

@@ -64,6 +64,7 @@ from repro.kernels.kernel import KernelLaunch, normalize_dim
 from repro.kernels.profile import combine_resources
 from repro.memory.array import AccessKind, DeviceArray
 from repro.memory.coherence import CoherenceEngine
+from repro.faults import FaultKind, FaultPlan, Transition
 from repro.metrics.service import ServiceMetrics, compute_service_metrics
 from repro.multigpu.array import MultiGpuArray
 from repro.obs.counters import CounterRegistry
@@ -71,7 +72,12 @@ from repro.obs.trace import Tracer, current_tracer
 from repro.serve.admission import make_queue
 from repro.serve.capture import CaptureCache, CapturePlan
 from repro.serve.fleet import FleetSlot, GpuFleet, parse_fleet_spec
-from repro.serve.request import GraphRequest, GraphResult, TaskGraph
+from repro.serve.request import (
+    GraphRequest,
+    GraphResult,
+    RequestStatus,
+    TaskGraph,
+)
 from repro.serve.tenant import TenantState
 
 
@@ -83,7 +89,8 @@ class ServeConfig:
     per-device ``scheduler`` config (falling back to FIFO admission and
     least-loaded placement, each path's historical default), so a single
     :class:`~repro.core.policies.SchedulerConfig` can describe a whole
-    serving deployment.
+    serving deployment.  The fault-management knobs (``max_retries``,
+    ``retry_backoff_us``, ``shed_watermark``) inherit the same way.
     """
 
     admission: AdmissionPolicy | None = None
@@ -99,6 +106,27 @@ class ServeConfig:
     #: ``cudaGraphLaunch`` analogue, vs. per-kernel scheduling overhead
     #: on the inference path)
     replay_overhead_us: float = 3.0
+    #: seeded deterministic fault-injection plan (or its DSL string form,
+    #: parsed at construction); None serves fault-free
+    faults: FaultPlan | str | None = None
+    #: dispatch attempts after the first before a crashed/faulted
+    #: request turns terminally FAILED (None inherits; default 3)
+    max_retries: int | None = None
+    #: base of the exponential re-dispatch backoff, in virtual
+    #: microseconds: retry *k* waits ``backoff * 2**(k-1)`` after the
+    #: failure (None inherits; default 200)
+    retry_backoff_us: float | None = None
+    #: healthy-capacity fraction below which graceful degradation sheds
+    #: lowest-priority queued work (None inherits; default 0.5; 0
+    #: disables shedding entirely)
+    shed_watermark: float | None = None
+    #: queue depth kept per admitting GPU while below the watermark —
+    #: everything beyond it is shed
+    shed_queue_per_gpu: int = 4
+    #: LEAST_LOADED prices backlog per GPU (see
+    #: :class:`~repro.serve.fleet.GpuFleet`); only consulted when the
+    #: service builds its own fleet
+    width_normalized: bool = True
     #: per-device runtime/scheduler configuration
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
 
@@ -108,6 +136,23 @@ class ServeConfig:
             self.admission = self.scheduler.admission or AdmissionPolicy.FIFO
         if self.placement is None:
             self.placement = self.scheduler.resolve_placement(serving=True)
+        if isinstance(self.faults, str):
+            self.faults = FaultPlan.parse(self.faults)
+        if self.max_retries is None:
+            self.max_retries = (
+                3 if self.scheduler.max_retries is None
+                else self.scheduler.max_retries
+            )
+        if self.retry_backoff_us is None:
+            self.retry_backoff_us = (
+                200.0 if self.scheduler.retry_backoff_us is None
+                else self.scheduler.retry_backoff_us
+            )
+        if self.shed_watermark is None:
+            self.shed_watermark = (
+                0.5 if self.scheduler.shed_watermark is None
+                else self.scheduler.shed_watermark
+            )
 
     @property
     def batching(self) -> bool:
@@ -140,6 +185,17 @@ class ServiceReport:
             f"requests={m.completed}  tenants={m.tenants}"
             f"  makespan={m.makespan * 1e3:.3f} ms"
             f"  throughput={m.throughput_rps:.1f} req/s",
+        ]
+        if m.shed or m.timed_out or m.failed:
+            lines.append(
+                f"degraded: shed={m.shed}  timed-out={m.timed_out}"
+                f"  failed={m.failed}"
+                f"  (injected={self.counters.get('faults.injected', 0)}"
+                f"  retries={self.counters.get('faults.retries', 0)}"
+                f"  replacements="
+                f"{self.counters.get('faults.replacements', 0)})"
+            )
+        lines += [
             f"latency ms: p50={m.latency.p50 * 1e3:.3f}"
             f"  p95={m.latency.p95 * 1e3:.3f}"
             f"  p99={m.latency.p99 * 1e3:.3f}"
@@ -230,14 +286,23 @@ class SchedulerService:
                 policy=self.config.placement,
                 config=self.config.scheduler,
                 tracer=explicit_tracer,
+                width_normalized=self.config.width_normalized,
             )
         self.fleet = fleet
+        if self.config.faults is not None:
+            self.fleet.attach_faults(self.config.faults)
         self.queue = make_queue(self.config.admission)
         self.cache = CaptureCache(enabled=self.config.capture_cache)
         self.tenants: dict[str, TenantState] = {}
         self.results: list[GraphResult] = []
         self._batch_ids = itertools.count(1)
         self._batches = 0
+        #: monotone virtual-time cursor of the serving loop's dispatch
+        #: decisions; drives fault-lifecycle advancement
+        self._now = 0.0
+        #: fault specs already counted as injected (a DRAIN makes two
+        #: transitions, a RESTART makes two more — each spec counts once)
+        self._injected: set[int] = set()
         #: service-level counters (admission, batching, queue depth)
         self.counters = CounterRegistry()
         self._c_admitted = self.counters.counter("serve.admitted")
@@ -245,6 +310,18 @@ class SchedulerService:
         self._c_batched_requests = self.counters.counter(
             "serve.batched_requests"
         )
+        # faults.* counters exist only when a plan is attached, so a
+        # fault-free run's counter snapshot stays bit-identical to the
+        # pre-fault-subsystem output; with a plan they are registered
+        # eagerly so every chaos snapshot carries all four keys.
+        if self.config.faults is not None:
+            for name in (
+                "faults.injected",
+                "faults.retries",
+                "faults.shed",
+                "faults.replacements",
+            ):
+                self.counters.counter(name)
 
     # -- tenant/submission API -------------------------------------------
 
@@ -265,18 +342,26 @@ class SchedulerService:
         graph: TaskGraph,
         priority: int | None = None,
         arrival_time: float = 0.0,
+        deadline: float | None = None,
     ) -> int:
         """Queue one task graph for ``tenant``; returns the request id.
 
         ``arrival_time`` is the virtual service time of the submission
         (workload generators space these; 0 means "present at start").
+        ``deadline`` is an absolute virtual time by which the results
+        must be readable, else the request terminates TIMEOUT.
         """
+        if deadline is not None and deadline < arrival_time:
+            raise ValueError(
+                f"deadline {deadline:g} precedes arrival {arrival_time:g}"
+            )
         state = self.tenants.get(tenant) or self.register_tenant(tenant)
         request = GraphRequest(
             tenant=tenant,
             graph=graph,
             priority=state.priority if priority is None else priority,
             arrival_time=arrival_time,
+            deadline=deadline,
         )
         state.submitted += 1
         self.queue.push(request)
@@ -297,10 +382,44 @@ class SchedulerService:
     # -- the serving loop ---------------------------------------------------
 
     def run(self) -> ServiceReport:
-        """Drain the admission queue, then summarize the run."""
+        """Drain the admission queue, then summarize the run.
+
+        Every popped request reaches a terminal status — COMPLETED,
+        SHED, TIMEOUT or FAILED — even under total fleet loss: when no
+        slot admits and none ever will again, the remaining queue is
+        shed instead of deadlocking; when a restart is pending, the
+        loop fast-forwards virtual time to it.
+        """
         while len(self.queue):
             head = self.queue.pop()
             assert head is not None
+            now = max(self._now, head.dispatch_floor)
+            self._advance_lifecycles(now)
+            eligible = self.fleet.admitting_slots()
+            if not eligible:
+                revive = self._earliest_revival(now)
+                if revive is None:
+                    # Permanent total outage: graceful degradation sheds
+                    # the head and everything still queued.
+                    self._record_dropped(
+                        head, now, RequestStatus.SHED
+                    )
+                    while len(self.queue):
+                        r = self.queue.pop()
+                        assert r is not None
+                        self._record_dropped(r, now, RequestStatus.SHED)
+                    break
+                # Total-but-transient outage: fast-forward to the first
+                # restart completion instead of busy-deadlocking.
+                now = max(now, revive)
+                self._advance_lifecycles(now)
+                eligible = self.fleet.admitting_slots()
+                assert eligible, "revived slot must admit"
+            self._now = now
+            self._shed_to_watermark(now)
+            if head.deadline is not None and now > head.deadline:
+                self._record_dropped(head, now, RequestStatus.TIMEOUT)
+                continue
             batch = [head]
             if self.config.batching:
                 key = head.topology_key
@@ -311,13 +430,150 @@ class SchedulerService:
                             r.topology_key == key
                             and abs(r.arrival_time - head.arrival_time)
                             <= window
+                            and r.not_before <= now
+                            and (r.deadline is None or now <= r.deadline)
                         ),
                         self.config.batch_max - 1,
                     )
                 )
-            slot = self.fleet.choose(head)
+            slot = self.fleet.choose(head, eligible)
+            for r in batch:
+                if r.last_slot is not None:
+                    if r.last_slot != slot.index:
+                        self.counters.counter(
+                            "faults.replacements"
+                        ).value += 1
+                    r.last_slot = None
             self._execute_batch(slot, batch)
         return self.report()
+
+    # -- fault machinery ---------------------------------------------------
+
+    def _advance_lifecycles(self, now: float) -> None:
+        """Advance every slot's health machine to ``max(now, clock)``
+        — a slot that has simulated up to its own clock has experienced
+        every event up to it."""
+        if self.config.faults is None:
+            return
+        for slot in self.fleet.slots:
+            made = slot.lifecycle.advance(max(now, slot.clock))
+            self._process_transitions(slot, made)
+
+    def _process_transitions(
+        self, slot: FleetSlot, made: list[Transition]
+    ) -> bool:
+        """Count injections, emit tracer instants and cold-restart
+        crashed slots; returns whether a CRASH was among them."""
+        crashed = False
+        for t in made:
+            if id(t.spec) not in self._injected:
+                self._injected.add(id(t.spec))
+                self.counters.counter("faults.injected").value += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "fault",
+                    track="service",
+                    vt=t.time,
+                    slot=slot.index,
+                    kind=t.spec.kind.value,
+                    before=t.before.value,
+                    after=t.after.value,
+                )
+            if t.spec.kind is FaultKind.CRASH and t.before is not t.after:
+                crashed = True
+                # The slot's (simulated) host process died: built
+                # kernels and MIN_TRANSFER warmth die with it.
+                slot.cold_restart()
+        return crashed
+
+    def _earliest_revival(self, now: float) -> float | None:
+        """Earliest virtual time any slot could admit again, or None."""
+        times = [
+            t
+            for s in self.fleet.slots
+            if (t := s.lifecycle.earliest_admit(now)) is not None
+        ]
+        return min(times) if times else None
+
+    def _shed_to_watermark(self, now: float) -> None:
+        """Graceful degradation: below the healthy-capacity watermark,
+        keep only ``shed_queue_per_gpu`` queued requests per admitting
+        GPU and shed the least-valuable excess."""
+        watermark = self.config.shed_watermark
+        if not watermark or self.config.faults is None:
+            return
+        admitting = self.fleet.admitting_gpus()
+        if admitting / self.fleet.total_gpus >= watermark:
+            return
+        allowed = self.config.shed_queue_per_gpu * max(1, admitting)
+        excess = len(self.queue) - allowed
+        if excess <= 0:
+            return
+        for victim in self.queue.evict_lowest(excess):
+            self._record_dropped(victim, now, RequestStatus.SHED)
+
+    def _record_dropped(
+        self, request: GraphRequest, now: float, status: RequestStatus
+    ) -> None:
+        """Terminal non-completed status for a request that never (or
+        never successfully) ran: SHED / TIMEOUT / FAILED."""
+        if status is RequestStatus.SHED:
+            self.counters.counter("faults.shed").value += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                status.value,
+                track="service",
+                vt=now,
+                tenant=request.tenant,
+                request=request.request_id,
+            )
+        self.results.append(
+            GraphResult(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                graph_name=request.graph.name,
+                outputs={},
+                arrival_time=request.arrival_time,
+                start_time=now,
+                finish_time=now,
+                device_index=-1,
+                batch_id=0,
+                batch_size=1,
+                replayed=False,
+                status=status,
+                attempts=request.attempts,
+            )
+        )
+
+    def _retry_or_fail(
+        self, request: GraphRequest, slot: FleetSlot, finish: float
+    ) -> None:
+        """A dispatch was lost to a fault: re-queue with exponential
+        backoff, or terminate FAILED once retries are exhausted."""
+        request.attempts += 1
+        request.last_slot = slot.index
+        if request.attempts > self.config.max_retries:
+            self._record_dropped(request, finish, RequestStatus.FAILED)
+            return
+        backoff = (
+            self.config.retry_backoff_us
+            * 1e-6
+            * (2 ** (request.attempts - 1))
+        )
+        request.not_before = finish + backoff
+        self.counters.counter("faults.retries").value += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "retry",
+                track="service",
+                vt=finish,
+                tenant=request.tenant,
+                request=request.request_id,
+                attempt=request.attempts,
+                not_before=request.not_before,
+                slot=slot.index,
+            )
+        self.queue.push(request)
 
     def report(self) -> ServiceReport:
         if not self.results:
@@ -383,12 +639,20 @@ class SchedulerService:
             else None
         )
 
-        # The slot idles until the last coalesced arrival: a batch
-        # cannot causally start before its members exist (the classic
-        # batching latency trade).
-        start_floor = max(r.arrival_time for r in batch)
+        # The slot idles until the last coalesced arrival (or retry
+        # backoff floor): a batch cannot causally start before its
+        # members exist (the classic batching latency trade).
+        start_floor = max(r.dispatch_floor for r in batch)
         if engine.clock < start_floor:
             engine.charge_host_time(start_floor - engine.clock)
+        faulted = self.config.faults is not None
+        # Degradation factor and transfer-fault draw are pinned at
+        # dispatch time; a mid-batch DEGRADE only affects later batches.
+        t0 = engine.clock
+        slowdown = slot.lifecycle.slowdown if faulted else 1.0
+        transfer_fault = faulted and slot.lifecycle.take_transfer_fault(
+            self._now
+        )
         engine.charge_host_time(self.config.dispatch_overhead_us * 1e-6)
 
         plan = self.cache.lookup(batch[0].graph, slot.shape_key)
@@ -410,14 +674,48 @@ class SchedulerService:
             # Replay bypasses the per-array CPU hooks, so drain before
             # the manual readbacks below.
             engine.sync_all()
-        for sub in submissions:
-            self._finalize(sub)
+        finalized = [
+            (sub, *self._read_outputs(sub)) for sub in submissions
+        ]
 
         engine.sync_all()
+        crashed = False
+        if faulted:
+            if slowdown > 1.0 and engine.clock > t0:
+                # A degraded slot stretches the whole batch span: the
+                # extra wall time lands after the fact, which keeps the
+                # in-batch schedule (and its numerics) untouched.
+                engine.charge_host_time(
+                    (engine.clock - t0) * (slowdown - 1.0)
+                )
+            finish = engine.clock
+            made = slot.lifecycle.advance(
+                max(finish, slot.lifecycle.now)
+            )
+            crashed = self._process_transitions(slot, made)
         self._reclaim_batch(slot, submissions)
-        slot.warm_topologies.add(batch[0].topology_key)
+        if crashed or transfer_fault:
+            # The batch's work is lost (crash) or its results never
+            # arrived (transient transfer fault): the simulated time it
+            # burned stays on the timeline, the outputs are discarded
+            # and every member re-queues with backoff (or fails).
+            finish = engine.clock
+            for sub in submissions:
+                self._retry_or_fail(sub.request, slot, finish)
+        else:
+            for sub, outputs, finish in finalized:
+                self._record_result(sub, outputs, finish)
+            slot.requests_served += len(submissions)
+            slot.warm_topologies.add(batch[0].topology_key)
         if span is not None:
-            span.annotate(replayed=plan is not None)
+            span.annotate(
+                replayed=plan is not None,
+                **(
+                    {"crashed": crashed, "transfer_fault": transfer_fault}
+                    if (crashed or transfer_fault)
+                    else {}
+                ),
+            )
             span.close()
 
     def _reclaim_batch(
@@ -446,7 +744,6 @@ class SchedulerService:
                 slot.engine.reclaim_streams(sub.coherence.take_owned_streams())
                 slot.counters.merge(sub.coherence.counters)
         slot.session.free_arrays()
-        slot.requests_served += len(submissions)
 
     # -- inference (context) path ---------------------------------------------
 
@@ -643,9 +940,13 @@ class SchedulerService:
 
     # -- completion -----------------------------------------------------------
 
-    def _finalize(self, sub: _Submission) -> None:
-        """Read the request's outputs (synchronizing just enough) and
-        record its result."""
+    def _read_outputs(
+        self, sub: _Submission
+    ) -> tuple[dict[str, np.ndarray], float]:
+        """Read the request's outputs (synchronizing just enough);
+        returns them with the virtual time they became readable.
+        Recording is a separate step — a mid-batch fault voids the
+        whole batch *after* its outputs were (wastefully) read."""
         engine = sub.slot.engine
         graph = sub.request.graph
         outputs: dict[str, np.ndarray] = {}
@@ -674,22 +975,41 @@ class SchedulerService:
                     if arr.materialized
                     else np.zeros(arr.shape, dtype=arr.dtype)
                 )
-        finish = engine.clock
+        return outputs, engine.clock
+
+    def _record_result(
+        self,
+        sub: _Submission,
+        outputs: dict[str, np.ndarray],
+        finish: float,
+    ) -> None:
+        request = sub.request
+        timed_out = (
+            request.deadline is not None and finish > request.deadline
+        )
         result = GraphResult(
-            request_id=sub.request.request_id,
-            tenant=sub.request.tenant,
-            graph_name=graph.name,
-            outputs=outputs,
-            arrival_time=sub.request.arrival_time,
+            request_id=request.request_id,
+            tenant=request.tenant,
+            graph_name=request.graph.name,
+            # A timed-out request's results were never delivered.
+            outputs={} if timed_out else outputs,
+            arrival_time=request.arrival_time,
             start_time=sub.start_time,
             finish_time=finish,
             device_index=sub.slot.index,
             batch_id=sub.batch_id,
             batch_size=sub.batch_size,
             replayed=sub.replayed,
+            status=(
+                RequestStatus.TIMEOUT
+                if timed_out
+                else RequestStatus.COMPLETED
+            ),
+            attempts=request.attempts + 1,
         )
         self.results.append(result)
-        self.tenants[sub.request.tenant].record_completion(result.latency)
+        if result.ok:
+            self.tenants[request.tenant].record_completion(result.latency)
 
     # -- per-tenant timeline isolation ------------------------------------------
 

@@ -1,0 +1,167 @@
+"""Direct tests for the engine/stream error paths.
+
+Every ``InvalidStateError``/``DeadlockError`` raise site in
+``gpusim.engine`` and ``gpusim.stream`` gets an explicit test here —
+these guards protect the serving layer's fault handling (a misused
+stream must fail loudly, not corrupt the virtual timeline).
+"""
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    InvalidStateError,
+    ReproError,
+    SimulationError,
+)
+from repro.gpusim import Device, GTX1660_SUPER, SimEngine
+from repro.gpusim.ops import KernelOp, KernelResourceRequest
+from repro.gpusim.stream import SimEvent
+
+
+def kernel(label="k"):
+    return KernelOp(
+        label=label,
+        resources=KernelResourceRequest(
+            flops=3.8e9,
+            fp64=False,
+            dram_bytes=0.0,
+            l2_bytes=0.0,
+            instructions=0.0,
+            threads_total=1 << 20,
+        ),
+    )
+
+
+@pytest.fixture
+def engine():
+    return SimEngine(Device(GTX1660_SUPER))
+
+
+class TestEngineErrorPaths:
+    def test_zero_devices_rejected(self):
+        with pytest.raises(InvalidStateError, match="at least one device"):
+            SimEngine([])
+
+    def test_create_stream_bad_device_index(self, engine):
+        with pytest.raises(InvalidStateError, match="out of range"):
+            engine.create_stream(device_index=1)
+        with pytest.raises(InvalidStateError, match="out of range"):
+            engine.create_stream(device_index=-1)
+
+    def test_reclaim_default_stream_rejected(self, engine):
+        with pytest.raises(InvalidStateError, match="default stream"):
+            engine.reclaim_stream(engine.default_stream)
+
+    def test_reclaim_foreign_stream_rejected(self, engine):
+        other = SimEngine(Device(GTX1660_SUPER))
+        foreign = other.create_stream(label="foreign")
+        with pytest.raises(InvalidStateError, match="does not belong"):
+            engine.reclaim_stream(foreign)
+
+    def test_reclaim_busy_stream_rejected(self, engine):
+        stream = engine.create_stream()
+        engine.submit(stream, kernel())
+        with pytest.raises(InvalidStateError, match="busy"):
+            engine.reclaim_stream(stream)
+        # Still registered and drainable after the failed reclaim.
+        engine.sync_all()
+        engine.reclaim_stream(stream)
+        assert stream not in engine.streams
+
+    def test_submit_to_foreign_stream_rejected(self, engine):
+        other = SimEngine(Device(GTX1660_SUPER))
+        foreign = other.create_stream(label="foreign")
+        with pytest.raises(InvalidStateError, match="foreign"):
+            engine.submit(foreign, kernel())
+
+    def test_submit_to_reclaimed_stream_rejected(self, engine):
+        stream = engine.create_stream(label="gone")
+        engine.reclaim_stream(stream)
+        # The id was removed from the registry, so the engine-level
+        # foreign-stream guard fires before the stream's destroyed flag.
+        with pytest.raises(InvalidStateError):
+            engine.submit(stream, kernel())
+
+    def test_sync_deadlocks_on_never_recorded_event(self, engine):
+        ghost = SimEvent(label="never-recorded")
+        stream = engine.create_stream()
+        engine.wait_event(stream, ghost)
+        engine.submit(stream, kernel())
+        with pytest.raises(DeadlockError, match="no operation can make"):
+            engine.sync_all()
+
+    def test_sync_stream_deadlocks_on_cyclic_wait(self, engine):
+        # s1 waits on an event only recorded after s2's wait on an event
+        # only recorded on s1: classic cross-stream cycle.
+        s1, s2 = engine.create_stream(), engine.create_stream()
+        ev1, ev2 = SimEvent(label="ev1"), SimEvent(label="ev2")
+        engine.wait_event(s1, ev2)
+        engine.record_event(s1, ev1)
+        engine.wait_event(s2, ev1)
+        engine.record_event(s2, ev2)
+        with pytest.raises(DeadlockError):
+            engine.sync_stream(s1)
+
+    def test_sync_event_deadlocks_on_unrecorded_event(self, engine):
+        ghost = SimEvent(label="ghost")
+        with pytest.raises(DeadlockError, match="ghost"):
+            engine.sync_event(ghost)
+
+
+class TestStreamErrorPaths:
+    def test_event_recorded_twice(self):
+        ev = SimEvent(label="once")
+        ev._record(1.0)
+        with pytest.raises(InvalidStateError, match="recorded twice"):
+            ev._record(2.0)
+
+    def test_submit_to_destroyed_stream(self, engine):
+        stream = engine.create_stream(label="dead")
+        stream.destroy()
+        with pytest.raises(InvalidStateError, match="destroyed"):
+            stream.submit(kernel())
+
+    def test_op_submitted_twice(self, engine):
+        op = kernel()
+        engine.submit(engine.default_stream, op)
+        with pytest.raises(InvalidStateError, match="already submitted"):
+            engine.submit(engine.default_stream, op)
+        engine.sync_all()
+
+    def test_begin_non_head_op(self, engine):
+        stream = engine.create_stream()
+        head, tail = kernel("head"), kernel("tail")
+        stream.submit(head)
+        stream.submit(tail)
+        with pytest.raises(InvalidStateError, match="head"):
+            stream.begin(tail)
+
+    def test_finish_op_not_running(self, engine):
+        stream = engine.create_stream()
+        op = kernel()
+        stream.submit(op)
+        with pytest.raises(InvalidStateError, match="not running"):
+            stream.finish(op)
+
+    def test_destroy_busy_stream(self, engine):
+        stream = engine.create_stream()
+        engine.submit(stream, kernel())
+        with pytest.raises(InvalidStateError, match="busy"):
+            stream.destroy()
+        engine.sync_all()
+        stream.destroy()
+        assert stream.destroyed
+
+
+class TestErrorHierarchy:
+    def test_simulation_errors_are_repro_errors(self):
+        assert issubclass(DeadlockError, SimulationError)
+        assert issubclass(InvalidStateError, SimulationError)
+        assert issubclass(SimulationError, ReproError)
+
+    def test_deadlock_catchable_as_base(self, engine):
+        ghost = SimEvent(label="ghost")
+        engine.wait_event(engine.default_stream, ghost)
+        with pytest.raises(ReproError):
+            engine.sync_all()

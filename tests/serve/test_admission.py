@@ -235,3 +235,77 @@ class TestEnumValues:
     )
     def test_cli_facing_values(self, policy, value):
         assert policy.value == value
+
+
+class TestEvictLowest:
+    """The graceful-degradation shed hook (service watermark shedding)."""
+
+    def _loaded(self, queue_cls):
+        q = queue_cls()
+        # Two priorities, staggered arrivals; ids increase with pushes.
+        q.push(request("a", priority=1, arrival=1.0))
+        q.push(request("b", priority=0, arrival=2.0))
+        q.push(request("a", priority=0, arrival=3.0))
+        q.push(request("b", priority=1, arrival=4.0))
+        return q
+
+    @pytest.mark.parametrize(
+        "queue_cls", [FifoQueue, PriorityQueue, FairShareQueue]
+    )
+    def test_sheds_lowest_priority_newest_first(self, queue_cls):
+        q = self._loaded(queue_cls)
+        victims = q.evict_lowest(2)
+        # Both priority-0 requests go, the newer one first.
+        assert [(v.priority, v.arrival_time) for v in victims] == [
+            (0, 3.0), (0, 2.0)
+        ]
+        assert len(q) == 2
+
+    @pytest.mark.parametrize(
+        "queue_cls", [FifoQueue, PriorityQueue, FairShareQueue]
+    )
+    def test_survivors_keep_relative_order(self, queue_cls):
+        q = self._loaded(queue_cls)
+        before = []
+        probe = self._loaded(queue_cls)
+        while (r := probe.pop()) is not None:
+            before.append((r.priority, r.arrival_time))
+        q.evict_lowest(2)
+        after = []
+        while (r := q.pop()) is not None:
+            after.append((r.priority, r.arrival_time))
+        survivors = [x for x in before if x[0] != 0]
+        assert after == survivors
+
+    def test_eviction_not_charged_to_admission(self):
+        q = FairShareQueue()
+        q.push(request("a", arrival=1.0))
+        q.push(request("a", arrival=2.0))
+        q.pop()  # one genuine admission
+        assert q.admitted_counts["a"] == 1
+        victims = q.evict_lowest(5)
+        assert len(victims) == 1
+        assert q.admitted_counts["a"] == 1
+
+    def test_zero_or_negative_count_is_noop(self):
+        q = self._loaded(FifoQueue)
+        assert q.evict_lowest(0) == []
+        assert q.evict_lowest(-3) == []
+        assert len(q) == 4
+
+    def test_count_beyond_queue_drains_it(self):
+        q = self._loaded(PriorityQueue)
+        victims = q.evict_lowest(99)
+        assert len(victims) == 4
+        assert len(q) == 0
+        assert q.pop() is None
+
+    def test_request_id_breaks_arrival_ties(self):
+        q = FifoQueue()
+        first = request("a", priority=0, arrival=1.0)
+        second = request("a", priority=0, arrival=1.0)
+        q.push(first)
+        q.push(second)
+        victims = q.evict_lowest(1)
+        # Same priority and arrival: the later submission sheds first.
+        assert victims[0].request_id == second.request_id
