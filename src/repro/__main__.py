@@ -8,6 +8,8 @@ Usage::
     python -m repro all --scales 1
     python -m repro serve-bench --tenants 4 --requests 100 \
         --fleet-size 2 --admission fair-share --placement least-loaded
+    python -m repro serve-bench --cluster "2,1|2" --cluster-policy \
+        spread --validate --serve-out BENCH_cluster.json
     python -m repro movement-bench --gpu "GTX 1660 Super" \
         --iterations 4 --fleet-gpus 2
     python -m repro trace serve-bench --trace-out trace.json
@@ -247,6 +249,45 @@ def build_parser() -> argparse.ArgumentParser:
         " serving run: every scenario twice (bit-identical reports"
         " asserted), completed requests validated against serial",
     )
+    cluster = parser.add_argument_group(
+        "cluster options",
+        "multi-node serving: serve-bench with --cluster runs the"
+        " cluster benchmark (global admission, node placement, priced"
+        " host-to-host staging/readback)",
+    )
+    cluster.add_argument(
+        "--cluster",
+        default=None,
+        metavar="SPEC",
+        help="cluster topology as |-separated per-node fleet specs,"
+        " e.g. '2,2,1,1|4|2,2' (turns serve-bench into the cluster"
+        " benchmark; --faults takes node= scope, e.g."
+        " 'crash:node=1,at=2e-3')",
+    )
+    cluster.add_argument(
+        "--cluster-policy",
+        choices=["bin-pack", "spread", "affinity"],
+        default="spread",
+        help="node-placement policy (default spread)",
+    )
+    cluster.add_argument(
+        "--interconnect",
+        choices=[
+            "ethernet-10g", "ethernet-100g", "infiniband-hdr",
+            "loopback",
+        ],
+        default="ethernet-100g",
+        help="host-to-host link model pricing cross-node staging and"
+        " readback (default ethernet-100g)",
+    )
+    cluster.add_argument(
+        "--cluster-runs",
+        type=_positive_int,
+        default=2,
+        metavar="N",
+        help="replays per cluster benchmark; fingerprints must match"
+        " across all of them (default 2)",
+    )
     movement = parser.add_argument_group(
         "movement-bench options",
         "only used by the movement-bench experiment",
@@ -327,6 +368,33 @@ def run_experiment(name: str, args: argparse.Namespace) -> None:
             gpu=args.gpu, out_path=args.bench_out, trace_out=trace_out
         )
     if name == "serve-bench":
+        if args.cluster:
+            from repro.harness.cluster import cluster_bench
+
+            cluster_bench(
+                cluster=args.cluster,
+                tenants=args.tenants,
+                requests=args.requests,
+                policy=args.cluster_policy,
+                interconnect=args.interconnect,
+                admission=args.admission,
+                placement=args.placement,
+                gpu=args.gpu,
+                traffic=args.traffic,
+                faults=args.faults,
+                fault_seed=args.fault_seed,
+                deadline_us=args.deadline_us,
+                runs=args.cluster_runs,
+                validate=args.validate,
+                render=True,
+                bench_out=args.serve_out,
+                trace=tracing,
+                # Bare --trace falls through to the cluster benchmark's
+                # own default artifact (TRACE_cluster.json), not
+                # serve-bench's.
+                trace_out=getattr(args, "trace_out", None),
+            )
+            return
         if args.chaos_grid:
             from repro.harness.serving import chaos_grid
 

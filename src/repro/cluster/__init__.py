@@ -1,0 +1,39 @@
+"""Multi-node serving: a cluster of fleets over a simulated network.
+
+The top layer of the stack — cluster → node → fleet → slot/Session →
+engine.  See :mod:`repro.cluster.cluster` for the serving loop,
+:mod:`repro.cluster.network` for the host-to-host link model and
+:mod:`repro.cluster.scheduler` for the node-placement policies.
+"""
+
+from repro.cluster.cluster import (
+    Cluster,
+    ClusterConfig,
+    ClusterNode,
+    ClusterReport,
+    parse_cluster_spec,
+)
+from repro.cluster.network import (
+    INTERCONNECTS,
+    ClusterNetwork,
+    LinkSpec,
+    resolve_interconnect,
+)
+from repro.cluster.scheduler import (
+    ClusterPlacementPolicy,
+    ClusterScheduler,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ClusterNetwork",
+    "ClusterNode",
+    "ClusterPlacementPolicy",
+    "ClusterReport",
+    "ClusterScheduler",
+    "INTERCONNECTS",
+    "LinkSpec",
+    "parse_cluster_spec",
+    "resolve_interconnect",
+]

@@ -59,10 +59,15 @@ class PolyglotError(ReproError):
     """Raised when a polyglot DSL expression cannot be evaluated."""
 
 
-class ConfigError(ReproError):
+class ConfigError(ReproError, ValueError):
     """Raised when a :class:`~repro.core.policies.SchedulerConfig` (or a
     session built from one) is inconsistent — e.g. a non-positive GPU
-    count, or serving-only knobs on a plain compute session."""
+    count, a malformed fleet/cluster topology spec, or serving-only
+    knobs on a plain compute session.
+
+    Also a :class:`ValueError`: config mistakes are value mistakes, and
+    callers that guarded spec parsing with ``except ValueError`` keep
+    working as parse sites migrate to this type."""
 
 
 class FaultError(ReproError):

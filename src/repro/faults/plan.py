@@ -46,7 +46,15 @@ class FaultKind(enum.Enum):
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """One injected event: ``kind`` strikes ``slot`` at virtual ``at``."""
+    """One injected event: ``kind`` strikes ``slot`` at virtual ``at``.
+
+    Since the cluster layer, a spec may instead be **node-scoped**:
+    ``node=N`` (with ``slot=-1``, the unscoped sentinel) targets a whole
+    :class:`~repro.cluster.ClusterNode` — every slot of that node's
+    fleet plus the node's own admission lifecycle.  A spec is exactly
+    one of the two scopes; :meth:`for_node` builds node specs without
+    spelling the sentinel.
+    """
 
     kind: FaultKind
     slot: int
@@ -56,10 +64,25 @@ class FaultSpec:
     factor: float = 1.0
     #: RESTART only: warm-up delay before the slot admits again
     warmup: float = 0.0
+    #: cluster-node index this spec targets (None = slot-scoped)
+    node: int | None = None
 
     def __post_init__(self) -> None:
-        if self.slot < 0:
-            raise ValueError(f"fault slot must be >= 0, got {self.slot}")
+        if self.node is None:
+            if self.slot < 0:
+                raise ValueError(
+                    f"fault slot must be >= 0, got {self.slot}"
+                )
+        else:
+            if self.node < 0:
+                raise ValueError(
+                    f"fault node must be >= 0, got {self.node}"
+                )
+            if self.slot != -1:
+                raise ValueError(
+                    "a fault spec targets either a slot or a node, not"
+                    f" both (slot={self.slot}, node={self.node})"
+                )
         if self.at < 0:
             raise ValueError(f"fault time must be >= 0, got {self.at}")
         if self.kind is FaultKind.DEGRADE and self.factor < 1.0:
@@ -69,13 +92,35 @@ class FaultSpec:
         if self.warmup < 0:
             raise ValueError(f"warmup must be >= 0, got {self.warmup}")
 
+    @classmethod
+    def for_node(
+        cls,
+        kind: FaultKind,
+        node: int,
+        at: float,
+        factor: float = 1.0,
+        warmup: float = 0.0,
+    ) -> "FaultSpec":
+        """A node-scoped spec: ``kind`` strikes cluster node ``node``."""
+        return cls(
+            kind, -1, at, factor=factor, warmup=warmup, node=node
+        )
+
+    @property
+    def node_scoped(self) -> bool:
+        return self.node is not None
+
     def describe(self) -> str:
         extra = ""
         if self.kind is FaultKind.DEGRADE:
             extra = f",factor={self.factor:g}"
         elif self.kind is FaultKind.RESTART and self.warmup:
             extra = f",warmup={self.warmup:g}"
-        return f"{self.kind.value}:slot={self.slot},at={self.at:g}{extra}"
+        target = (
+            f"node={self.node}" if self.node is not None
+            else f"slot={self.slot}"
+        )
+        return f"{self.kind.value}:{target},at={self.at:g}{extra}"
 
 
 @dataclass(frozen=True)
@@ -104,11 +149,34 @@ class FaultPlan:
 
     def for_slot(self, slot: int) -> tuple[FaultSpec, ...]:
         """The slot's own event sequence, time-sorted."""
-        return tuple(s for s in self.specs if s.slot == slot)
+        return tuple(
+            s for s in self.specs if s.node is None and s.slot == slot
+        )
+
+    def for_node(self, node: int) -> tuple[FaultSpec, ...]:
+        """The cluster node's own event sequence, time-sorted."""
+        return tuple(s for s in self.specs if s.node == node)
+
+    def slot_scoped(self) -> tuple[FaultSpec, ...]:
+        """Every slot-scoped spec of the plan, time-sorted."""
+        return tuple(s for s in self.specs if s.node is None)
+
+    def node_scoped(self) -> tuple[FaultSpec, ...]:
+        """Every node-scoped spec of the plan, time-sorted."""
+        return tuple(s for s in self.specs if s.node is not None)
 
     def max_slot(self) -> int:
         """Largest slot index any spec targets (-1 for an empty plan)."""
-        return max((s.slot for s in self.specs), default=-1)
+        return max(
+            (s.slot for s in self.specs if s.node is None), default=-1
+        )
+
+    def max_node(self) -> int:
+        """Largest node index any spec targets (-1 when none do)."""
+        return max(
+            (s.node for s in self.specs if s.node is not None),
+            default=-1,
+        )
 
     def describe(self) -> str:
         """Round-trippable DSL form (see :meth:`parse`)."""
@@ -119,8 +187,10 @@ class FaultPlan:
     @classmethod
     def parse(cls, text: str) -> "FaultPlan":
         """Parse the inline DSL: ``kind:key=value,...`` events separated
-        by ``;``.  Keys: ``slot`` (int, required), ``at`` (float,
-        required), ``factor`` (DEGRADE), ``warmup`` (RESTART)."""
+        by ``;``.  Keys: exactly one of ``slot`` / ``node`` (int,
+        required — ``node=`` makes the spec node-scoped for the cluster
+        layer), ``at`` (float, required), ``factor`` (DEGRADE),
+        ``warmup`` (RESTART)."""
         specs: list[FaultSpec] = []
         for chunk in text.split(";"):
             chunk = chunk.strip()
@@ -151,22 +221,31 @@ class FaultPlan:
                         f"fault spec field {pair!r} has a non-numeric"
                         " value"
                     ) from None
-            unknown = set(fields) - {"slot", "at", "factor", "warmup"}
+            unknown = set(fields) - {
+                "slot", "node", "at", "factor", "warmup",
+            }
             if unknown:
                 raise ValueError(
                     f"unknown fault spec fields {sorted(unknown)}"
                 )
-            if "slot" not in fields or "at" not in fields:
+            if ("slot" in fields) == ("node" in fields):
                 raise ValueError(
-                    f"fault spec {chunk!r} needs slot= and at="
+                    f"fault spec {chunk!r} needs exactly one of slot="
+                    " / node="
                 )
+            if "at" not in fields:
+                raise ValueError(f"fault spec {chunk!r} needs at=")
+            node = (
+                int(fields["node"]) if "node" in fields else None
+            )
             specs.append(
                 FaultSpec(
                     kind=kind,
-                    slot=int(fields["slot"]),
+                    slot=int(fields["slot"]) if node is None else -1,
                     at=fields["at"],
                     factor=fields.get("factor", 1.0),
                     warmup=fields.get("warmup", 0.0),
+                    node=node,
                 )
             )
         return cls(specs=tuple(specs))
@@ -228,6 +307,67 @@ class FaultPlan:
                     FaultSpec(
                         FaultKind.RESTART,
                         slot,
+                        at + delay,
+                        warmup=rng.uniform(0.0, 0.05) * horizon,
+                    )
+                )
+        return cls(specs=tuple(specs), seed=seed)
+
+    @classmethod
+    def random_nodes(
+        cls,
+        seed: int,
+        nodes: int,
+        horizon: float,
+        events: int | None = None,
+        allow_total_blackout: bool = True,
+    ) -> "FaultPlan":
+        """A seeded node-scoped chaos scenario for the cluster layer.
+
+        The node-level twin of :meth:`random`: a pure function of its
+        arguments that emits ``node=``-scoped specs over ``nodes``
+        cluster nodes.  Crashes and drains are followed by a restart
+        with probability 1/2; ``allow_total_blackout=False`` never
+        crashes or drains node 0, guaranteeing a surviving node.
+        """
+        if nodes <= 0:
+            raise ValueError("a node fault plan needs >= 1 node")
+        if horizon <= 0:
+            raise ValueError("fault horizon must be positive")
+        rng = random.Random(seed)
+        count = events if events is not None else rng.randint(
+            1, max(1, 2 * nodes)
+        )
+        window = horizon * 0.8
+        specs: list[FaultSpec] = []
+        for _ in range(count):
+            kind = rng.choice(
+                [
+                    FaultKind.CRASH,
+                    FaultKind.DRAIN,
+                    FaultKind.DEGRADE,
+                    FaultKind.TRANSFER_FAULT,
+                ]
+            )
+            lo = 0 if allow_total_blackout else min(1, nodes - 1)
+            node = rng.randrange(lo, nodes) if nodes > lo else 0
+            at = rng.uniform(0.0, window)
+            if kind is FaultKind.DEGRADE:
+                specs.append(
+                    FaultSpec.for_node(
+                        kind, node, at, factor=rng.uniform(1.5, 4.0)
+                    )
+                )
+                continue
+            specs.append(FaultSpec.for_node(kind, node, at))
+            if kind in (FaultKind.CRASH, FaultKind.DRAIN) and (
+                rng.random() < 0.5
+            ):
+                delay = rng.uniform(0.05, 0.3) * horizon
+                specs.append(
+                    FaultSpec.for_node(
+                        FaultKind.RESTART,
+                        node,
                         at + delay,
                         warmup=rng.uniform(0.0, 0.05) * horizon,
                     )

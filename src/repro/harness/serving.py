@@ -17,7 +17,6 @@ placement policy while the service-level policy picks slots.
 
 from __future__ import annotations
 
-import hashlib
 import json
 
 import numpy as np
@@ -105,45 +104,18 @@ def report_summary(report: ServiceReport) -> dict:
         "engine_heap_stale_drops": report.counters.get(
             "engine.heap_stale_drops", 0
         ),
+        # The canonical replay-determinism digest: CI reads this one
+        # field instead of recomputing digests ad hoc.
+        "fingerprint": report.fingerprint(),
         "counters": dict(report.counters),
     }
 
 
 def report_fingerprint(report: ServiceReport) -> str:
-    """A deterministic digest of everything a serving run produced.
-
-    Covers every result's identity, terminal status, exact virtual
-    times (via ``float.hex`` — no formatting loss), output array bytes
-    and the full counter snapshot: two runs fingerprint equal iff their
-    reports are bit-identical.  The chaos grid runs every scenario
-    twice and compares these.
-    """
-    h = hashlib.sha256()
-    for r in sorted(report.results, key=lambda r: r.request_id):
-        h.update(
-            "|".join(
-                (
-                    str(r.request_id),
-                    r.tenant,
-                    r.graph_name,
-                    r.status.value,
-                    str(r.attempts),
-                    str(r.device_index),
-                    str(r.batch_id),
-                    str(r.batch_size),
-                    str(r.replayed),
-                    r.arrival_time.hex(),
-                    r.start_time.hex(),
-                    r.finish_time.hex(),
-                )
-            ).encode()
-        )
-        for name in sorted(r.outputs):
-            h.update(name.encode())
-            h.update(r.outputs[name].tobytes())
-    for name, value in sorted(report.counters.items()):
-        h.update(f"{name}={value}".encode())
-    return h.hexdigest()
+    """Deprecated alias for :meth:`ServiceReport.fingerprint` (the
+    digest moved into :mod:`repro.serve.service` so serving, chaos and
+    cluster checks share one canonical implementation)."""
+    return report.fingerprint()
 
 
 def serve_bench(
@@ -421,7 +393,7 @@ def chaos_grid(
                 render=False,
             )
             runs.append(report)
-        fingerprints = [report_fingerprint(r) for r in runs]
+        fingerprints = [r.fingerprint() for r in runs]
         if fingerprints[0] != fingerprints[1]:
             raise AssertionError(
                 f"chaos scenario {name!r} is not deterministic:"

@@ -80,6 +80,18 @@ class CaptureCache:
     def __len__(self) -> int:
         return len(self._plans)
 
+    def peek(
+        self, graph: TaskGraph, shape_key: tuple | None = None
+    ) -> bool:
+        """Whether a plan is already cached for ``graph`` on a slot of
+        ``shape_key`` — no counter effect, no plan derivation.  The
+        cluster AFFINITY policy asks this about *other* nodes' caches;
+        only a real dispatch may move the hit/miss tallies."""
+        return (
+            self.enabled
+            and (graph.topology_key(), shape_key) in self._plans
+        )
+
     def lookup(
         self, graph: TaskGraph, shape_key: tuple | None = None
     ) -> CapturePlan | None:

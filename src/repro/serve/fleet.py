@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.policies import DevicePlacementPolicy, SchedulerConfig
+from repro.errors import ConfigError
 from repro.faults import FaultPlan, SlotHealth, SlotLifecycle
 from repro.gpusim.specs import GPUSpec, gpu_by_name
 from repro.gpusim.stream import SimStream
@@ -51,20 +52,34 @@ SlotSpec = "int | str | GPUSpec | Sequence[str | GPUSpec] | tuple"
 def parse_fleet_spec(text: str) -> list[int]:
     """Parse a CLI fleet spec like ``"2,2,1,1"`` into GPUs-per-slot.
 
-    Raises :class:`ValueError` on empty specs or non-positive counts.
+    Raises :class:`~repro.errors.ConfigError` (a :class:`ValueError`)
+    on empty specs or non-positive counts.
     """
     try:
         counts = [int(part) for part in text.split(",") if part.strip()]
     except ValueError:
-        raise ValueError(
+        raise ConfigError(
             f"fleet spec {text!r} must be comma-separated integers"
             " (GPUs per slot), e.g. '2,2,1,1'"
         ) from None
     if not counts or any(c <= 0 for c in counts):
-        raise ValueError(
+        raise ConfigError(
             f"fleet spec {text!r} needs at least one positive GPU count"
         )
     return counts
+
+
+def _resolve_gpu(model: str | GPUSpec) -> GPUSpec:
+    """A GPU name or spec -> spec; unknown names are a config mistake,
+    not a lookup surprise."""
+    if isinstance(model, GPUSpec):
+        return model
+    try:
+        return gpu_by_name(model)
+    except KeyError:
+        raise ConfigError(
+            f"unknown GPU model {model!r} in slot spec"
+        ) from None
 
 
 def normalize_slot_spec(
@@ -74,21 +89,17 @@ def normalize_slot_spec(
 
     Accepted forms: an ``int`` (that many ``default_gpu`` s), a GPU name
     or :class:`GPUSpec` (a 1-GPU slot), a ``(count, model)`` pair, or a
-    sequence of names/specs (a heterogeneous slot).
+    sequence of names/specs (a heterogeneous slot).  Malformed entries
+    raise :class:`~repro.errors.ConfigError` (a :class:`ValueError`).
     """
     if isinstance(entry, bool):
-        raise ValueError("a slot spec cannot be a bool")
+        raise ConfigError("a slot spec cannot be a bool")
     if isinstance(entry, int):
         if entry <= 0:
-            raise ValueError(f"a slot needs >= 1 GPU, got {entry}")
-        model = (
-            gpu_by_name(default_gpu)
-            if isinstance(default_gpu, str)
-            else default_gpu
-        )
-        return [model] * entry
+            raise ConfigError(f"a slot needs >= 1 GPU, got {entry}")
+        return [_resolve_gpu(default_gpu)] * entry
     if isinstance(entry, (str, GPUSpec)):
-        return [gpu_by_name(entry) if isinstance(entry, str) else entry]
+        return [_resolve_gpu(entry)]
     entries = list(entry)
     if (
         len(entries) == 2
@@ -97,21 +108,18 @@ def normalize_slot_spec(
     ):
         count, model = entries
         if count <= 0:
-            raise ValueError(f"a slot needs >= 1 GPU, got {count}")
-        spec = gpu_by_name(model) if isinstance(model, str) else model
-        return [spec] * count
+            raise ConfigError(f"a slot needs >= 1 GPU, got {count}")
+        return [_resolve_gpu(model)] * count
     if not entries:
-        raise ValueError("a slot spec cannot be empty")
+        raise ConfigError("a slot spec cannot be empty")
     for e in entries:
         if not isinstance(e, (str, GPUSpec)):
-            raise ValueError(
+            raise ConfigError(
                 "a heterogeneous slot spec must list GPU names or"
                 f" specs, got {e!r} — use an int (or a (count, model)"
                 " pair) per slot for GPU counts"
             )
-    return [
-        gpu_by_name(e) if isinstance(e, str) else e for e in entries
-    ]
+    return [_resolve_gpu(e) for e in entries]
 
 
 class FleetSlot:
@@ -285,14 +293,21 @@ class GpuFleet:
     def attach_faults(self, plan: FaultPlan) -> None:
         """Arm each slot's lifecycle with its share of ``plan``.
 
-        Specs targeting slot indexes outside the fleet are rejected —
-        a silently ignored fault would make a chaos run vacuously green.
+        Specs targeting slot indexes outside the fleet — or whole
+        cluster nodes, which only a :class:`~repro.cluster.Cluster` can
+        honour — are rejected: a silently ignored fault would make a
+        chaos run vacuously green.
         """
         top = plan.max_slot()
         if top >= len(self.slots):
             raise ValueError(
                 f"fault plan targets slot {top} but the fleet has only"
                 f" {len(self.slots)} slot(s)"
+            )
+        if plan.node_scoped():
+            raise ValueError(
+                "fault plan contains node-scoped specs; attach it to a"
+                " Cluster, not a single fleet"
             )
         for slot in self.slots:
             slot.lifecycle = SlotLifecycle(

@@ -194,6 +194,21 @@ class TaskGraph:
         """UM footprint of the graph (the Table-I quantity)."""
         return sum(a.nbytes for a in self.arrays.values())
 
+    @property
+    def input_bytes(self) -> int:
+        """Host input data staged in before the first launch — the
+        bytes a cross-node placement must move over the cluster
+        network before the graph can start."""
+        return sum(
+            a.nbytes for a in self.arrays.values() if a.init is not None
+        )
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes read back to the submitting host when the graph
+        completes (the cluster-network return leg)."""
+        return sum(self.arrays[name].nbytes for name in self.outputs)
+
     def topology_key(self) -> tuple:
         """Hashable structural identity of the graph.
 
@@ -274,6 +289,9 @@ class GraphResult:
     status: RequestStatus = RequestStatus.COMPLETED
     #: dispatch attempts the request consumed (> 1 means fault retries)
     attempts: int = 1
+    #: cluster node that served the request (-1 = single-node serving,
+    #: or the request never reached a node)
+    node_index: int = -1
 
     @property
     def ok(self) -> bool:

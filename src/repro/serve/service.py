@@ -43,6 +43,7 @@ on a private serial runtime
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 
@@ -159,6 +160,48 @@ class ServeConfig:
         return self.batch_window > 0 and self.batch_max > 1
 
 
+def fingerprint_results(
+    results: list[GraphResult], counters: dict
+) -> str:
+    """A deterministic digest of everything a serving run produced.
+
+    Covers every result's identity, terminal status, exact virtual
+    times (via ``float.hex`` — no formatting loss), placement (device,
+    batch and — since the cluster layer — node), output array bytes and
+    the full counter snapshot: two runs fingerprint equal iff their
+    reports are bit-identical.  This is the canonical determinism
+    check: serve-bench summaries carry it, the chaos grid and the
+    cluster harness compare it between replays.
+    """
+    h = hashlib.sha256()
+    for r in sorted(results, key=lambda r: r.request_id):
+        h.update(
+            "|".join(
+                (
+                    str(r.request_id),
+                    r.tenant,
+                    r.graph_name,
+                    r.status.value,
+                    str(r.attempts),
+                    str(r.device_index),
+                    str(r.node_index),
+                    str(r.batch_id),
+                    str(r.batch_size),
+                    str(r.replayed),
+                    r.arrival_time.hex(),
+                    r.start_time.hex(),
+                    r.finish_time.hex(),
+                )
+            ).encode()
+        )
+        for name in sorted(r.outputs):
+            h.update(name.encode())
+            h.update(r.outputs[name].tobytes())
+    for name, value in sorted(counters.items()):
+        h.update(f"{name}={value}".encode())
+    return h.hexdigest()
+
+
 @dataclass
 class ServiceReport:
     """Everything a serving run produced."""
@@ -172,6 +215,11 @@ class ServiceReport:
     #: (admission, batching, capture cache), ``engine.*`` (summed over
     #: slots) and ``coherence.*`` (summed over every retired request)
     counters: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Canonical replay-determinism digest of this report (see
+        :func:`fingerprint_results`)."""
+        return fingerprint_results(self.results, self.counters)
 
     def render(self) -> str:
         """ASCII summary (the ``serve-bench`` CLI output)."""
@@ -363,6 +411,20 @@ class SchedulerService:
             arrival_time=arrival_time,
             deadline=deadline,
         )
+        return self.enqueue(request)
+
+    def enqueue(self, request: GraphRequest) -> int:
+        """Queue an already-built :class:`GraphRequest`.
+
+        The cluster layer admits once globally and hands whole request
+        objects to the chosen node's service — attempts, backoff floor
+        and deadline travel with the request across nodes.
+        """
+        state = self.tenants.get(request.tenant)
+        if state is None:
+            state = self.register_tenant(
+                request.tenant, priority=request.priority
+            )
         state.submitted += 1
         self.queue.push(request)
         self._c_admitted.value += 1
@@ -371,8 +433,8 @@ class SchedulerService:
             self.tracer.instant(
                 "admit",
                 track="service",
-                vt=arrival_time,
-                tenant=tenant,
+                vt=request.arrival_time,
+                tenant=request.tenant,
                 request=request.request_id,
                 priority=request.priority,
                 queue_depth=len(self.queue),
@@ -382,7 +444,14 @@ class SchedulerService:
     # -- the serving loop ---------------------------------------------------
 
     def run(self) -> ServiceReport:
-        """Drain the admission queue, then summarize the run.
+        """Drain the admission queue, then summarize the run."""
+        self.drain()
+        return self.report()
+
+    def drain(self) -> None:
+        """Serve until the admission queue is empty (no report built —
+        the cluster layer drains each node per placement round and
+        reports once at the end).
 
         Every popped request reaches a terminal status — COMPLETED,
         SHED, TIMEOUT or FAILED — even under total fleet loss: when no
@@ -445,7 +514,6 @@ class SchedulerService:
                         ).value += 1
                     r.last_slot = None
             self._execute_batch(slot, batch)
-        return self.report()
 
     # -- fault machinery ---------------------------------------------------
 

@@ -1,0 +1,89 @@
+"""Host-to-host network model: pricing, serialization, counters."""
+
+import pytest
+
+from repro.cluster.network import (
+    INTERCONNECTS,
+    ClusterNetwork,
+    LinkSpec,
+    resolve_interconnect,
+)
+from repro.errors import ConfigError
+
+
+class TestLinkSpec:
+    def test_presets_resolve_by_name(self):
+        for name, spec in INTERCONNECTS.items():
+            assert resolve_interconnect(name) is spec
+            assert resolve_interconnect(spec) is spec
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_interconnect("carrier-pigeon")
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ConfigError):
+            LinkSpec("bad", 0.0, 1e-6)
+        with pytest.raises(ConfigError):
+            LinkSpec("bad", 1.0, -1e-6)
+
+    def test_serialize_time(self):
+        link = LinkSpec("test", 10.0, 0.0)  # 10 GB/s
+        assert link.serialize_time(10_000_000_000) == pytest.approx(1.0)
+        assert INTERCONNECTS["loopback"].serialize_time(1 << 30) == 0.0
+
+
+class TestClusterNetwork:
+    def test_transfer_pays_latency_plus_wire_time(self):
+        net = ClusterNetwork(LinkSpec("test", 1.0, 1e-3))  # 1 GB/s
+        done = net.transfer(0, 1_000_000, now=0.0)
+        assert done == pytest.approx(1e-3 + 1e-3)
+
+    def test_same_link_direction_serializes(self):
+        net = ClusterNetwork(LinkSpec("test", 1.0, 0.0))
+        first = net.transfer(0, 1_000_000, now=0.0)
+        second = net.transfer(0, 1_000_000, now=0.0)
+        assert second == pytest.approx(first + 1e-3)
+
+    def test_different_nodes_and_directions_overlap(self):
+        net = ClusterNetwork(LinkSpec("test", 1.0, 0.0))
+        a = net.transfer(0, 1_000_000, now=0.0, direction="in")
+        b = net.transfer(1, 1_000_000, now=0.0, direction="in")
+        c = net.transfer(0, 1_000_000, now=0.0, direction="out")
+        assert a == pytest.approx(b)
+        assert a == pytest.approx(c)
+
+    def test_latency_pipelines_behind_wire_time(self):
+        # The link half is occupied for the wire time only: back-to-back
+        # transfers pipeline behind the latency, they don't re-pay it
+        # serially.
+        net = ClusterNetwork(LinkSpec("test", 1.0, 5e-3))
+        first = net.transfer(0, 1_000_000, now=0.0)
+        second = net.transfer(0, 1_000_000, now=0.0)
+        assert first == pytest.approx(5e-3 + 1e-3)
+        assert second == pytest.approx(5e-3 + 2e-3)
+
+    def test_zero_bytes_still_pays_latency(self):
+        net = ClusterNetwork(LinkSpec("test", 1.0, 1e-3))
+        assert net.transfer(0, 0, now=0.0) == pytest.approx(1e-3)
+
+    def test_negative_bytes_rejected(self):
+        net = ClusterNetwork("loopback")
+        with pytest.raises(ValueError):
+            net.transfer(0, -1, now=0.0)
+
+    def test_counters_split_by_direction(self):
+        net = ClusterNetwork("ethernet-100g")
+        net.transfer(0, 100, now=0.0, direction="in")
+        net.transfer(0, 40, now=0.0, direction="out")
+        snap = net.counters.snapshot()
+        assert snap["cluster.net_bytes"] == 140
+        assert snap["cluster.net_ops"] == 2
+        assert snap["cluster.net_stage_bytes"] == 100
+        assert snap["cluster.net_readback_bytes"] == 40
+
+    def test_transfers_never_start_before_now(self):
+        net = ClusterNetwork(LinkSpec("test", 1.0, 0.0))
+        net.transfer(0, 1_000_000, now=0.0)
+        late = net.transfer(0, 1_000_000, now=10.0)
+        assert late == pytest.approx(10.0 + 1e-3)

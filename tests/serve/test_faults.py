@@ -112,6 +112,69 @@ class TestFaultPlan:
             assert plan.max_slot() <= 2
 
 
+class TestNodeScopedPlans:
+    """``node=`` scope (cluster faults) in the same DSL."""
+
+    def test_parse_describe_round_trip(self):
+        text = (
+            "crash:node=1,at=0.002;restart:node=1,at=0.004,warmup=0.0005;"
+            "drain:node=0,at=0.001;crash:slot=2,at=0.003"
+        )
+        plan = FaultPlan.parse(text)
+        assert FaultPlan.parse(plan.describe()) == plan
+        assert "node=1" in plan.describe()
+
+    def test_scope_split_and_filters(self):
+        plan = FaultPlan.parse(
+            "crash:node=0,at=1e-3;crash:node=1,at=2e-3;"
+            "drain:node=0,at=3e-3;crash:slot=1,at=4e-3"
+        )
+        assert [s.kind for s in plan.for_node(0)] == [
+            FaultKind.CRASH,
+            FaultKind.DRAIN,
+        ]
+        assert len(plan.node_scoped()) == 3
+        assert len(plan.slot_scoped()) == 1
+        assert plan.max_node() == 1
+        assert FaultPlan().max_node() == -1
+        # for_slot must not see node-scoped specs.
+        assert [s.at for s in plan.for_slot(1)] == [4e-3]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "crash:node=0,slot=1,at=1e-3",  # both scopes
+            "crash:at=1e-3",                # neither scope
+            "crash:node=minus,at=1e-3",     # non-numeric node
+        ],
+    )
+    def test_parse_rejects_bad_scopes(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse(bad)
+
+    def test_spec_cannot_carry_both_scopes(self):
+        with pytest.raises(ValueError):
+            FaultSpec(FaultKind.CRASH, 0, 1e-3, node=1)
+        spec = FaultSpec.for_node(FaultKind.CRASH, 1, 1e-3)
+        assert spec.node_scoped
+        assert spec.node == 1
+
+    def test_random_nodes_is_pure_function_of_seed(self):
+        a = FaultPlan.random_nodes(42, nodes=2, horizon=10e-3)
+        b = FaultPlan.random_nodes(42, nodes=2, horizon=10e-3)
+        c = FaultPlan.random_nodes(43, nodes=2, horizon=10e-3)
+        assert a == b
+        assert a.seed == 42
+        assert a != c
+        assert all(s.node_scoped for s in a)
+
+    def test_random_nodes_respects_node_bound(self):
+        for seed in range(20):
+            plan = FaultPlan.random_nodes(seed, nodes=2, horizon=5e-3)
+            assert plan.max_node() <= 1
+            assert plan.max_slot() == -1
+
+
 # -- the slot state machine ------------------------------------------------
 
 

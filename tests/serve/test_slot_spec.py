@@ -1,0 +1,92 @@
+"""Slot/fleet spec validation: every malformed spec is a ConfigError.
+
+Satellite coverage for :func:`normalize_slot_spec` edge cases — the
+function sits on both the CLI path (``--fleet``/``--cluster``) and the
+programmatic ``GpuFleet([...])`` path, so misconfiguration must fail
+with :class:`ConfigError` (which stays a :class:`ValueError` for
+callers with pre-existing ``except ValueError`` handling).
+"""
+
+import pytest
+
+from repro.errors import ConfigError, ReproError
+from repro.gpusim.specs import gpu_by_name
+from repro.serve import parse_fleet_spec
+from repro.serve.fleet import normalize_slot_spec
+
+SPEC = gpu_by_name("GTX 1660 Super")
+P100 = gpu_by_name("Tesla P100")
+
+
+class TestConfigErrorContract:
+    def test_config_error_is_a_value_error(self):
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(ConfigError, ReproError)
+
+    def test_parse_fleet_spec_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            parse_fleet_spec("")
+        with pytest.raises(ConfigError):
+            parse_fleet_spec("2,zero")
+        with pytest.raises(ConfigError):
+            parse_fleet_spec("2,0")
+
+
+class TestNormalizeSlotSpec:
+    def test_int_replicates_default_gpu(self):
+        assert normalize_slot_spec(3, SPEC) == [SPEC, SPEC, SPEC]
+
+    def test_default_gpu_may_be_a_name(self):
+        assert normalize_slot_spec(2, "Tesla P100") == [P100, P100]
+
+    def test_name_and_spec_make_single_gpu_slots(self):
+        assert normalize_slot_spec("Tesla P100", SPEC) == [P100]
+        assert normalize_slot_spec(P100, SPEC) == [P100]
+
+    def test_count_model_pair(self):
+        assert normalize_slot_spec((2, "Tesla P100"), SPEC) == [
+            P100,
+            P100,
+        ]
+
+    def test_heterogeneous_sequence_mixes_names_and_specs(self):
+        assert normalize_slot_spec(["Tesla P100", SPEC], SPEC) == [
+            P100,
+            SPEC,
+        ]
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ConfigError):
+            normalize_slot_spec([], SPEC)
+        with pytest.raises(ConfigError):
+            normalize_slot_spec((), SPEC)
+
+    @pytest.mark.parametrize("count", [0, -1])
+    def test_nonpositive_count_rejected(self, count):
+        with pytest.raises(ConfigError):
+            normalize_slot_spec(count, SPEC)
+        with pytest.raises(ConfigError):
+            normalize_slot_spec((count, "Tesla P100"), SPEC)
+
+    def test_bool_rejected(self):
+        # bool is an int subclass; True must not mean "1 GPU".
+        with pytest.raises(ConfigError):
+            normalize_slot_spec(True, SPEC)
+
+    def test_mixed_model_and_int_list_rejected(self):
+        with pytest.raises(ConfigError, match="GPU names or"):
+            normalize_slot_spec(["Tesla P100", 2], SPEC)
+        with pytest.raises(ConfigError, match="GPU names or"):
+            normalize_slot_spec([2, 2], SPEC)
+
+    def test_unknown_gpu_name_rejected(self):
+        with pytest.raises(ConfigError, match="unknown GPU model"):
+            normalize_slot_spec("NotARealGPU 9000", SPEC)
+        with pytest.raises(ConfigError, match="unknown GPU model"):
+            normalize_slot_spec((2, "NotARealGPU 9000"), SPEC)
+        with pytest.raises(ConfigError, match="unknown GPU model"):
+            normalize_slot_spec(["NotARealGPU 9000"], SPEC)
+
+    def test_legacy_value_error_handlers_still_catch(self):
+        with pytest.raises(ValueError):
+            normalize_slot_spec([], SPEC)
