@@ -30,10 +30,12 @@ from repro.harness import (
     figure11,
     figure12,
     movement_bench,
+    parallel_bench,
     serve_bench,
     sim_bench,
     table1,
 )
+from repro.parallel import STRATEGIES
 
 _SCALED = {"figure7", "figure8", "figure9"}
 _ITERATED = {
@@ -63,6 +65,11 @@ EXPERIMENTS = {
     "sim-bench": (
         sim_bench,
         "engine micro-benchmarks: near-linear scaling + repricing bounds",
+    ),
+    "parallel-bench": (
+        parallel_bench,
+        "execution-strategy matrix: fingerprint equality + speedups"
+        " across sequential/threading/process",
     ),
 }
 
@@ -241,6 +248,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="price LEAST_LOADED by raw slot clock instead of"
         " width-normalized backlog/GPUs (the pre-normalization"
         " behaviour, for A/B comparison)",
+    )
+    serving.add_argument(
+        "--parallel",
+        choices=list(STRATEGIES),
+        default="sequential",
+        help="execution strategy for per-slot simulation (default"
+        " sequential; every strategy yields the same fingerprint)",
+    )
+    serving.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker cap for the threading/process strategies"
+        " (default: min(cpu_count, fleet slots))",
     )
     serving.add_argument(
         "--chaos-grid",
@@ -422,10 +444,22 @@ def run_experiment(name: str, args: argparse.Namespace) -> None:
             fault_seed=args.fault_seed,
             deadline_us=args.deadline_us,
             width_normalized=not args.raw_least_loaded,
+            parallel=args.parallel,
+            workers=args.workers,
             validate=args.validate,
             bench_out=args.serve_out,
             trace=tracing,
             trace_out=trace_out,
+        )
+    if name == "parallel-bench":
+        kwargs.update(
+            requests=args.requests,
+            tenants=args.tenants,
+            fleet=args.fleet or "2,2,1,1",
+            gpu=args.gpu,
+            traffic=args.traffic,
+            workers=args.workers,
+            bench_out=args.serve_out,
         )
     if name in _SCALED:
         kwargs["scales_per_gpu"] = args.scales

@@ -36,6 +36,7 @@ executing its graph alone on a private serial runtime.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
@@ -323,6 +324,10 @@ class Cluster:
         ]
         self.queue = make_queue(self.config.serve.admission)
         self.results: list[GraphResult] = []
+        #: cluster-owned request-id allocation (node services never
+        #: allocate — they receive whole request objects), so
+        #: concurrent clusters/services cannot interleave ids
+        self._request_ids = itertools.count(1)
         #: every request the cluster admitted, by id (re-placement and
         #: readback need the graph back from a result)
         self._requests: dict[int, GraphRequest] = {}
@@ -359,6 +364,7 @@ class Cluster:
                 f"deadline {deadline:g} precedes arrival {arrival_time:g}"
             )
         request = GraphRequest(
+            request_id=next(self._request_ids),
             tenant=tenant,
             graph=graph,
             priority=(
@@ -390,17 +396,27 @@ class Cluster:
     def run(self) -> ClusterReport:
         """Serve every admitted request to a terminal status, price the
         result readbacks, and roll up the report."""
-        while len(self.queue):
-            self._placement_round()
-            self._drain_round()
-            self.scheduler.reset_round()
-        self._readback()
-        # Final advance so every injected node fault is counted even if
-        # it struck after the queue drained.
+        try:
+            while len(self.queue):
+                self._placement_round()
+                self._drain_round()
+                self.scheduler.reset_round()
+            self._readback()
+            # Final advance so every injected node fault is counted
+            # even if it struck after the queue drained.
+            for node in self.nodes:
+                made = node.advance_lifecycle(self._now)
+                self._count_node_transitions(node, made)
+            return self.report()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Release every node service's execution-strategy resources
+        (worker processes under ``serve.parallel="process"``);
+        idempotent."""
         for node in self.nodes:
-            made = node.advance_lifecycle(self._now)
-            self._count_node_transitions(node, made)
-        return self.report()
+            node.service.close()
 
     def _placement_round(self) -> None:
         """Pop every queued request in admission order, stage its inputs

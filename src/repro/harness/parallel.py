@@ -1,0 +1,217 @@
+"""The ``parallel-bench`` experiment: the execution-strategy matrix.
+
+Runs the same serving workload under every :data:`STRATEGIES` entry and
+checks the substrate's whole contract in one sweep:
+
+- **determinism** — report fingerprints, counter snapshots and the
+  canonical Chrome trace (wall-clock fields stripped) are bit-identical
+  across ``sequential`` / ``threading`` / ``process``;
+- **speed** — per-strategy wall-clock time and speedup over the
+  refactored sequential baseline, written to ``BENCH_parallel.json``
+  (the CI ``parallel-smoke`` artifact; the speedup gate lives in CI,
+  where runners actually have cores — ``cpu_count`` is recorded so a
+  1-core box reporting ~1x is interpretable).
+
+Equality is asserted at a trace-friendly scale (tracing every span at
+thousands of requests is needless weight), timing at full scale with
+fingerprints still compared — so both halves of the contract are
+exercised on every run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core.policies import SchedulerConfig
+from repro.harness.serving import _submit_traffic
+from repro.obs.export import canonical_trace
+from repro.obs.trace import Tracer
+from repro.parallel import STRATEGIES
+from repro.serve.fleet import parse_fleet_spec
+from repro.serve.service import SchedulerService, ServeConfig
+
+#: the strategy-matrix scenarios: the fault-free baseline plus a fault
+#: plan mixing a permanent crash (retry/re-placement path) with a
+#: degrade (per-slot slowdown), both slot-scoped so work units carry
+#: their effects into the workers
+PARALLEL_SCENARIOS: dict[str, str | None] = {
+    "fault-free": None,
+    "crash-degrade": (
+        "crash:slot=1,at=2e-3;degrade:slot=0,at=1e-3,factor=2.0"
+    ),
+}
+
+
+def _run_once(
+    *,
+    fleet: list[int],
+    parallel: str,
+    workers: int | None,
+    faults: str | None,
+    requests: int,
+    tenants: int,
+    gpu: str,
+    seed: int,
+    mean_interarrival_us: float,
+    traffic: str,
+    trace: bool,
+):
+    """One serving run under one strategy; returns (report, tracer,
+    wall_s) with the wall clock covering drain+report only."""
+    tracer = Tracer() if trace else None
+    service = SchedulerService(
+        fleet_topology=fleet,
+        gpu=gpu,
+        config=ServeConfig(
+            faults=faults,
+            parallel=parallel,
+            workers=workers,
+            scheduler=SchedulerConfig(),
+        ),
+        tracer=tracer,
+    )
+    _submit_traffic(
+        service,
+        tenants=tenants,
+        requests=requests,
+        traffic=traffic,
+        seed=seed,
+        mean_interarrival_us=mean_interarrival_us,
+    )
+    t0 = time.perf_counter()
+    report = service.run()
+    wall = time.perf_counter() - t0
+    return report, tracer, wall
+
+
+def parallel_bench(
+    requests: int = 1000,
+    tenants: int = 4,
+    fleet: str | list[int] = "2,2,1,1",
+    gpu: str = "GTX 1660 Super",
+    seed: int = 7,
+    mean_interarrival_us: float = 120.0,
+    traffic: str = "uniform",
+    workers: int | None = None,
+    equality_requests: int | None = None,
+    render: bool = False,
+    bench_out: str | None = None,
+) -> dict:
+    """Run the strategy matrix and return (optionally write) the sweep.
+
+    Raises :class:`AssertionError` the moment any strategy diverges from
+    the sequential reference — fingerprint, counters or canonical trace
+    at the equality scale, fingerprint at the timing scale.
+    """
+    if isinstance(fleet, str):
+        fleet = parse_fleet_spec(fleet)
+    if equality_requests is None:
+        equality_requests = min(requests, 120)
+
+    scenarios: dict[str, dict] = {}
+    for name, plan in PARALLEL_SCENARIOS.items():
+        # -- equality pass: traced, at the trace-friendly scale --------
+        reference = None
+        equality: dict[str, dict] = {}
+        for strategy in STRATEGIES:
+            report, tracer, _ = _run_once(
+                fleet=fleet,
+                parallel=strategy,
+                workers=workers,
+                faults=plan,
+                requests=equality_requests,
+                tenants=tenants,
+                gpu=gpu,
+                seed=seed,
+                mean_interarrival_us=mean_interarrival_us,
+                traffic=traffic,
+                trace=True,
+            )
+            state = (
+                report.fingerprint(),
+                report.counters,
+                canonical_trace(tracer, results=report.results),
+            )
+            if reference is None:
+                reference = state
+            checks = {
+                "fingerprint_equal": state[0] == reference[0],
+                "counters_equal": state[1] == reference[1],
+                "trace_equal": state[2] == reference[2],
+            }
+            equality[strategy] = checks
+            for check, ok in checks.items():
+                if not ok:
+                    raise AssertionError(
+                        f"parallel-bench scenario {name!r}: strategy"
+                        f" {strategy!r} failed {check} vs sequential"
+                    )
+
+        # -- timing pass: untraced, at full scale ----------------------
+        timing: dict[str, dict] = {}
+        base_fingerprint = None
+        base_wall = None
+        for strategy in STRATEGIES:
+            report, _, wall = _run_once(
+                fleet=fleet,
+                parallel=strategy,
+                workers=workers,
+                faults=plan,
+                requests=requests,
+                tenants=tenants,
+                gpu=gpu,
+                seed=seed,
+                mean_interarrival_us=mean_interarrival_us,
+                traffic=traffic,
+                trace=False,
+            )
+            fingerprint = report.fingerprint()
+            if base_fingerprint is None:
+                base_fingerprint = fingerprint
+                base_wall = wall
+            if fingerprint != base_fingerprint:
+                raise AssertionError(
+                    f"parallel-bench scenario {name!r}: strategy"
+                    f" {strategy!r} fingerprint diverges at timing scale"
+                )
+            timing[strategy] = {
+                "wall_s": wall,
+                "speedup_vs_sequential": base_wall / wall if wall else 0.0,
+                "fingerprint_equal": True,
+            }
+            if render:
+                print(
+                    f"parallel {name:<14} {strategy:<10}"
+                    f" wall={wall:8.3f}s"
+                    f"  speedup={timing[strategy]['speedup_vs_sequential']:5.2f}x"
+                )
+        scenarios[name] = {
+            "plan": plan,
+            "fingerprint": base_fingerprint,
+            "equality": equality,
+            "timing": timing,
+        }
+
+    sweep = {
+        "schema_version": 1,
+        "benchmark": "parallel-bench",
+        "fleet": fleet,
+        "requests": requests,
+        "equality_requests": equality_requests,
+        "tenants": tenants,
+        "seed": seed,
+        "traffic": traffic,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "strategies": list(STRATEGIES),
+        "scenarios": scenarios,
+    }
+    if bench_out:
+        with open(bench_out, "w") as fh:
+            json.dump(sweep, fh, indent=2)
+            fh.write("\n")
+        if render:
+            print(f"wrote {bench_out}")
+    return sweep

@@ -61,6 +61,7 @@ def report_summary(report: ServiceReport) -> dict:
         ],
         "admission": report.config.admission.value,
         "placement": report.fleet.policy.value,
+        "parallel": report.config.parallel,
         "movement_window": report.config.scheduler.movement_window,
         "requests": m.completed,
         "tenants": m.tenants,
@@ -118,6 +119,52 @@ def report_fingerprint(report: ServiceReport) -> str:
     return report.fingerprint()
 
 
+def _submit_traffic(
+    service: SchedulerService,
+    *,
+    tenants: int,
+    requests: int,
+    traffic: str,
+    seed: int,
+    mean_interarrival_us: float,
+    deadline_us: float | None = None,
+) -> list[tuple[int, object]]:
+    """Register ``tenants`` clients and submit the standard serving
+    traffic: the named mix under seeded Poisson arrivals.  Returns the
+    ``(request_id, graph)`` pairs in submission order — the shared
+    arrival process of serve-bench, chaos-grid and parallel-bench.
+    """
+    # Tenants with descending priorities: under the priority policy
+    # tenant0 is the premium client, the rest queue behind it.
+    for t in range(tenants):
+        service.register_tenant(f"tenant{t}", priority=tenants - 1 - t)
+
+    graphs = traffic_mix_graphs(requests, mix=traffic, seed=seed)
+    rng = np.random.default_rng(seed)
+    arrival = 0.0
+    submitted = []
+    for i, graph in enumerate(graphs):
+        arrival += float(
+            rng.exponential(mean_interarrival_us * 1e-6)
+        )
+        submitted.append(
+            (
+                service.submit(
+                    f"tenant{i % tenants}",
+                    graph,
+                    arrival_time=arrival,
+                    deadline=(
+                        arrival + deadline_us * 1e-6
+                        if deadline_us is not None
+                        else None
+                    ),
+                ),
+                graph,
+            )
+        )
+    return submitted
+
+
 def serve_bench(
     tenants: int = 4,
     requests: int = 100,
@@ -136,6 +183,8 @@ def serve_bench(
     fault_seed: int | None = None,
     deadline_us: float | None = None,
     width_normalized: bool = True,
+    parallel: str = "sequential",
+    workers: int | None = None,
     validate: bool = False,
     render: bool = False,
     bench_out: str | None = None,
@@ -170,6 +219,11 @@ def serve_bench(
     *completed* requests against serial execution — shed / timed-out /
     failed requests have no outputs to check, but every submission must
     still reach a terminal status (asserted unconditionally).
+
+    ``parallel`` selects the execution strategy for per-slot simulation
+    (``sequential`` / ``threading`` / ``process``) and ``workers`` caps
+    the worker pool; every strategy produces the same fingerprint (see
+    README "Parallel execution").
     """
     if tenants <= 0 or requests <= 0 or fleet_size <= 0:
         raise ValueError("tenants, requests and fleet_size must be positive")
@@ -209,40 +263,23 @@ def serve_bench(
             placement=placement,
             faults=faults,
             width_normalized=width_normalized,
+            parallel=parallel,
+            workers=workers,
             scheduler=SchedulerConfig(
                 movement=movement, movement_window=movement_window
             ),
         ),
         tracer=tracer,
     )
-    # Tenants with descending priorities: under the priority policy
-    # tenant0 is the premium client, the rest queue behind it.
-    for t in range(tenants):
-        service.register_tenant(f"tenant{t}", priority=tenants - 1 - t)
-
-    graphs = traffic_mix_graphs(requests, mix=traffic, seed=seed)
-    rng = np.random.default_rng(seed)
-    arrival = 0.0
-    submitted = []
-    for i, graph in enumerate(graphs):
-        arrival += float(
-            rng.exponential(mean_interarrival_us * 1e-6)
-        )
-        submitted.append(
-            (
-                service.submit(
-                    f"tenant{i % tenants}",
-                    graph,
-                    arrival_time=arrival,
-                    deadline=(
-                        arrival + deadline_us * 1e-6
-                        if deadline_us is not None
-                        else None
-                    ),
-                ),
-                graph,
-            )
-        )
+    submitted = _submit_traffic(
+        service,
+        tenants=tenants,
+        requests=requests,
+        traffic=traffic,
+        seed=seed,
+        mean_interarrival_us=mean_interarrival_us,
+        deadline_us=deadline_us,
+    )
 
     report = service.run()
 

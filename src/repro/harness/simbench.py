@@ -342,6 +342,9 @@ def sim_bench(
     overhead = _measure_overhead(ops_grid[-2], streams_grid[0], gpu)
 
     results = {
+        # Artifact-format version: CI smoke jobs validate the required
+        # keys against this before reading any numbers.
+        "schema_version": 1,
         "benchmark": "sim-bench",
         "gpu": gpu,
         "near_linear_factor": NEAR_LINEAR_FACTOR,

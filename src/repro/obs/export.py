@@ -219,6 +219,28 @@ def build_chrome_trace(
     }
 
 
+def canonical_trace(
+    tracer=None,
+    *,
+    timelines: Mapping[str, Timeline] | None = None,
+    results=None,
+) -> dict:
+    """The Chrome-trace document with its advisory wall-clock stamps
+    stripped: two runs of the same virtual-time schedule compare equal
+    iff their traces are semantically identical (pid/tid interning is
+    first-appearance order, so identical event order ⇒ identical ids).
+    This is the determinism-comparison form the parallel strategy
+    matrix asserts on — ``wall_s``/``wall_dur_s`` are real host times
+    and legitimately differ between runs and strategies."""
+    doc = build_chrome_trace(tracer, timelines=timelines, results=results)
+    for event in doc["traceEvents"]:
+        args = event.get("args")
+        if args:
+            args.pop("wall_s", None)
+            args.pop("wall_dur_s", None)
+    return doc
+
+
 def write_chrome_trace(
     path: str,
     tracer=None,
@@ -364,6 +386,7 @@ if __name__ == "__main__":  # pragma: no cover - exercised via CI
 
 __all__ = [
     "build_chrome_trace",
+    "canonical_trace",
     "validate_chrome_trace",
     "validate_chrome_trace_file",
     "write_chrome_trace",

@@ -1,0 +1,181 @@
+"""The process execution strategy: persistent forked slot workers.
+
+Layout: slots shard onto ``workers`` long-lived daemon processes by
+``slot_index % workers`` — a *fixed deterministic partition*, the same
+discipline parallel branch-and-bound and parallel DDM matching use to
+keep parallel results canonical.  Each worker rebuilds its shard's
+:class:`~repro.serve.fleet.FleetSlot` objects from (index, GPU specs)
+at startup and keeps them hot across rounds: engine clocks, timelines,
+kernel caches and replay-stream pools accumulate worker-side exactly
+as they would in-process, while the parent mirrors clock/counter/
+timeline state from each :class:`~repro.parallel.work.SlotOutcome` so
+placement, watermark shedding and reports read identically.
+
+Protocol (one duplex pipe per worker):
+
+* parent → worker: ``("round", [cold-restart slot ids], [SlotWork])``
+  or ``("close",)``
+* worker → parent: ``("ok", [SlotOutcome])`` or ``("err", traceback)``
+
+Workers never see the admission queue, capture cache, tenant state or
+fault lifecycles — fault effects arrive pre-drawn on the work unit,
+and crash restarts arrive as explicit cold-restart notices with the
+next round, so parent and worker slot replicas never diverge.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+
+from repro.gpusim.specs import GPUSpec
+from repro.obs.trace import set_default_tracer
+from repro.parallel.strategy import ExecutionStrategy, resolve_workers
+from repro.parallel.work import SlotOutcome, SlotWork, execute_slot_work
+from repro.serve.fleet import FleetSlot
+
+__all__ = ["ProcessStrategy", "WorkerInit"]
+
+
+@dataclass
+class WorkerInit:
+    """Everything one worker needs to rebuild its slot shard."""
+
+    #: (slot index, GPU specs) per slot owned by this worker
+    slots: list[tuple[int, list[GPUSpec]]] = field(default_factory=list)
+    #: the service's ServeConfig (scheduler config rides inside it)
+    config: object = None
+    #: buffer trace events per work and ship them back
+    trace: bool = False
+
+
+def _worker_main(conn, init: WorkerInit) -> None:
+    """Worker loop: rebuild the slot shard, execute rounds forever."""
+    # A fork inherits the parent's module state, including any enabled
+    # default tracer; worker slots must build against the null tracer
+    # (their events are buffered per work unit instead).
+    set_default_tracer(None)
+    slots = {
+        index: FleetSlot(index, specs, config=init.config.scheduler)
+        for index, specs in init.slots
+    }
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        if msg[0] == "close":
+            break
+        _, restarts, works = msg
+        try:
+            for index in restarts:
+                slots[index].cold_restart()
+            outcomes = [
+                execute_slot_work(
+                    slots[work.slot_index],
+                    work,
+                    init.config,
+                    trace=init.trace,
+                    collect_state=True,
+                )
+                for work in works
+            ]
+            conn.send(("ok", outcomes))
+        except BaseException:
+            conn.send(("err", traceback.format_exc()))
+
+
+class ProcessStrategy(ExecutionStrategy):
+    """Fork/join over persistent worker processes."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        slots: list[FleetSlot],
+        config,
+        trace: bool = False,
+        workers: int | None = None,
+    ) -> None:
+        self.config = config
+        self.trace = trace
+        self.workers = resolve_workers(workers, len(slots))
+        #: slots that crash-restarted parent-side since their worker's
+        #: last round; shipped with the owning worker's next message
+        self._pending_restarts: set[int] = set()
+        # fork (not spawn): workers inherit the imported modules and
+        # kernel functions directly, and start in milliseconds.
+        ctx = multiprocessing.get_context("fork")
+        self._procs = []
+        self._conns = []
+        for k in range(self.workers):
+            shard = [
+                (s.index, list(s.session.specs))
+                for s in slots
+                if s.index % self.workers == k
+            ]
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    WorkerInit(slots=shard, config=config, trace=trace),
+                ),
+                daemon=True,
+                name=f"repro-slot-worker-{k}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def note_cold_restart(self, slot_index: int) -> None:
+        self._pending_restarts.add(slot_index)
+
+    def execute(self, works: list[SlotWork]) -> list[SlotOutcome]:
+        by_worker: dict[int, list[SlotWork]] = {}
+        for work in works:
+            by_worker.setdefault(
+                work.slot_index % self.workers, []
+            ).append(work)
+        targets = sorted(by_worker)
+        # Scatter every round message before gathering any reply: the
+        # fork/join overlap is the whole point.
+        for k in targets:
+            restarts = sorted(
+                i
+                for i in self._pending_restarts
+                if i % self.workers == k
+            )
+            self._pending_restarts.difference_update(restarts)
+            self._conns[k].send(("round", restarts, by_worker[k]))
+        outcomes: list[SlotOutcome] = []
+        for k in targets:
+            try:
+                status, payload = self._conns[k].recv()
+            except EOFError:
+                raise RuntimeError(
+                    f"parallel slot worker {k} died mid-round"
+                ) from None
+            if status != "ok":
+                raise RuntimeError(
+                    f"parallel slot worker {k} failed:\n{payload}"
+                )
+            outcomes.extend(payload)
+        return outcomes
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)
+        self._conns = []
+        self._procs = []

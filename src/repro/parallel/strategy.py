@@ -1,0 +1,159 @@
+"""Execution strategies: where each planned :class:`SlotWork` runs.
+
+The service plans placement rounds sequentially (admission, placement,
+capture-cache lookups and fault draws are inherently ordered), then
+hands the round's work units to a strategy:
+
+* ``sequential`` — in-process loop; the golden reference every other
+  strategy must match bit-for-bit.
+* ``threading`` — a thread pool; the GIL serializes the interpreter,
+  so this wins no wall-clock but *proves the isolation boundary*: any
+  shared mutable state between slot executions shows up as a
+  fingerprint mismatch here first.
+* ``process`` — persistent forked workers with picklable work units
+  (:mod:`repro.parallel.process`); real multi-core speedup, paid for
+  in serialization.
+
+All three return one :class:`~repro.parallel.work.SlotOutcome` per
+work; the service merges them in slot-id order, so results never
+depend on completion order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.parallel.work import SlotOutcome, SlotWork, execute_slot_work
+from repro.serve.fleet import FleetSlot
+
+__all__ = [
+    "STRATEGIES",
+    "ExecutionStrategy",
+    "SequentialStrategy",
+    "ThreadingStrategy",
+    "make_strategy",
+    "resolve_workers",
+]
+
+#: the strategy matrix, in golden-reference-first order
+STRATEGIES = ("sequential", "threading", "process")
+
+
+def resolve_workers(workers: int | None, slot_count: int) -> int:
+    """Effective worker count: never more than there are slots (a
+    worker per slot saturates the fork/join), defaulting to one per
+    slot capped at the machine's cores."""
+    if workers is not None:
+        return max(1, min(workers, slot_count))
+    return max(1, min(slot_count, os.cpu_count() or 1))
+
+
+class ExecutionStrategy:
+    """Executes one placement round's slot work units."""
+
+    name = "?"
+
+    def execute(self, works: list[SlotWork]) -> list[SlotOutcome]:
+        raise NotImplementedError
+
+    def note_cold_restart(self, slot_index: int) -> None:
+        """A slot crash-restarted parent-side; strategies holding
+        remote slot replicas must mirror it before that slot's next
+        work (no-op for in-process strategies — they share the slot
+        objects)."""
+
+    def close(self) -> None:
+        """Release pools/processes; idempotent."""
+
+
+class SequentialStrategy(ExecutionStrategy):
+    """In-process, in-order execution — the golden reference."""
+
+    name = "sequential"
+
+    def __init__(
+        self,
+        slots: list[FleetSlot],
+        config,
+        trace: bool = False,
+    ) -> None:
+        self.slots = slots
+        self.config = config
+        self.trace = trace
+
+    def execute(self, works: list[SlotWork]) -> list[SlotOutcome]:
+        return [
+            execute_slot_work(
+                self.slots[w.slot_index], w, self.config,
+                trace=self.trace,
+            )
+            for w in works
+        ]
+
+
+class ThreadingStrategy(SequentialStrategy):
+    """One thread per slot work.  Slot executions share no state (the
+    per-work tracer buffers exist exactly for this), so the GIL is the
+    only serialization left."""
+
+    name = "threading"
+
+    def __init__(
+        self,
+        slots: list[FleetSlot],
+        config,
+        trace: bool = False,
+        workers: int | None = None,
+    ) -> None:
+        super().__init__(slots, config, trace)
+        self._pool = ThreadPoolExecutor(
+            max_workers=resolve_workers(workers, len(slots)),
+            thread_name_prefix="repro-slot",
+        )
+
+    def execute(self, works: list[SlotWork]) -> list[SlotOutcome]:
+        futures = [
+            self._pool.submit(
+                execute_slot_work,
+                self.slots[w.slot_index],
+                w,
+                self.config,
+                trace=self.trace,
+            )
+            for w in works
+        ]
+        # Collect in submission order — completion order must never
+        # leak into results.
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_strategy(
+    name: str,
+    slots: list[FleetSlot],
+    config,
+    *,
+    workers: int | None = None,
+    trace: bool = False,
+) -> ExecutionStrategy:
+    """Build the strategy ``name`` over ``slots`` (lazy import keeps
+    ``multiprocessing`` off the sequential path)."""
+    if name == "sequential":
+        return SequentialStrategy(slots, config, trace=trace)
+    if name == "threading":
+        return ThreadingStrategy(
+            slots, config, trace=trace, workers=workers
+        )
+    if name == "process":
+        from repro.parallel.process import ProcessStrategy
+
+        return ProcessStrategy(
+            slots, config, trace=trace, workers=workers
+        )
+    raise ValueError(
+        f"unknown execution strategy {name!r}; expected one of"
+        f" {STRATEGIES}"
+    )

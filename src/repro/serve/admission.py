@@ -72,6 +72,11 @@ class AdmissionQueue(abc.ABC):
         """Admit the next request per the policy (None when empty)."""
 
     @abc.abstractmethod
+    def peek(self) -> GraphRequest | None:
+        """The request :meth:`pop` would admit next, without removing it
+        or charging admission accounting (None when empty)."""
+
+    @abc.abstractmethod
     def __len__(self) -> int: ...
 
     @abc.abstractmethod
@@ -143,6 +148,9 @@ class FifoQueue(AdmissionQueue):
         self._note_admitted(request)
         return request
 
+    def peek(self) -> GraphRequest | None:
+        return self._queue[0] if self._queue else None
+
     def __len__(self) -> int:
         return len(self._queue)
 
@@ -184,6 +192,9 @@ class PriorityQueue(AdmissionQueue):
         _, request = heapq.heappop(self._heap)
         self._note_admitted(request)
         return request
+
+    def peek(self) -> GraphRequest | None:
+        return self._heap[0][1] if self._heap else None
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -245,6 +256,19 @@ class FairShareQueue(AdmissionQueue):
         _, request = self._per_tenant[tenant].popleft()
         self._note_admitted(request)
         return request
+
+    def peek(self) -> GraphRequest | None:
+        backlogged = [t for t, q in self._per_tenant.items() if q]
+        if not backlogged:
+            return None
+        tenant = min(
+            backlogged,
+            key=lambda t: (
+                self.admitted_counts[t],
+                self._per_tenant[t][0][0],
+            ),
+        )
+        return self._per_tenant[tenant][0][1]
 
     def __len__(self) -> int:
         return sum(len(q) for q in self._per_tenant.values())

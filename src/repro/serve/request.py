@@ -40,13 +40,18 @@ _request_ids = itertools.count(1)
 
 
 def reset_request_ids(start: int = 1) -> None:
-    """Restart the global request-id sequence.
+    """Restart the module-level request-id sequence (compatibility
+    shim).
 
-    Request ids are process-global monotonic ints; two otherwise
-    identical serving runs in one process would differ only in their id
-    offsets.  Replay-determinism checks (the chaos grid, the faulted
-    -replay tests) reset the sequence before each run so the reports
-    compare bit-identical.
+    Id allocation is *instance-owned* now: every
+    :class:`~repro.serve.service.SchedulerService` and
+    :class:`~repro.cluster.Cluster` numbers its own submissions from 1,
+    so concurrent services (and forked strategy workers) never
+    interleave ids and replay-determinism needs no global reset.  This
+    module-level counter only backs requests constructed *directly*
+    (``GraphRequest(...)`` with no explicit ``request_id``); resetting
+    it keeps such ad-hoc runs comparable, and existing callers keep
+    working unchanged.
     """
     global _request_ids
     _request_ids = itertools.count(start)

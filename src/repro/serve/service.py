@@ -54,24 +54,19 @@ from repro.core.policies import (
     DevicePlacementPolicy,
     SchedulerConfig,
 )
-from repro.gpusim.ops import KernelOp
-from repro.core.context import (
-    annotate_kernel_access_sets,
-    kernel_history_recorder,
-)
-from repro.core.history import KernelExecutionRecord
 from repro.gpusim.timeline import Timeline
-from repro.kernels.kernel import KernelLaunch, normalize_dim
-from repro.kernels.profile import combine_resources
-from repro.memory.array import AccessKind, DeviceArray
-from repro.memory.coherence import CoherenceEngine
 from repro.faults import FaultKind, FaultPlan, Transition
 from repro.metrics.service import ServiceMetrics, compute_service_metrics
-from repro.multigpu.array import MultiGpuArray
 from repro.obs.counters import CounterRegistry
 from repro.obs.trace import Tracer, current_tracer
+from repro.parallel.strategy import (
+    STRATEGIES,
+    ExecutionStrategy,
+    make_strategy,
+)
+from repro.parallel.work import SlotOutcome, SlotWork, Submission
 from repro.serve.admission import make_queue
-from repro.serve.capture import CaptureCache, CapturePlan
+from repro.serve.capture import CaptureCache
 from repro.serve.fleet import FleetSlot, GpuFleet, parse_fleet_spec
 from repro.serve.request import (
     GraphRequest,
@@ -80,6 +75,10 @@ from repro.serve.request import (
     TaskGraph,
 )
 from repro.serve.tenant import TenantState
+
+#: backwards-compatible alias — the in-flight bookkeeping class moved
+#: to :mod:`repro.parallel.work` so worker processes can import it
+_Submission = Submission
 
 
 @dataclass
@@ -128,11 +127,28 @@ class ServeConfig:
     #: :class:`~repro.serve.fleet.GpuFleet`); only consulted when the
     #: service builds its own fleet
     width_normalized: bool = True
+    #: execution strategy for per-slot simulation between placement
+    #: rounds: ``sequential`` (golden reference), ``threading`` or
+    #: ``process`` — all three produce bit-identical reports (see
+    #: :mod:`repro.parallel`)
+    parallel: str = "sequential"
+    #: worker count for the threading/process strategies (None: one
+    #: per slot, capped at the machine's cores)
+    workers: int | None = None
     #: per-device runtime/scheduler configuration
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
 
     def __post_init__(self) -> None:
         self.scheduler.validate(serving=True)
+        if self.parallel not in STRATEGIES:
+            raise ValueError(
+                f"unknown execution strategy {self.parallel!r};"
+                f" expected one of {STRATEGIES}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(
+                f"workers must be >= 1, got {self.workers}"
+            )
         if self.admission is None:
             self.admission = self.scheduler.admission or AdmissionPolicy.FIFO
         if self.placement is None:
@@ -272,30 +288,6 @@ class ServiceReport:
         return "\n".join(lines)
 
 
-class _Submission:
-    """In-flight bookkeeping for one request inside a batch."""
-
-    def __init__(
-        self,
-        request: GraphRequest,
-        slot: FleetSlot,
-        start_time: float,
-        batch_id: int,
-        batch_size: int,
-        replayed: bool,
-    ) -> None:
-        self.request = request
-        self.slot = slot
-        self.start_time = start_time
-        self.batch_id = batch_id
-        self.batch_size = batch_size
-        self.replayed = replayed
-        self.arrays: dict[str, DeviceArray | MultiGpuArray] = {}
-        self.context = None            # context path only
-        self.coherence: CoherenceEngine | None = None   # replay path
-        self.history: list[KernelExecutionRecord] = []  # replay path
-
-
 class SchedulerService:
     """Accepts task-graph submissions from many tenants and serves them
     from a simulated GPU fleet."""
@@ -343,8 +335,16 @@ class SchedulerService:
         self.cache = CaptureCache(enabled=self.config.capture_cache)
         self.tenants: dict[str, TenantState] = {}
         self.results: list[GraphResult] = []
+        #: service-owned request-id allocation: concurrent services
+        #: (and forked workers) never interleave ids (the module-level
+        #: counter in :mod:`repro.serve.request` remains only for
+        #: directly-constructed requests)
+        self._request_ids = itertools.count(1)
         self._batch_ids = itertools.count(1)
         self._batches = 0
+        #: execution strategy, built lazily on first drain (services
+        #: constructed for introspection never pay for worker pools)
+        self._strategy: ExecutionStrategy | None = None
         #: monotone virtual-time cursor of the serving loop's dispatch
         #: decisions; drives fault-lifecycle advancement
         self._now = 0.0
@@ -405,6 +405,7 @@ class SchedulerService:
             )
         state = self.tenants.get(tenant) or self.register_tenant(tenant)
         request = GraphRequest(
+            request_id=next(self._request_ids),
             tenant=tenant,
             graph=graph,
             priority=state.priority if priority is None else priority,
@@ -444,14 +445,45 @@ class SchedulerService:
     # -- the serving loop ---------------------------------------------------
 
     def run(self) -> ServiceReport:
-        """Drain the admission queue, then summarize the run."""
-        self.drain()
-        return self.report()
+        """Drain the admission queue, then summarize the run (worker
+        pools are released either way)."""
+        try:
+            self.drain()
+            return self.report()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Release execution-strategy resources (worker processes /
+        thread pools); idempotent.  :meth:`run` calls this itself; use
+        it directly after driving :meth:`drain` by hand."""
+        if self._strategy is not None:
+            self._strategy.close()
+            self._strategy = None
+
+    def _ensure_strategy(self) -> ExecutionStrategy:
+        if self._strategy is None:
+            self._strategy = make_strategy(
+                self.config.parallel,
+                self.fleet.slots,
+                self.config,
+                workers=self.config.workers,
+                trace=self.tracer.enabled,
+            )
+        return self._strategy
 
     def drain(self) -> None:
         """Serve until the admission queue is empty (no report built —
         the cluster layer drains each node per placement round and
         reports once at the end).
+
+        The loop is a fork/join over *placement rounds*: plan a round
+        of per-slot batches sequentially (admission, placement, fault
+        draws — the inherently ordered decisions), execute every
+        planned batch under the configured strategy (each slot's
+        simulation is independent between rounds), then merge the
+        outcomes in slot-id order so every strategy reports
+        bit-identically.
 
         Every popped request reaches a terminal status — COMPLETED,
         SHED, TIMEOUT or FAILED — even under total fleet loss: when no
@@ -459,20 +491,55 @@ class SchedulerService:
         shed instead of deadlocking; when a restart is pending, the
         loop fast-forwards virtual time to it.
         """
+        strategy = self._ensure_strategy()
         while len(self.queue):
-            head = self.queue.pop()
-            assert head is not None
-            now = max(self._now, head.dispatch_floor)
-            self._advance_lifecycles(now)
-            eligible = self.fleet.admitting_slots()
+            works = self._plan_round()
+            if not works:
+                # The plan phase terminally resolved everything it
+                # popped (blackout shed / timed-out heads).
+                break
+            outcomes = strategy.execute(works)
+            self._merge_round(works, outcomes)
+
+    def _plan_round(self) -> list[SlotWork]:
+        """Pop and place one round of batches: at most one batch per
+        slot, every head dispatched at the same virtual instant.
+
+        A round ends when the queue is empty, the next head's dispatch
+        floor lies in the future, or no *idle* admitting slot remains
+        (busy slots' clocks only advance at execution, so placing onto
+        them mid-round would read stale availability).
+        """
+        works: list[SlotWork] = []
+        busy: set[int] = set()
+        while True:
+            head = self.queue.peek()
+            if head is None:
+                break
+            if works:
+                if head.dispatch_floor > self._now:
+                    break
+                now = self._now
+            else:
+                now = max(self._now, head.dispatch_floor)
+            self._advance_lifecycles(now, busy=busy)
+            eligible = [
+                s
+                for s in self.fleet.admitting_slots()
+                if s.index not in busy
+            ]
             if not eligible:
+                if busy:
+                    # Slots may revive (or free up) once the in-flight
+                    # round joins; revisit this head next round.
+                    break
                 revive = self._earliest_revival(now)
                 if revive is None:
-                    # Permanent total outage: graceful degradation sheds
-                    # the head and everything still queued.
-                    self._record_dropped(
-                        head, now, RequestStatus.SHED
-                    )
+                    # Permanent total outage: graceful degradation
+                    # sheds the head and everything still queued.
+                    popped = self.queue.pop()
+                    assert popped is head
+                    self._record_dropped(head, now, RequestStatus.SHED)
                     while len(self.queue):
                         r = self.queue.pop()
                         assert r is not None
@@ -485,6 +552,8 @@ class SchedulerService:
                 eligible = self.fleet.admitting_slots()
                 assert eligible, "revived slot must admit"
             self._now = now
+            popped = self.queue.pop()
+            assert popped is head
             self._shed_to_watermark(now)
             if head.deadline is not None and now > head.deadline:
                 self._record_dropped(head, now, RequestStatus.TIMEOUT)
@@ -513,17 +582,143 @@ class SchedulerService:
                             "faults.replacements"
                         ).value += 1
                     r.last_slot = None
-            self._execute_batch(slot, batch)
+            works.append(self._plan_work(slot, batch))
+            busy.add(slot.index)
+        return works
+
+    def _plan_work(
+        self, slot: FleetSlot, batch: list[GraphRequest]
+    ) -> SlotWork:
+        """Pin every service-global decision for one batch into a
+        self-contained work unit: batch ids, capture-cache outcome
+        (derivation happens parent-side — workers never see the
+        cache), and the dispatch-time fault draws (lifecycles are
+        parent-owned state)."""
+        batch_id = next(self._batch_ids)
+        self._batches += 1
+        self._c_batches.value += 1
+        if len(batch) > 1:
+            self._c_batched_requests.value += len(batch)
+        plan = self.cache.lookup(batch[0].graph, slot.shape_key)
+        # Counter granularity is per *request*: every batch member
+        # rides the head's lookup outcome.  (A disabled cache counts
+        # nothing.)
+        if plan is not None:
+            self.cache.hits += len(batch) - 1
+        elif self.cache.enabled:
+            self.cache.misses += len(batch) - 1
+        faulted = self.config.faults is not None
+        # Degradation factor and transfer-fault draw are pinned at
+        # dispatch time; a mid-batch DEGRADE only affects later
+        # batches.
+        slowdown = slot.lifecycle.slowdown if faulted else 1.0
+        transfer_fault = bool(
+            faulted and slot.lifecycle.take_transfer_fault(self._now)
+        )
+        return SlotWork(
+            slot_index=slot.index,
+            batch=batch,
+            plan=plan,
+            batch_id=batch_id,
+            slowdown=slowdown,
+            transfer_fault=transfer_fault,
+            clock_start=slot.clock,
+        )
+
+    def _merge_round(
+        self, works: list[SlotWork], outcomes: list[SlotOutcome]
+    ) -> None:
+        """Join one executed round back into service state, in slot-id
+        order (every batch in a round dispatched at the same virtual
+        instant, so slot id is the deterministic tie-break) — results,
+        retries, tenant histories, lifecycle advancement and traces
+        merge identically whatever order the strategy finished in."""
+        by_slot = {o.slot_index: o for o in outcomes}
+        for work in sorted(works, key=lambda w: w.slot_index):
+            outcome = by_slot[work.slot_index]
+            slot = self.fleet.slots[work.slot_index]
+            finish = outcome.finish
+            if outcome.timeline_records is not None:
+                # Process strategy: mirror the worker-side slot state
+                # (records append in worker order, so the timeline's
+                # incremental aggregates stay bit-identical).
+                for rec in outcome.timeline_records:
+                    slot.engine.timeline.add(rec)
+                for name, value in outcome.engine_counters.items():
+                    slot.engine.counters.set(name, value)
+                for name, value in outcome.slot_counters.items():
+                    slot.counters.set(name, value)
+                slot.engine.clock = finish
+                slot.kernels_launched = outcome.kernels_launched
+            if outcome.trace_events:
+                self.tracer.events.extend(outcome.trace_events)
+            crashed = False
+            if self.config.faults is not None:
+                made = slot.lifecycle.advance(
+                    max(finish, slot.lifecycle.now)
+                )
+                crashed = self._process_transitions(slot, made)
+            for tenant, records in outcome.histories:
+                self.tenants[tenant].absorb_history(records)
+            if crashed or work.transfer_fault:
+                # The batch's work is lost (crash) or its results never
+                # arrived (transient transfer fault): the simulated
+                # time it burned stays on the timeline, the outputs are
+                # discarded and every member re-queues with backoff (or
+                # fails).
+                for r in work.batch:
+                    self._retry_or_fail(r, slot, finish)
+            else:
+                requests = {r.request_id: r for r in work.batch}
+                for request_id, outputs, start, read_clock in (
+                    outcome.results
+                ):
+                    self._record_result(
+                        requests[request_id],
+                        outputs,
+                        start,
+                        read_clock,
+                        slot=slot,
+                        work=work,
+                    )
+                slot.requests_served += len(work.batch)
+                slot.warm_topologies.add(work.batch[0].topology_key)
+            if self.tracer.enabled:
+                attrs: dict = {
+                    "slot": slot.index,
+                    "size": len(work.batch),
+                    "batch_id": work.batch_id,
+                    "tenant": work.batch[0].tenant,
+                    "graph": work.batch[0].graph.name,
+                    "replayed": work.plan is not None,
+                }
+                if crashed or work.transfer_fault:
+                    attrs["crashed"] = crashed
+                    attrs["transfer_fault"] = work.transfer_fault
+                self.tracer.complete(
+                    "batch",
+                    track="service",
+                    vt_start=work.clock_start,
+                    vt_end=finish,
+                    **attrs,
+                )
 
     # -- fault machinery ---------------------------------------------------
 
-    def _advance_lifecycles(self, now: float) -> None:
+    def _advance_lifecycles(
+        self, now: float, busy: "set[int] | frozenset" = frozenset()
+    ) -> None:
         """Advance every slot's health machine to ``max(now, clock)``
         — a slot that has simulated up to its own clock has experienced
-        every event up to it."""
+        every event up to it.  Slots in ``busy`` (dispatched earlier in
+        the round being planned) are skipped: they were already
+        advanced to this round's instant when planned, and their
+        post-batch events belong to the merge phase."""
         if self.config.faults is None:
             return
         for slot in self.fleet.slots:
+            if slot.index in busy:
+                continue
             made = slot.lifecycle.advance(max(now, slot.clock))
             self._process_transitions(slot, made)
 
@@ -552,6 +747,10 @@ class SchedulerService:
                 # The slot's (simulated) host process died: built
                 # kernels and MIN_TRANSFER warmth die with it.
                 slot.cold_restart()
+                if self._strategy is not None:
+                    # Remote slot replicas (process strategy) mirror
+                    # the restart before the slot's next work unit.
+                    self._strategy.note_cold_restart(slot.index)
         return crashed
 
     def _earliest_revival(self, now: float) -> float | None:
@@ -681,377 +880,18 @@ class SchedulerService:
             merged.merge(slot.counters)
         return merged.snapshot()
 
-    # -- batch execution ---------------------------------------------------
-
-    def _execute_batch(
-        self, slot: FleetSlot, batch: list[GraphRequest]
-    ) -> None:
-        engine = slot.engine
-        batch_id = next(self._batch_ids)
-        self._batches += 1
-        self._c_batches.value += 1
-        if len(batch) > 1:
-            self._c_batched_requests.value += len(batch)
-        span = (
-            self.tracer.span(
-                "batch",
-                track="service",
-                clock=engine._clock,
-                slot=slot.index,
-                size=len(batch),
-                batch_id=batch_id,
-                tenant=batch[0].tenant,
-                graph=batch[0].graph.name,
-            )
-            if self.tracer.enabled
-            else None
-        )
-
-        # The slot idles until the last coalesced arrival (or retry
-        # backoff floor): a batch cannot causally start before its
-        # members exist (the classic batching latency trade).
-        start_floor = max(r.dispatch_floor for r in batch)
-        if engine.clock < start_floor:
-            engine.charge_host_time(start_floor - engine.clock)
-        faulted = self.config.faults is not None
-        # Degradation factor and transfer-fault draw are pinned at
-        # dispatch time; a mid-batch DEGRADE only affects later batches.
-        t0 = engine.clock
-        slowdown = slot.lifecycle.slowdown if faulted else 1.0
-        transfer_fault = faulted and slot.lifecycle.take_transfer_fault(
-            self._now
-        )
-        engine.charge_host_time(self.config.dispatch_overhead_us * 1e-6)
-
-        plan = self.cache.lookup(batch[0].graph, slot.shape_key)
-        # Counter granularity is per *request*: every batch member rides
-        # the head's lookup outcome.  (A disabled cache counts nothing.)
-        if plan is not None:
-            self.cache.hits += len(batch) - 1
-        elif self.cache.enabled:
-            self.cache.misses += len(batch) - 1
-        submissions = [
-            self._submit_replay(
-                slot, r, plan, batch_id, len(batch), member=i
-            )
-            if plan is not None
-            else self._submit_context(slot, r, batch_id, len(batch))
-            for i, r in enumerate(batch)
-        ]
-        if plan is not None:
-            # Replay bypasses the per-array CPU hooks, so drain before
-            # the manual readbacks below.
-            engine.sync_all()
-        finalized = [
-            (sub, *self._read_outputs(sub)) for sub in submissions
-        ]
-
-        engine.sync_all()
-        crashed = False
-        if faulted:
-            if slowdown > 1.0 and engine.clock > t0:
-                # A degraded slot stretches the whole batch span: the
-                # extra wall time lands after the fact, which keeps the
-                # in-batch schedule (and its numerics) untouched.
-                engine.charge_host_time(
-                    (engine.clock - t0) * (slowdown - 1.0)
-                )
-            finish = engine.clock
-            made = slot.lifecycle.advance(
-                max(finish, slot.lifecycle.now)
-            )
-            crashed = self._process_transitions(slot, made)
-        self._reclaim_batch(slot, submissions)
-        if crashed or transfer_fault:
-            # The batch's work is lost (crash) or its results never
-            # arrived (transient transfer fault): the simulated time it
-            # burned stays on the timeline, the outputs are discarded
-            # and every member re-queues with backoff (or fails).
-            finish = engine.clock
-            for sub in submissions:
-                self._retry_or_fail(sub.request, slot, finish)
-        else:
-            for sub, outputs, finish in finalized:
-                self._record_result(sub, outputs, finish)
-            slot.requests_served += len(submissions)
-            slot.warm_topologies.add(batch[0].topology_key)
-        if span is not None:
-            span.annotate(
-                replayed=plan is not None,
-                **(
-                    {"crashed": crashed, "transfer_fault": transfer_fault}
-                    if (crashed or transfer_fault)
-                    else {}
-                ),
-            )
-            span.close()
-
-    def _reclaim_batch(
-        self, slot: FleetSlot, submissions: list[_Submission]
-    ) -> None:
-        """Absorb histories, free arrays and reclaim per-request
-        streams (context stream managers and coherence-owned coalescing
-        streams alike), so a long-lived slot engine stays bounded."""
-        for sub in submissions:
-            tenant = self.tenants[sub.request.tenant]
-            if sub.context is not None:
-                for name in sub.context.history.kernels():
-                    tenant.absorb_history(
-                        sub.context.history.executions(name)
-                    )
-                slot.engine.reclaim_streams(
-                    sub.context.reclaimable_streams()
-                )
-                # The per-request coherence engine retires with its
-                # context: fold its movement counters into the slot's
-                # roll-up so the service report can explain the run.
-                slot.counters.merge(sub.context.coherence.counters)
-            else:
-                tenant.absorb_history(sub.history)
-                assert sub.coherence is not None
-                slot.engine.reclaim_streams(sub.coherence.take_owned_streams())
-                slot.counters.merge(sub.coherence.counters)
-        slot.session.free_arrays()
-
-    # -- inference (context) path ---------------------------------------------
-
-    def _submit_context(
-        self,
-        slot: FleetSlot,
-        request: GraphRequest,
-        batch_id: int,
-        batch_size: int,
-    ) -> _Submission:
-        """Serve one request through a fresh execution context: the full
-        dependency-inference scheduling path of the paper (single-GPU
-        slots) or the multi-GPU device-placement scheduler (slots with
-        ``gpus > 1`` — the graph transparently spans the slot)."""
-        rt = slot.session
-        graph = request.graph
-        ctx = rt.renew_context(
-            op_tags={
-                "tenant": request.tenant,
-                "request": request.request_id,
-            },
-            drain=False,
-        )
-        sub = _Submission(
-            request, slot, slot.engine.clock, batch_id, batch_size,
-            replayed=False,
-        )
-        sub.context = ctx
-        for name, decl in graph.arrays.items():
-            sub.arrays[name] = rt.array(
-                decl.shape, dtype=decl.dtype, name=name
-            )
-        for name, decl in graph.arrays.items():
-            if decl.init is not None:
-                sub.arrays[name].copy_from_host(decl.init)
-        for launch in graph.launches:
-            kernel = slot.kernel_for(graph.kernel_by_name(launch.kernel))
-            args = tuple(
-                sub.arrays[a] if isinstance(a, str) else a
-                for a in launch.args
-            )
-            kernel(launch.grid, launch.block)(*args)
-            slot.kernels_launched += 1
-        return sub
-
-    # -- capture-replay path -------------------------------------------------
-
-    def _submit_replay(
-        self,
-        slot: FleetSlot,
-        request: GraphRequest,
-        plan: CapturePlan,
-        batch_id: int,
-        batch_size: int,
-        member: int = 0,
-    ) -> _Submission:
-        """Serve one request by replaying the cached capture plan:
-        pre-assigned streams, pre-computed event waits, no per-launch
-        dependency inference.  On a multi-GPU slot, plan stream ``i``
-        runs on slot device ``i % gpus`` (the deterministic mapping the
-        plan was keyed under), and data movement flows through the
-        coherence engine's multi-GPU location-set overlay."""
-        rt = slot.session
-        engine = slot.engine
-        graph = request.graph
-        tags = {
-            "tenant": request.tenant,
-            "request": request.request_id,
-            "replay": True,
-        }
-        sub = _Submission(
-            request, slot, engine.clock, batch_id, batch_size,
-            replayed=True,
-        )
-        # Replay bypasses execution contexts, so the request gets its
-        # own coherence engine: shared-input migration hazards, movement
-        # policy, cross-acquire coalescing windows and state transitions
-        # all live there (no manual coherence management on this path).
-        coherence = CoherenceEngine(
-            engine,
-            policy=self.config.scheduler.resolve_movement(rt.spec),
-            op_tags=tags,
-            window=self.config.scheduler.movement_window,
-        )
-        sub.coherence = coherence
-        # Each batch member replays on its own stream slice so members
-        # space-share instead of serializing behind shared FIFOs.
-        streams = slot.replay_streams(plan.stream_count, member=member)
-        engine.charge_host_time(self.config.replay_overhead_us * 1e-6)
-
-        multi = slot.gpus > 1
-        for name, decl in graph.arrays.items():
-            arr: DeviceArray | MultiGpuArray
-            if multi:
-                arr = MultiGpuArray(
-                    decl.shape,
-                    dtype=decl.dtype,
-                    devices=rt.devices,
-                    name=name,
-                )
-            else:
-                arr = DeviceArray(
-                    decl.shape, dtype=decl.dtype, device=rt.device,
-                    name=name,
-                )
-            rt.adopt_array(arr)  # freed with the batch
-            if decl.init is not None:
-                # No hook installed: copy_from_host applies the host
-                # -write transition itself; declare it to the engine so
-                # planned overlays and pending migrations reset too.
-                arr.copy_from_host(decl.init)
-                if multi:
-                    coherence.cpu_write_full_multi(arr, mark=False)
-                else:
-                    coherence.cpu_access(arr, AccessKind.WRITE, arr.nbytes)
-            sub.arrays[name] = arr
-
-        events: dict[int, object] = {}
-        for launch_decl, step in zip(graph.launches, plan.steps):
-            stream = streams[step.stream]
-            for w in step.waits:
-                engine.wait_event(stream, events[w])
-
-            kernel = slot.kernel_for(
-                graph.kernel_by_name(launch_decl.kernel)
-            )
-            bound = kernel.bind_args(
-                tuple(
-                    sub.arrays[a] if isinstance(a, str) else a
-                    for a in launch_decl.args
-                )
-            )
-            launch = KernelLaunch(
-                kernel=bound.kernel,
-                grid=normalize_dim(launch_decl.grid),
-                block=normalize_dim(launch_decl.block),
-                args=bound.args,
-                array_args=bound.array_args,
-                scalar_args=bound.scalar_args,
-            )
-            accesses = list(launch.array_args)
-            device_index = step.stream % slot.gpus
-            if multi:
-                acq = coherence.acquire_multi(
-                    accesses, stream, device_index, label=launch.label
-                )
-            else:
-                acq = coherence.acquire(
-                    accesses, stream, label=launch.label
-                )
-            resources = launch.resources()
-            if acq.fault_bytes > 0:
-                resources = combine_resources(resources, acq.fault_bytes)
-            op = KernelOp(
-                label=launch.label,
-                resources=resources,
-                compute_fn=launch.execute,
-            )
-            if multi:
-                # Race-detector tokens are per (array, device) copy,
-                # exactly like the multi-GPU execution context.
-                op.info["reads"] = frozenset(
-                    (id(a), device_index) for a, k in accesses if k.reads
-                )
-                op.info["writes"] = frozenset(
-                    (id(a), device_index) for a, k in accesses if k.writes
-                )
-                op.info["array_names"] = {
-                    (id(a), device_index): f"{a.name}@gpu{device_index}"
-                    for a, _ in accesses
-                }
-                op.info["device"] = device_index
-            else:
-                annotate_kernel_access_sets(op, launch)
-            op.info.update(tags)
-            op.on_complete.append(
-                kernel_history_recorder(launch, sub.history.append)
-            )
-            if multi:
-                coherence.release_multi(acq, accesses, device_index, op)
-            else:
-                coherence.release(acq, op)
-            engine.submit(stream, op)
-            slot.kernels_launched += 1
-            finish_event = None
-            if step.record_event or acq.fault_replicas:
-                finish_event = engine.record_event(
-                    stream, label=f"replay:{launch.label}"
-                )
-                coherence.register_fault_ordering(acq, finish_event)
-            if step.record_event:
-                events[step.index] = finish_event
-        return sub
-
     # -- completion -----------------------------------------------------------
-
-    def _read_outputs(
-        self, sub: _Submission
-    ) -> tuple[dict[str, np.ndarray], float]:
-        """Read the request's outputs (synchronizing just enough);
-        returns them with the virtual time they became readable.
-        Recording is a separate step — a mid-batch fault voids the
-        whole batch *after* its outputs were (wastefully) read."""
-        engine = sub.slot.engine
-        graph = sub.request.graph
-        outputs: dict[str, np.ndarray] = {}
-        for name in graph.outputs:
-            arr = sub.arrays[name]
-            if sub.context is not None:
-                # Attached array: the CPU-access hook syncs producers
-                # precisely and charges the readback migration.
-                outputs[name] = arr.to_numpy()
-            else:
-                # Replay path (engine already drained): declare the
-                # readback to the request's coherence engine, mirroring
-                # the hook's behaviour on the context path.
-                assert sub.coherence is not None
-                if isinstance(arr, MultiGpuArray):
-                    sub.coherence.cpu_read_multi(
-                        arr, engine.default_stream
-                    )
-                else:
-                    sub.coherence.cpu_access(
-                        arr, AccessKind.READ, arr.nbytes,
-                        stream=engine.default_stream,
-                    )
-                outputs[name] = (
-                    arr.kernel_view.copy()
-                    if arr.materialized
-                    else np.zeros(arr.shape, dtype=arr.dtype)
-                )
-        return outputs, engine.clock
 
     def _record_result(
         self,
-        sub: _Submission,
+        request: GraphRequest,
         outputs: dict[str, np.ndarray],
+        start_time: float,
         finish: float,
+        *,
+        slot: FleetSlot,
+        work: SlotWork,
     ) -> None:
-        request = sub.request
         timed_out = (
             request.deadline is not None and finish > request.deadline
         )
@@ -1062,12 +902,12 @@ class SchedulerService:
             # A timed-out request's results were never delivered.
             outputs={} if timed_out else outputs,
             arrival_time=request.arrival_time,
-            start_time=sub.start_time,
+            start_time=start_time,
             finish_time=finish,
-            device_index=sub.slot.index,
-            batch_id=sub.batch_id,
-            batch_size=sub.batch_size,
-            replayed=sub.replayed,
+            device_index=slot.index,
+            batch_id=work.batch_id,
+            batch_size=len(work.batch),
+            replayed=work.plan is not None,
             status=(
                 RequestStatus.TIMEOUT
                 if timed_out
